@@ -1,0 +1,114 @@
+//! Criterion benches for the simulator's building blocks: caches, NVM,
+//! the write buffer, trace generation, and the baseline compiler passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
+use ppa_mem::{Cache, CacheConfig, MemConfig, MemorySystem, Nvm, NvmConfig, WriteBuffer};
+use ppa_workloads::registry;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::new(64 * 1024, 8, 4));
+        cache.access(0x1000, false, 0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(cache.access(black_box(0x1000), false, t))
+        })
+    });
+    g.bench_function("l1_streaming_misses", |b| {
+        let mut cache = Cache::new(CacheConfig::new(64 * 1024, 8, 4));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            black_box(cache.access(black_box(addr), true, addr))
+        })
+    });
+    g.bench_function("dram_cache_sparse", |b| {
+        let mut cache = Cache::new(CacheConfig::new(4 << 30, 1, 60));
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x9e37_79b9).wrapping_mul(3) & 0xffff_ffc0;
+            black_box(cache.access(black_box(addr), false, addr))
+        })
+    });
+    g.finish();
+}
+
+fn bench_nvm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvm");
+    g.bench_function("wpq_write", |b| {
+        let mut nvm = Nvm::new(NvmConfig::paper_default());
+        let mut now = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            now += 64;
+            addr += 64;
+            black_box(nvm.enqueue_write(addr, now).ok())
+        })
+    });
+    g.bench_function("write_buffer_coalesce", |b| {
+        let mut wb = WriteBuffer::new(16, true);
+        wb.enqueue(0x1000, 0);
+        b.iter(|| black_box(wb.enqueue(black_box(0x1000), 1)))
+    });
+    g.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_system");
+    g.bench_function("load_hot", |b| {
+        let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+        mem.load(0, 0x4000, 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(mem.load(0, black_box(0x4000), now))
+        })
+    });
+    g.bench_function("store_commit_path", |b| {
+        let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            let lat = mem.store_merge(0, 0x8000, now);
+            mem.commit_store_value(0x8000, now);
+            mem.persist_enqueue(0, 0x8000, now);
+            mem.tick(now);
+            black_box(lat)
+        })
+    });
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(20);
+    let app = registry::by_name("mcf").expect("mcf exists");
+    g.bench_function("generate_10k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(app.generate(10_000, seed))
+        })
+    });
+    let raw = app.generate(10_000, 1);
+    g.bench_function("replaycache_pass_10k", |b| {
+        b.iter(|| black_box(ReplayCachePass::new().apply(black_box(&raw))))
+    });
+    g.bench_function("capri_pass_10k", |b| {
+        b.iter(|| black_box(CapriPass::new().apply(black_box(&raw))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_nvm,
+    bench_memory_system,
+    bench_workloads
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the cycle-level core: simulation throughput per
+//! persistence scheme, plus the checkpoint/recovery hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppa_core::{replay_stores, Core, CoreConfig, InOrderCore, PersistenceMode};
+use ppa_mem::{MemConfig, MemorySystem};
+use ppa_sim::{Machine, SystemConfig};
+use ppa_workloads::registry;
+use std::hint::black_box;
+
+const LEN: usize = 10_000;
+
+fn bench_modes(c: &mut Criterion) {
+    let app = registry::by_name("sjeng").expect("sjeng exists");
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(LEN as u64));
+    for (name, cfg) in [
+        ("baseline", SystemConfig::baseline()),
+        ("ppa", SystemConfig::ppa()),
+        ("replaycache", SystemConfig::replay_cache()),
+        ("capri", SystemConfig::capri()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(Machine::new(cfg).run_app(&app, LEN, 1)))
+        });
+    }
+    g.bench_function("in_order", |b| {
+        let trace = app.generate(LEN, 1);
+        b.iter(|| {
+            let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+            let mut core = InOrderCore::new(40, 0);
+            black_box(core.run(&trace, &mut mem))
+        })
+    });
+    g.finish();
+}
+
+fn bench_checkpoint_recovery(c: &mut Criterion) {
+    let app = registry::by_name("tpcc").expect("tpcc exists");
+    let trace = app.generate(LEN, 1);
+    // Run a PPA core part-way to populate the CSQ/MaskReg.
+    let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
+    let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+    let mut core = Core::new(cfg, 0);
+    for now in 0..3_000 {
+        core.step(&trace, &mut mem, now);
+        mem.tick(now);
+    }
+
+    let mut g = c.benchmark_group("recovery");
+    g.bench_function("jit_checkpoint", |b| {
+        b.iter(|| black_box(core.jit_checkpoint()))
+    });
+    let image = core.jit_checkpoint();
+    g.bench_function("replay_stores", |b| {
+        b.iter(|| {
+            let mut nvm = ppa_mem::NvmImage::new();
+            black_box(replay_stores(black_box(&image), &mut nvm))
+        })
+    });
+    g.bench_function("core_recover", |b| {
+        b.iter(|| black_box(Core::recover(cfg, 0, black_box(&image))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_checkpoint_recovery);
+criterion_main!(benches);

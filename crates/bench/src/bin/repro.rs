@@ -1,0 +1,50 @@
+//! `repro` — regenerates every figure and table of the PPA paper.
+//!
+//! ```text
+//! cargo run -p ppa-bench --release --bin repro -- fig8
+//! cargo run -p ppa-bench --release --bin repro -- all
+//! PPA_REPRO_LEN=100000 cargo run -p ppa-bench --release --bin repro -- fig16
+//! ```
+
+use ppa_bench::experiments;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment>|all|list");
+    eprintln!("experiments:");
+    for (id, _) in experiments::all_experiments() {
+        eprintln!("  {id}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let experiments = experiments::all_experiments();
+    match arg.as_str() {
+        "list" => {
+            for (id, _) in experiments {
+                println!("{id}");
+            }
+        }
+        "all" => {
+            let t0 = Instant::now();
+            for (id, f) in experiments {
+                let t = Instant::now();
+                println!("=== {id} ===");
+                println!("{}", f());
+                println!("({:.1}s)\n", t.elapsed().as_secs_f64());
+            }
+            println!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        }
+        id => match experiments.into_iter().find(|(n, _)| *n == id) {
+            Some((_, f)) => {
+                let t = Instant::now();
+                println!("=== {id} ===");
+                println!("{}", f());
+                println!("({:.1}s)", t.elapsed().as_secs_f64());
+            }
+            None => usage(),
+        },
+    }
+}

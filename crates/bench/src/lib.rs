@@ -1,0 +1,28 @@
+//! Benchmark harness for the PPA reproduction.
+//!
+//! Every figure and table of the paper's evaluation section has a
+//! regeneration function in [`experiments`]; the `repro` binary dispatches
+//! to them (`cargo run -p ppa-bench --release --bin repro -- fig8`), and
+//! the Criterion benches in `benches/` time the simulator's building
+//! blocks.
+//!
+//! Experiment sizes default to traces that finish a full `repro all` in a
+//! few minutes; set `PPA_REPRO_LEN` to scale them (micro-ops per
+//! single-threaded trace; multi-threaded applications run 8 threads at a
+//! third of the length each).
+
+pub mod experiments;
+
+/// Default per-trace micro-op count for single-threaded applications.
+pub const DEFAULT_LEN: usize = 40_000;
+
+/// Deterministic seed used by every experiment.
+pub const SEED: u64 = 1;
+
+/// Resolves the experiment length from `PPA_REPRO_LEN` or the default.
+pub fn experiment_len() -> usize {
+    std::env::var("PPA_REPRO_LEN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_LEN)
+}

@@ -1,0 +1,45 @@
+//! Smoke tests for the reproduction harness: every experiment renders a
+//! non-empty table at a reduced trace length. This keeps `repro all` from
+//! bit-rotting without paying full experiment cost in CI.
+
+use ppa_bench::experiments;
+
+#[test]
+fn static_tables_are_instant_and_complete() {
+    for id in ["table1", "table2", "table3", "table4", "table5", "table6"] {
+        let (_, f) = experiments::all_experiments()
+            .into_iter()
+            .find(|(n, _)| *n == id)
+            .expect("registered");
+        let t = f();
+        assert!(!t.is_empty(), "{id} rendered an empty table");
+    }
+}
+
+/// All length-sensitive experiments in one test, so the environment
+/// variable that shrinks them is never touched concurrently.
+#[test]
+fn simulation_experiments_render_at_reduced_length() {
+    std::env::set_var("PPA_REPRO_LEN", "3000");
+
+    let s = experiments::ckpt().to_string();
+    assert!(s.contains("1838"));
+    assert!(!s.contains("false"), "checkpoint verification failed:\n{s}");
+
+    let t13 = experiments::fig13();
+    let text = t13.to_string();
+    assert!(text.contains("mean"));
+    // 41 apps + mean + paper rows.
+    assert_eq!(t13.len(), 43);
+
+    let t17 = experiments::fig17();
+    assert_eq!(t17.len(), 6, "five CSQ sizes plus the paper row");
+
+    let mc = experiments::mc().to_string();
+    assert!(!mc.contains("false"), "multi-MC recovery failed:\n{mc}");
+
+    let ablation = experiments::ablation();
+    assert_eq!(ablation.len(), 6, "six ablation variants");
+
+    std::env::remove_var("PPA_REPRO_LEN");
+}

@@ -1,0 +1,177 @@
+/// Persistence scheme executed by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistenceMode {
+    /// No persistence support: the PMEM memory-mode baseline the paper
+    /// normalises everything against (and also how the eADR/BBB "ideal
+    /// PSP" core behaves — its batteries need no core cooperation).
+    Baseline,
+    /// Persistent Processor Architecture: MaskReg + CSQ + LCPC, dynamic
+    /// region formation, asynchronous store persistence (this paper).
+    Ppa,
+    /// ReplayCache (MICRO '21): compiler-formed store-integrity regions
+    /// with a `clwb` per store; traces must be pre-processed with
+    /// [`ppa_isa::transform::ReplayCachePass`].
+    ReplayCache,
+    /// Capri (HPDC '22): compiler-formed regions with a battery-backed
+    /// redo buffer draining over a dedicated persist path; traces must be
+    /// pre-processed with [`ppa_isa::transform::CapriPass`].
+    Capri,
+}
+
+impl PersistenceMode {
+    /// Whether the scheme provides whole-system persistence.
+    pub const fn is_wsp(self) -> bool {
+        !matches!(self, PersistenceMode::Baseline)
+    }
+
+    /// Whether traces for this mode must carry compiler-inserted persist
+    /// barriers.
+    pub const fn needs_compiled_trace(self) -> bool {
+        matches!(self, PersistenceMode::ReplayCache | PersistenceMode::Capri)
+    }
+}
+
+/// Out-of-order core configuration (Table 2 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Pipeline width (fetch/rename/issue/commit per cycle).
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Issue-queue entries.
+    pub iq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Integer physical registers (unified PRF, integer bank).
+    pub int_prf: usize,
+    /// Floating-point physical registers.
+    pub fp_prf: usize,
+    /// Committed-store-queue entries (PPA).
+    pub csq_entries: usize,
+    /// Persistence scheme.
+    pub mode: PersistenceMode,
+    /// Extra commit latency charged to synchronisation primitives to model
+    /// cross-core contention (set per workload by the system layer).
+    pub sync_extra_latency: u64,
+    /// Pipeline bubble at each Capri region barrier (the barrier is an
+    /// ordering point between the core and the redo-buffer controller).
+    pub capri_barrier_bubble: u64,
+    /// Ablation: force a PPA region boundary every N committed
+    /// instructions, overriding dynamic formation. `None` (the default)
+    /// is PPA's contribution — regions sized by free-list pressure.
+    pub forced_region_interval: Option<u64>,
+}
+
+impl CoreConfig {
+    /// Table 2's Skylake-class core: 4-wide, ROB/IQ/SQ/LQ = 224/97/56/72,
+    /// 180/168 integer/FP physical registers, 40-entry CSQ.
+    pub fn paper_default(mode: PersistenceMode) -> Self {
+        CoreConfig {
+            width: 4,
+            rob_entries: 224,
+            iq_entries: 97,
+            sq_entries: 56,
+            lq_entries: 72,
+            int_prf: 180,
+            fp_prf: 168,
+            csq_entries: 40,
+            mode,
+            sync_extra_latency: 20,
+            capri_barrier_bubble: 3,
+            forced_region_interval: None,
+        }
+    }
+
+    /// Ablation helper: statically sized regions of `n` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_forced_regions(mut self, n: u64) -> Self {
+        assert!(n > 0, "region interval must be positive");
+        self.forced_region_interval = Some(n);
+        self
+    }
+
+    /// The Figure 16 PRF sweep helper: same core with `int_prf`/`fp_prf`
+    /// replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bank is smaller than its architectural register
+    /// count (renaming would deadlock immediately).
+    pub fn with_prf(mut self, int_prf: usize, fp_prf: usize) -> Self {
+        assert!(
+            int_prf > ppa_isa::NUM_INT_ARCH_REGS && fp_prf > ppa_isa::NUM_FP_ARCH_REGS,
+            "PRF must exceed the architectural register count"
+        );
+        self.int_prf = int_prf;
+        self.fp_prf = fp_prf;
+        self
+    }
+
+    /// The Figure 17 CSQ sweep helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn with_csq(mut self, entries: usize) -> Self {
+        assert!(entries > 0, "CSQ needs at least one entry");
+        self.csq_entries = entries;
+        self
+    }
+
+    /// Total physical registers across both banks (sizes MaskReg).
+    pub fn total_prf(&self) -> usize {
+        self.int_prf + self.fp_prf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let c = CoreConfig::paper_default(PersistenceMode::Ppa);
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(c.iq_entries, 97);
+        assert_eq!(c.sq_entries, 56);
+        assert_eq!(c.lq_entries, 72);
+        assert_eq!(c.int_prf, 180);
+        assert_eq!(c.fp_prf, 168);
+        assert_eq!(c.csq_entries, 40);
+        assert_eq!(c.total_prf(), 348);
+    }
+
+    #[test]
+    fn mode_properties() {
+        assert!(!PersistenceMode::Baseline.is_wsp());
+        assert!(PersistenceMode::Ppa.is_wsp());
+        assert!(!PersistenceMode::Ppa.needs_compiled_trace());
+        assert!(PersistenceMode::ReplayCache.needs_compiled_trace());
+        assert!(PersistenceMode::Capri.needs_compiled_trace());
+    }
+
+    #[test]
+    fn prf_sweep_helper() {
+        let c = CoreConfig::paper_default(PersistenceMode::Ppa).with_prf(80, 80);
+        assert_eq!(c.int_prf, 80);
+        assert_eq!(c.fp_prf, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the architectural")]
+    fn prf_below_arch_count_panics() {
+        CoreConfig::paper_default(PersistenceMode::Ppa).with_prf(16, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_csq_panics() {
+        CoreConfig::paper_default(PersistenceMode::Ppa).with_csq(0);
+    }
+}

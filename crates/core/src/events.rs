@@ -1,0 +1,166 @@
+use crate::prf::PhysReg;
+use crate::stats::RegionEndCause;
+use ppa_isa::UopKind;
+
+/// One observable pipeline event, in the vocabulary of the paper's
+/// Figure 2/Figure 6 walkthroughs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineEvent {
+    /// An instruction committed (LCPC advanced to `pc`).
+    Commit {
+        /// Cycle of the commit.
+        cycle: u64,
+        /// Program counter of the committed micro-op.
+        pc: u64,
+        /// Kind of the committed micro-op.
+        kind: UopKind,
+    },
+    /// A committed store entered the CSQ and its data register was masked.
+    StoreTracked {
+        /// Cycle of the commit.
+        cycle: u64,
+        /// Destination physical address.
+        addr: u64,
+        /// Physical register holding the stored value (now masked).
+        data_reg: PhysReg,
+        /// CSQ occupancy after the insertion.
+        csq_occupancy: usize,
+    },
+    /// Renaming found the free list empty and injected a persist barrier
+    /// (§4.2's region boundary trigger).
+    BarrierInjected {
+        /// Cycle of the stall.
+        cycle: u64,
+    },
+    /// A region ended: masked registers reclaimed, MaskReg and CSQ
+    /// cleared.
+    RegionEnd {
+        /// Cycle of the boundary.
+        cycle: u64,
+        /// Why the region ended.
+        cause: RegionEndCause,
+        /// Instructions committed in the region.
+        insts: u64,
+        /// Stores committed in the region.
+        stores: u64,
+        /// Physical registers reclaimed from the deferred-free list.
+        reclaimed: usize,
+    },
+}
+
+impl PipelineEvent {
+    /// The cycle the event occurred at.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            PipelineEvent::Commit { cycle, .. }
+            | PipelineEvent::StoreTracked { cycle, .. }
+            | PipelineEvent::BarrierInjected { cycle }
+            | PipelineEvent::RegionEnd { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A bounded, allocation-friendly log of [`PipelineEvent`]s.
+///
+/// Recording stops silently once `capacity` events have been captured, so
+/// enabling the log on a long run costs bounded memory. Intended for
+/// debugging, teaching (see `examples/pipeline_trace.rs`), and tests that
+/// assert on the *sequence* of microarchitectural actions rather than on
+/// aggregate statistics.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_core::{EventLog, PipelineEvent};
+///
+/// let mut log = EventLog::with_capacity(2);
+/// log.push(PipelineEvent::BarrierInjected { cycle: 1 });
+/// log.push(PipelineEvent::BarrierInjected { cycle: 2 });
+/// log.push(PipelineEvent::BarrierInjected { cycle: 3 }); // dropped
+/// assert_eq!(log.events().len(), 2);
+/// assert!(log.truncated());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<PipelineEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log that keeps at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, dropping it silently when full.
+    pub fn push(&mut self, ev: PipelineEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The captured events, in order.
+    pub fn events(&self) -> &[PipelineEvent] {
+        &self.events
+    }
+
+    /// Whether events were dropped after the capacity filled.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Number of events dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut log = EventLog::with_capacity(3);
+        for c in 0..10 {
+            log.push(PipelineEvent::Commit {
+                cycle: c,
+                pc: c * 4,
+                kind: UopKind::Nop,
+            });
+        }
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.dropped(), 7);
+        assert!(log.truncated());
+    }
+
+    #[test]
+    fn events_keep_arrival_order() {
+        let mut log = EventLog::with_capacity(8);
+        log.push(PipelineEvent::BarrierInjected { cycle: 5 });
+        log.push(PipelineEvent::RegionEnd {
+            cycle: 9,
+            cause: RegionEndCause::PrfExhausted,
+            insts: 100,
+            stores: 4,
+            reclaimed: 3,
+        });
+        assert_eq!(log.events()[0].cycle(), 5);
+        assert_eq!(log.events()[1].cycle(), 9);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut log = EventLog::with_capacity(0);
+        log.push(PipelineEvent::BarrierInjected { cycle: 0 });
+        assert!(log.events().is_empty());
+        assert!(log.truncated());
+    }
+}

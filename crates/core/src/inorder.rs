@@ -1,0 +1,292 @@
+use crate::stats::RegionEndCause;
+use ppa_isa::{Trace, UopKind};
+use ppa_mem::MemorySystem;
+use std::collections::VecDeque;
+
+/// A committed store in the in-order core's value-carrying CSQ.
+///
+/// §6 ("In-Order Cores and ROB-Style Register Renaming"): cores without a
+/// unified PRF accommodate the *data value* in each CSQ entry instead of a
+/// physical-register index. Replay then needs no register file at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueCsqEntry {
+    /// Destination physical address.
+    pub addr: u64,
+    /// The stored value itself.
+    pub value: u64,
+    /// Store size in bytes.
+    pub size: u8,
+}
+
+/// Checkpoint of the in-order core: the value-carrying CSQ plus LCPC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InOrderCheckpoint {
+    /// Committed, possibly unpersisted stores with their values.
+    pub csq: Vec<ValueCsqEntry>,
+    /// Last committed PC.
+    pub lcpc: u64,
+    /// Instructions committed before the failure.
+    pub committed: u64,
+}
+
+impl InOrderCheckpoint {
+    /// Replays the checkpointed stores into the NVM image and returns how
+    /// many were replayed.
+    pub fn replay(&self, nvm: &mut ppa_mem::NvmImage) -> usize {
+        for e in &self.csq {
+            nvm.write_word(e.addr, e.value);
+        }
+        self.csq.len()
+    }
+
+    /// Bytes to checkpoint: each entry carries an 8-byte value and an
+    /// 8-byte address, plus the LCPC.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.csq.len() as u64 * 16 + 8
+    }
+}
+
+/// Execution statistics of the in-order core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InOrderStats {
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Micro-ops committed.
+    pub committed_uops: u64,
+    /// Stores committed.
+    pub committed_stores: u64,
+    /// Regions completed.
+    pub regions: u64,
+    /// Cycles stalled waiting for region persistence.
+    pub region_stall_cycles: u64,
+}
+
+/// The §6 in-order core with a value-carrying CSQ.
+///
+/// A scalar, blocking pipeline: each micro-op executes to completion
+/// before the next starts (loads block for their full memory latency).
+/// Committed stores enter the value-carrying CSQ and are persisted through
+/// the same asynchronous write-buffer path as the out-of-order PPA core;
+/// a full CSQ or a synchronisation primitive ends the region.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_core::InOrderCore;
+/// use ppa_isa::{ArchReg, TraceBuilder};
+/// use ppa_mem::{MemConfig, MemorySystem};
+///
+/// let mut b = TraceBuilder::new("t");
+/// b.store(ArchReg::int(0), 0x40, 9);
+/// let trace = b.build();
+/// let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+/// let mut core = InOrderCore::new(40, 0);
+/// core.run(&trace, &mut mem);
+/// assert!(mem.nvm_image().diff(mem.arch_mem()).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InOrderCore {
+    id: usize,
+    csq: VecDeque<ValueCsqEntry>,
+    csq_capacity: usize,
+    lcpc: u64,
+    committed: u64,
+    stats: InOrderStats,
+}
+
+impl InOrderCore {
+    /// Creates an in-order core with the given CSQ capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `csq_capacity` is zero.
+    pub fn new(csq_capacity: usize, id: usize) -> Self {
+        assert!(csq_capacity > 0, "CSQ needs at least one entry");
+        InOrderCore {
+            id,
+            csq: VecDeque::with_capacity(csq_capacity),
+            csq_capacity,
+            lcpc: 0,
+            committed: 0,
+            stats: InOrderStats::default(),
+        }
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &InOrderStats {
+        &self.stats
+    }
+
+    /// Micro-ops committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Waits (advancing time and ticking memory) until the core's persists
+    /// drain, then clears the CSQ — a region boundary.
+    fn region_boundary(&mut self, mem: &mut MemorySystem, now: &mut u64, cause: RegionEndCause) {
+        let _ = cause;
+        while mem.persist_outstanding(self.id) > 0 {
+            mem.tick(*now);
+            *now += 1;
+            self.stats.region_stall_cycles += 1;
+        }
+        self.csq.clear();
+        self.stats.regions += 1;
+    }
+
+    /// Runs the trace to completion, returning total cycles.
+    pub fn run(&mut self, trace: &Trace, mem: &mut MemorySystem) -> u64 {
+        let mut now = self.stats.cycles;
+        let start_idx = self.committed as usize;
+        for u in trace.as_slice()[start_idx..].iter() {
+            match u.kind {
+                UopKind::Load => {
+                    let m = u.mem.expect("load has an address");
+                    now += mem.load(self.id, m.addr, now);
+                }
+                UopKind::Store => {
+                    let m = u.mem.expect("store has an address");
+                    if self.csq.len() >= self.csq_capacity {
+                        self.region_boundary(mem, &mut now, RegionEndCause::CsqFull);
+                    }
+                    now += mem.store_merge(self.id, m.addr, now);
+                    mem.commit_store_value(m.addr, m.value);
+                    self.csq.push_back(ValueCsqEntry {
+                        addr: m.addr,
+                        value: m.value,
+                        size: m.size,
+                    });
+                    while !mem.persist_enqueue(self.id, m.addr, now) {
+                        mem.tick(now);
+                        now += 1;
+                    }
+                    self.stats.committed_stores += 1;
+                }
+                UopKind::Sync(_) => {
+                    self.region_boundary(mem, &mut now, RegionEndCause::Sync);
+                    now += u64::from(u.kind.exec_latency());
+                }
+                _ => {
+                    now += u64::from(u.kind.exec_latency());
+                }
+            }
+            mem.tick(now);
+            self.lcpc = u.pc;
+            self.committed += 1;
+            self.stats.committed_uops += 1;
+        }
+        // Final region drains before "exit".
+        self.region_boundary(mem, &mut now, RegionEndCause::ProgramEnd);
+        self.stats.cycles = now;
+        now
+    }
+
+    /// JIT checkpoint: the value-carrying CSQ plus LCPC.
+    pub fn jit_checkpoint(&self) -> InOrderCheckpoint {
+        InOrderCheckpoint {
+            csq: self.csq.iter().copied().collect(),
+            lcpc: self.lcpc,
+            committed: self.committed,
+        }
+    }
+
+    /// Rebuilds the core from a checkpoint; resume by calling
+    /// [`InOrderCore::run`] with the same trace.
+    pub fn recover(csq_capacity: usize, id: usize, image: &InOrderCheckpoint) -> Self {
+        let mut core = InOrderCore::new(csq_capacity, id);
+        core.csq.extend(image.csq.iter().copied());
+        core.lcpc = image.lcpc;
+        core.committed = image.committed;
+        core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_isa::{ArchReg, TraceBuilder};
+    use ppa_mem::MemConfig;
+
+    fn trace(n: u64) -> Trace {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..n {
+            b.alu(ArchReg::int(0), &[]);
+            b.store(ArchReg::int(0), 0x1000 + i * 64, i + 1);
+        }
+        b.build()
+    }
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MemConfig::memory_mode(), 1)
+    }
+
+    #[test]
+    fn completes_and_is_consistent() {
+        let t = trace(100);
+        let mut m = mem();
+        let mut c = InOrderCore::new(40, 0);
+        let cycles = c.run(&t, &mut m);
+        assert!(cycles > 0);
+        assert_eq!(c.committed(), t.len() as u64);
+        assert!(m.nvm_image().diff(m.arch_mem()).is_empty());
+    }
+
+    #[test]
+    fn small_csq_forces_regions() {
+        let t = trace(50);
+        let mut m = mem();
+        let mut c = InOrderCore::new(4, 0);
+        c.run(&t, &mut m);
+        assert!(c.stats().regions > 5);
+    }
+
+    #[test]
+    fn checkpoint_carries_values_not_registers() {
+        let t = trace(10);
+        let mut m = mem();
+        let mut c = InOrderCore::new(40, 0);
+        c.run(&t, &mut m);
+        // After the final drain the CSQ is empty; checkpoint mid-way
+        // instead by rebuilding and not draining.
+        let mut c2 = InOrderCore::new(40, 0);
+        let partial = {
+            let mut b = TraceBuilder::new("p");
+            b.store(ArchReg::int(0), 0x40, 7);
+            b.build()
+        };
+        let mut m2 = mem();
+        c2.run(&partial, &mut m2);
+        // Simulate a failure before drain by pushing an entry directly
+        // through a fresh run that we checkpoint immediately after a store:
+        let img = InOrderCheckpoint {
+            csq: vec![ValueCsqEntry { addr: 0x40, value: 7, size: 8 }],
+            lcpc: 0x1000,
+            committed: 1,
+        };
+        let mut nvm = ppa_mem::NvmImage::new();
+        assert_eq!(img.replay(&mut nvm), 1);
+        assert_eq!(nvm.read(0x40), Some(7));
+        assert_eq!(img.checkpoint_bytes(), 24);
+    }
+
+    #[test]
+    fn recover_resumes_from_commit_index() {
+        let t = trace(20);
+        let img = InOrderCheckpoint {
+            csq: vec![],
+            lcpc: 0,
+            committed: 10,
+        };
+        let mut c = InOrderCore::recover(40, 0, &img);
+        let mut m = mem();
+        c.run(&t, &mut m);
+        assert_eq!(c.committed(), t.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_csq_panics() {
+        InOrderCore::new(0, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The Persistent Processor Architecture core model.
+//!
+//! This crate is the paper's primary contribution rebuilt in Rust: a
+//! cycle-level out-of-order core (§2.1's renaming machinery — RAT, CRT,
+//! free list, unified PRF — plus ROB, issue queue, and load/store queues)
+//! extended with PPA's whole-system-persistence hardware:
+//!
+//! * **MaskReg** ([`MaskReg`]) — one bit per physical register, marking
+//!   committed-store data registers that must not be reclaimed (§3.3);
+//! * **CSQ** ([`Csq`]) — the committed store queue recording each region's
+//!   stores for post-failure replay (§4.4);
+//! * **LCPC** — the last-committed program counter, from which execution
+//!   resumes after recovery;
+//! * **dynamic region formation** — a persist barrier injected whenever
+//!   renaming runs out of physical registers (§4.2), at synchronisation
+//!   primitives (§6), or when the CSQ fills;
+//! * **JIT checkpointing** ([`CheckpointController`], [`CheckpointImage`])
+//!   and the **recovery protocol** ([`replay_stores`], [`Core::recover`])
+//!   of §4.5–4.6;
+//! * an **in-order variant** ([`InOrderCore`]) with a value-carrying CSQ,
+//!   as sketched in §6.
+//!
+//! The same pipeline also executes the paper's software baselines
+//! (ReplayCache and Capri) by honouring trace-embedded persist barriers —
+//! see [`PersistenceMode`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_core::{Core, CoreConfig, PersistenceMode, replay_stores};
+//! use ppa_isa::{ArchReg, TraceBuilder};
+//! use ppa_mem::{MemConfig, MemorySystem};
+//!
+//! // Run a tiny program under PPA, cut power mid-flight, recover, and
+//! // verify crash consistency.
+//! let mut b = TraceBuilder::new("demo");
+//! for i in 0..64u64 {
+//!     b.alu(ArchReg::int(0), &[]);
+//!     b.store(ArchReg::int(0), 0x1000 + i * 64, i);
+//! }
+//! let trace = b.build();
+//!
+//! let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+//! let mut core = Core::new(CoreConfig::paper_default(PersistenceMode::Ppa), 0);
+//! for now in 0..500 {
+//!     core.step(&trace, &mut mem, now);
+//!     mem.tick(now);
+//! }
+//! let image = core.jit_checkpoint();
+//! mem.power_failure();
+//! replay_stores(&image, mem.nvm_image_mut());
+//! assert!(mem.nvm_image().diff(mem.arch_mem()).is_empty());
+//! ```
+
+mod config;
+mod events;
+mod inorder;
+mod pipeline;
+pub mod ppa;
+mod prf;
+mod rename;
+mod stats;
+
+pub use config::{CoreConfig, PersistenceMode};
+pub use events::{EventLog, PipelineEvent};
+pub use inorder::InOrderCore;
+pub use pipeline::Core;
+pub use ppa::{
+    replay_stores, CheckpointController, CheckpointImage, CkptState, Csq, CsqEntry, IndexWalker,
+    MaskReg, RecoveryReport,
+};
+pub use prf::{PhysReg, Prf};
+pub use rename::RenameTable;
+pub use stats::{CoreStats, RegionEndCause};

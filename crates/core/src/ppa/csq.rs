@@ -1,0 +1,188 @@
+use crate::prf::PhysReg;
+use std::collections::VecDeque;
+
+/// One committed store tracked for replay: the index of the physical
+/// register holding the data and the resolved physical address (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsqEntry {
+    /// Physical register holding the stored value.
+    pub src: PhysReg,
+    /// Destination physical address.
+    pub addr: u64,
+    /// Store size in bytes.
+    pub size: u8,
+}
+
+/// The Committed Store Queue (CSQ, §4.4): a circular FIFO recording the
+/// committed stores of the current region in program order.
+///
+/// A single read/write port populates the rear during execution and streams
+/// the whole queue to NVM during JIT checkpointing — no CAM is needed,
+/// which is what keeps a 40-entry CSQ cheap (Table 4). The queue clears at
+/// every region boundary; a full queue is itself an implicit region
+/// boundary (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use ppa_core::{Csq, CsqEntry, PhysReg};
+/// use ppa_isa::RegClass;
+///
+/// let mut csq = Csq::new(40);
+/// csq.push(CsqEntry { src: PhysReg::new(RegClass::Int, 1), addr: 0x100, size: 8 })
+///     .expect("empty queue has room");
+/// assert_eq!(csq.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csq {
+    entries: VecDeque<CsqEntry>,
+    capacity: usize,
+    /// High-water mark, reported by the Figure 17 study.
+    peak: usize,
+}
+
+impl Csq {
+    /// Creates an empty CSQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CSQ needs at least one entry");
+        Csq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full (implicit region boundary).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Appends a committed store at the rear.
+    ///
+    /// # Errors
+    ///
+    /// Returns the entry back when the queue is full; the pipeline must
+    /// treat this as a region boundary before retrying.
+    pub fn push(&mut self, entry: CsqEntry) -> Result<(), CsqEntry> {
+        if self.is_full() {
+            return Err(entry);
+        }
+        self.entries.push_back(entry);
+        self.peak = self.peak.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Front-to-rear iteration — the order recovery replays stores (§4.6).
+    pub fn iter(&self) -> impl Iterator<Item = &CsqEntry> {
+        self.entries.iter()
+    }
+
+    /// Clears the queue (region boundary).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Rebuilds a CSQ from checkpointed entries (recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more entries are supplied than the capacity allows.
+    pub fn restore(capacity: usize, entries: impl IntoIterator<Item = CsqEntry>) -> Self {
+        let mut csq = Csq::new(capacity);
+        for e in entries {
+            csq.push(e).expect("checkpoint cannot exceed CSQ capacity");
+        }
+        csq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_isa::RegClass;
+
+    fn entry(i: u16) -> CsqEntry {
+        CsqEntry {
+            src: PhysReg::new(RegClass::Int, i),
+            addr: i as u64 * 8,
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut csq = Csq::new(4);
+        for i in 0..3 {
+            csq.push(entry(i)).unwrap();
+        }
+        let addrs: Vec<u64> = csq.iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn full_queue_rejects_push() {
+        let mut csq = Csq::new(2);
+        csq.push(entry(0)).unwrap();
+        csq.push(entry(1)).unwrap();
+        assert!(csq.is_full());
+        let rejected = csq.push(entry(2)).unwrap_err();
+        assert_eq!(rejected.addr, 16);
+        assert_eq!(csq.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_peak() {
+        let mut csq = Csq::new(4);
+        csq.push(entry(0)).unwrap();
+        csq.push(entry(1)).unwrap();
+        csq.clear();
+        assert!(csq.is_empty());
+        assert_eq!(csq.peak(), 2);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut csq = Csq::new(4);
+        csq.push(entry(0)).unwrap();
+        csq.push(entry(1)).unwrap();
+        let copied: Vec<CsqEntry> = csq.iter().copied().collect();
+        let restored = Csq::restore(4, copied);
+        assert_eq!(restored, csq);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed CSQ capacity")]
+    fn restore_overflow_panics() {
+        Csq::restore(1, vec![entry(0), entry(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        Csq::new(0);
+    }
+}

@@ -1,0 +1,158 @@
+use crate::prf::PhysReg;
+use ppa_isa::RegClass;
+
+/// The Store Operands Mask Register (§4): one bit per physical register.
+///
+/// A set bit means the register holds the data of a committed store in the
+/// current region, so (a) it must not be returned to the free list even if
+/// its architectural redefinition commits, and (b) it belongs to the set
+/// JIT-checkpointed on power failure. The whole register clears at every
+/// region boundary.
+///
+/// Per the paper's footnote 10, only the store's *data* register is masked
+/// (address registers are not needed for replay: the CSQ records the
+/// resolved physical address).
+///
+/// # Examples
+///
+/// ```
+/// use ppa_core::{MaskReg, PhysReg};
+/// use ppa_isa::RegClass;
+///
+/// let mut m = MaskReg::new(180, 168);
+/// let p = PhysReg::new(RegClass::Int, 7);
+/// m.mask(p);
+/// assert!(m.is_masked(p));
+/// m.clear();
+/// assert!(!m.is_masked(p));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskReg {
+    int_bits: Vec<bool>,
+    fp_bits: Vec<bool>,
+    masked_count: usize,
+}
+
+impl MaskReg {
+    /// Creates an all-clear mask sized to the PRF banks.
+    pub fn new(int_size: usize, fp_size: usize) -> Self {
+        MaskReg {
+            int_bits: vec![false; int_size],
+            fp_bits: vec![false; fp_size],
+            masked_count: 0,
+        }
+    }
+
+    fn bits(&self, class: RegClass) -> &Vec<bool> {
+        match class {
+            RegClass::Int => &self.int_bits,
+            RegClass::Fp => &self.fp_bits,
+        }
+    }
+
+    /// Number of bits in the vector (the paper's 348 for the default PRF).
+    pub fn len(&self) -> usize {
+        self.int_bits.len() + self.fp_bits.len()
+    }
+
+    /// Whether any register is masked.
+    pub fn is_empty(&self) -> bool {
+        self.masked_count == 0
+    }
+
+    /// Number of masked registers.
+    pub fn masked_count(&self) -> usize {
+        self.masked_count
+    }
+
+    /// Masks `reg` (idempotent — a register feeding several stores in one
+    /// region is masked once).
+    pub fn mask(&mut self, reg: PhysReg) {
+        let bit = match reg.class() {
+            RegClass::Int => &mut self.int_bits[reg.index() as usize],
+            RegClass::Fp => &mut self.fp_bits[reg.index() as usize],
+        };
+        if !*bit {
+            *bit = true;
+            self.masked_count += 1;
+        }
+    }
+
+    /// Whether `reg` is masked.
+    pub fn is_masked(&self, reg: PhysReg) -> bool {
+        self.bits(reg.class())[reg.index() as usize]
+    }
+
+    /// Clears every bit (region boundary).
+    pub fn clear(&mut self) {
+        self.int_bits.fill(false);
+        self.fp_bits.fill(false);
+        self.masked_count = 0;
+    }
+
+    /// Iterator over all masked registers (checkpoint contents).
+    pub fn masked_regs(&self) -> impl Iterator<Item = PhysReg> + '_ {
+        let ints = self
+            .int_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| PhysReg::new(RegClass::Int, i as u16));
+        let fps = self
+            .fp_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| PhysReg::new(RegClass::Fp, i as u16));
+        ints.chain(fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_matches_paper_prf() {
+        let m = MaskReg::new(180, 168);
+        assert_eq!(m.len(), 348);
+    }
+
+    #[test]
+    fn masking_is_idempotent() {
+        let mut m = MaskReg::new(8, 8);
+        let p = PhysReg::new(RegClass::Int, 3);
+        m.mask(p);
+        m.mask(p);
+        assert_eq!(m.masked_count(), 1);
+    }
+
+    #[test]
+    fn int_and_fp_banks_are_independent() {
+        let mut m = MaskReg::new(8, 8);
+        m.mask(PhysReg::new(RegClass::Int, 2));
+        assert!(!m.is_masked(PhysReg::new(RegClass::Fp, 2)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = MaskReg::new(8, 8);
+        m.mask(PhysReg::new(RegClass::Int, 0));
+        m.mask(PhysReg::new(RegClass::Fp, 7));
+        assert_eq!(m.masked_count(), 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.masked_regs().count(), 0);
+    }
+
+    #[test]
+    fn masked_regs_enumerates_both_banks() {
+        let mut m = MaskReg::new(8, 8);
+        m.mask(PhysReg::new(RegClass::Int, 1));
+        m.mask(PhysReg::new(RegClass::Fp, 2));
+        let regs: Vec<_> = m.masked_regs().collect();
+        assert_eq!(regs.len(), 2);
+        assert!(regs.contains(&PhysReg::new(RegClass::Int, 1)));
+        assert!(regs.contains(&PhysReg::new(RegClass::Fp, 2)));
+    }
+}

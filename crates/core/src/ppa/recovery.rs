@@ -1,0 +1,128 @@
+use crate::ppa::checkpoint::CheckpointImage;
+use ppa_mem::NvmImage;
+
+/// Outcome of the power-failure recovery protocol (§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Stores replayed from the CSQ.
+    pub replayed_stores: usize,
+    /// PC execution resumes after (the LCPC).
+    pub resume_after_pc: u64,
+    /// Trace index execution resumes from.
+    pub resume_index: u64,
+}
+
+/// Replays the checkpointed CSQ into the NVM image, front to rear: for
+/// each entry the data value is fetched from the checkpointed physical
+/// register and written to the recorded physical address.
+///
+/// Replaying a store that was already persisted is harmless — stores are
+/// idempotent (§4, footnote 8) — which is why PPA does not track which
+/// individual stores were persisted before the failure.
+///
+/// # Panics
+///
+/// Panics if a CSQ entry references a register missing from the
+/// checkpoint; the checkpoint always saves CSQ-referenced registers, so
+/// this indicates a corrupted image.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_core::{replay_stores, CheckpointImage, CsqEntry, PhysReg};
+/// use ppa_isa::RegClass;
+/// use ppa_mem::NvmImage;
+///
+/// let p = PhysReg::new(RegClass::Int, 3);
+/// let image = CheckpointImage {
+///     csq: vec![CsqEntry { src: p, addr: 0x40, size: 8 }],
+///     crt: vec![],
+///     masked: vec![p],
+///     prf_values: vec![(p, 77)],
+///     lcpc: 0x1004,
+///     committed: 2,
+/// };
+/// let mut nvm = NvmImage::new();
+/// let report = replay_stores(&image, &mut nvm);
+/// assert_eq!(report.replayed_stores, 1);
+/// assert_eq!(nvm.read(0x40), Some(77));
+/// ```
+pub fn replay_stores(image: &CheckpointImage, nvm: &mut NvmImage) -> RecoveryReport {
+    for entry in &image.csq {
+        let value = image
+            .reg_value(entry.src)
+            .unwrap_or_else(|| panic!("checkpoint missing value for {}", entry.src));
+        nvm.write_word(entry.addr, value);
+    }
+    RecoveryReport {
+        replayed_stores: image.csq.len(),
+        resume_after_pc: image.lcpc,
+        resume_index: image.committed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppa::csq::CsqEntry;
+    use crate::prf::PhysReg;
+    use ppa_isa::RegClass;
+
+    fn image_with(entries: Vec<CsqEntry>, values: Vec<(PhysReg, u64)>) -> CheckpointImage {
+        CheckpointImage {
+            csq: entries,
+            crt: vec![],
+            masked: vec![],
+            prf_values: values,
+            lcpc: 0x2000,
+            committed: 10,
+        }
+    }
+
+    #[test]
+    fn replay_writes_every_entry_in_order() {
+        let p0 = PhysReg::new(RegClass::Int, 0);
+        let p1 = PhysReg::new(RegClass::Int, 1);
+        let image = image_with(
+            vec![
+                CsqEntry { src: p0, addr: 0x40, size: 8 },
+                CsqEntry { src: p1, addr: 0x40, size: 8 }, // same word, younger wins
+            ],
+            vec![(p0, 1), (p1, 2)],
+        );
+        let mut nvm = NvmImage::new();
+        let r = replay_stores(&image, &mut nvm);
+        assert_eq!(r.replayed_stores, 2);
+        assert_eq!(nvm.read(0x40), Some(2), "program order must be preserved");
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let p = PhysReg::new(RegClass::Fp, 7);
+        let image = image_with(vec![CsqEntry { src: p, addr: 0x80, size: 8 }], vec![(p, 5)]);
+        let mut nvm = NvmImage::new();
+        replay_stores(&image, &mut nvm);
+        let first = nvm.clone();
+        replay_stores(&image, &mut nvm);
+        assert_eq!(nvm, first);
+    }
+
+    #[test]
+    fn empty_csq_replays_nothing() {
+        let image = image_with(vec![], vec![]);
+        let mut nvm = NvmImage::new();
+        let r = replay_stores(&image, &mut nvm);
+        assert_eq!(r.replayed_stores, 0);
+        assert_eq!(r.resume_after_pc, 0x2000);
+        assert_eq!(r.resume_index, 10);
+        assert!(nvm.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_register_value_panics() {
+        let p = PhysReg::new(RegClass::Int, 0);
+        let image = image_with(vec![CsqEntry { src: p, addr: 0, size: 8 }], vec![]);
+        replay_stores(&image, &mut NvmImage::new());
+    }
+}

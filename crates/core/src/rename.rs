@@ -1,0 +1,135 @@
+use crate::prf::PhysReg;
+use ppa_isa::ArchReg;
+
+/// A map from architectural to physical registers — used for both the
+/// register alias table (RAT, speculative/in-flight state) and the commit
+/// rename table (CRT, architectural state), per §2.1.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_core::{PhysReg, RenameTable};
+/// use ppa_isa::{ArchReg, RegClass};
+///
+/// let mut rat = RenameTable::new();
+/// let r0 = ArchReg::int(0);
+/// let p0 = PhysReg::new(RegClass::Int, 0);
+/// let old = rat.set(r0, p0);
+/// assert_eq!(old, None);
+/// assert_eq!(rat.get(r0), Some(p0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameTable {
+    map: Vec<Option<PhysReg>>,
+}
+
+impl RenameTable {
+    /// Creates a table with no mappings.
+    pub fn new() -> Self {
+        RenameTable {
+            map: vec![None; ArchReg::flat_count()],
+        }
+    }
+
+    /// The current mapping of `reg`, if any.
+    pub fn get(&self, reg: ArchReg) -> Option<PhysReg> {
+        self.map[reg.flat_index()]
+    }
+
+    /// Maps `reg` to `phys`, returning the previous mapping. The previous
+    /// mapping is what conventional renaming frees when the redefining
+    /// instruction commits — and what PPA *defers* freeing when MaskReg has
+    /// it masked.
+    pub fn set(&mut self, reg: ArchReg, phys: PhysReg) -> Option<PhysReg> {
+        self.map[reg.flat_index()].replace(phys)
+    }
+
+    /// Iterator over current `(arch, phys)` mappings.
+    pub fn iter(&self) -> impl Iterator<Item = (ArchReg, PhysReg)> + '_ {
+        ArchReg::all().filter_map(move |a| self.map[a.flat_index()].map(|p| (a, p)))
+    }
+
+    /// Whether `phys` is some architectural register's current mapping.
+    pub fn maps_to(&self, phys: PhysReg) -> bool {
+        self.map.contains(&Some(phys))
+    }
+
+    /// Number of established mappings.
+    pub fn len(&self) -> usize {
+        self.map.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Whether the table has no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.map.iter().all(Option::is_none)
+    }
+
+    /// Replaces this table's contents with another's — how recovery
+    /// "populates RAT with the restored CRT" (§4, step 3).
+    pub fn copy_from(&mut self, other: &RenameTable) {
+        self.map.copy_from_slice(&other.map);
+    }
+}
+
+impl Default for RenameTable {
+    fn default() -> Self {
+        RenameTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_isa::RegClass;
+
+    fn p(i: u16) -> PhysReg {
+        PhysReg::new(RegClass::Int, i)
+    }
+
+    #[test]
+    fn set_returns_previous_mapping() {
+        let mut t = RenameTable::new();
+        let r = ArchReg::int(3);
+        assert_eq!(t.set(r, p(1)), None);
+        assert_eq!(t.set(r, p(2)), Some(p(1)));
+        assert_eq!(t.get(r), Some(p(2)));
+    }
+
+    #[test]
+    fn int_and_fp_do_not_collide() {
+        let mut t = RenameTable::new();
+        t.set(ArchReg::int(0), p(1));
+        t.set(ArchReg::fp(0), PhysReg::new(RegClass::Fp, 1));
+        assert_eq!(t.get(ArchReg::int(0)), Some(p(1)));
+        assert_eq!(t.get(ArchReg::fp(0)), Some(PhysReg::new(RegClass::Fp, 1)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn maps_to_finds_current_mappings_only() {
+        let mut t = RenameTable::new();
+        t.set(ArchReg::int(0), p(1));
+        t.set(ArchReg::int(0), p(2));
+        assert!(!t.maps_to(p(1)), "stale mapping must not be reported");
+        assert!(t.maps_to(p(2)));
+    }
+
+    #[test]
+    fn copy_from_clones_contents() {
+        let mut a = RenameTable::new();
+        a.set(ArchReg::int(5), p(7));
+        let mut b = RenameTable::new();
+        b.copy_from(&a);
+        assert_eq!(b.get(ArchReg::int(5)), Some(p(7)));
+    }
+
+    #[test]
+    fn iter_covers_all_mappings() {
+        let mut t = RenameTable::new();
+        assert!(t.is_empty());
+        t.set(ArchReg::int(1), p(1));
+        t.set(ArchReg::fp(2), PhysReg::new(RegClass::Fp, 3));
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs.len(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+use crate::config::CoreConfig;
+use ppa_stats::{Cdf, Summary};
+
+/// Why a PPA region ended — used by ablation studies and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionEndCause {
+    /// The free list ran out at the rename stage (§4.2, the common case).
+    PrfExhausted,
+    /// The CSQ filled up (§4.2, "Full CSQ as an Implicit Region Boundary").
+    CsqFull,
+    /// A synchronisation primitive committed (§6).
+    Sync,
+    /// End of the program (the final region drains before exit).
+    ProgramEnd,
+    /// A statically forced boundary (ablation of dynamic formation).
+    Forced,
+}
+
+/// Per-core execution statistics, covering every quantity the paper's
+/// evaluation section reports about the core.
+#[derive(Debug, Clone)]
+pub struct CoreStats {
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Micro-ops committed.
+    pub committed_uops: u64,
+    /// Stores committed.
+    pub committed_stores: u64,
+    /// Regions completed (PPA).
+    pub regions: u64,
+    /// Instructions per region (Figure 13).
+    pub region_insts: Summary,
+    /// Stores per region (Figure 13).
+    pub region_stores: Summary,
+    /// Cycles stalled at region ends waiting for store persistence
+    /// (Figure 11).
+    pub region_end_stall_cycles: u64,
+    /// Cycles the rename stage was blocked because the free list was empty
+    /// (Figure 12).
+    pub rename_noreg_stall_cycles: u64,
+    /// Cycles the rename stage made no progress for any structural reason.
+    pub rename_stall_cycles: u64,
+    /// Cycles rename was blocked on a full store queue (ReplayCache's
+    /// `clwb` pressure shows up here).
+    pub sq_full_stall_cycles: u64,
+    /// Region boundaries forced by a full CSQ (Figure 17).
+    pub csq_full_boundaries: u64,
+    /// Region boundaries per cause.
+    pub region_ends_prf: u64,
+    /// Region boundaries caused by synchronisation primitives.
+    pub region_ends_sync: u64,
+    /// Statically forced region boundaries (ablation runs only).
+    pub region_ends_forced: u64,
+    /// Cycles software persist barriers (ReplayCache/Capri) stalled commit.
+    pub barrier_commit_stall_cycles: u64,
+    /// CDF of free integer physical registers, sampled every cycle at the
+    /// rename stage (Figure 5a).
+    pub free_int_cdf: Cdf,
+    /// CDF of free floating-point physical registers (Figure 5b).
+    pub free_fp_cdf: Cdf,
+}
+
+impl CoreStats {
+    /// Creates zeroed statistics sized to the core's PRF.
+    pub fn new(cfg: &CoreConfig) -> Self {
+        CoreStats {
+            cycles: 0,
+            committed_uops: 0,
+            committed_stores: 0,
+            regions: 0,
+            region_insts: Summary::new(),
+            region_stores: Summary::new(),
+            region_end_stall_cycles: 0,
+            rename_noreg_stall_cycles: 0,
+            rename_stall_cycles: 0,
+            sq_full_stall_cycles: 0,
+            csq_full_boundaries: 0,
+            region_ends_prf: 0,
+            region_ends_sync: 0,
+            region_ends_forced: 0,
+            barrier_commit_stall_cycles: 0,
+            free_int_cdf: Cdf::with_max_value(cfg.int_prf as u64),
+            free_fp_cdf: Cdf::with_max_value(cfg.fp_prf as u64),
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of execution cycles spent stalled at region ends
+    /// (Figure 11's metric).
+    pub fn region_end_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.region_end_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles the rename stage was out of physical registers
+    /// (Figure 12's metric).
+    pub fn rename_noreg_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rename_noreg_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Records a completed region.
+    pub fn record_region(&mut self, insts: u64, stores: u64, cause: RegionEndCause) {
+        self.regions += 1;
+        self.region_insts.record(insts as f64);
+        self.region_stores.record(stores as f64);
+        match cause {
+            RegionEndCause::PrfExhausted => self.region_ends_prf += 1,
+            RegionEndCause::CsqFull => self.csq_full_boundaries += 1,
+            RegionEndCause::Sync => self.region_ends_sync += 1,
+            RegionEndCause::Forced => self.region_ends_forced += 1,
+            RegionEndCause::ProgramEnd => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, PersistenceMode};
+
+    fn stats() -> CoreStats {
+        CoreStats::new(&CoreConfig::paper_default(PersistenceMode::Ppa))
+    }
+
+    #[test]
+    fn fresh_stats_are_zero() {
+        let s = stats();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.region_end_stall_fraction(), 0.0);
+        assert_eq!(s.rename_noreg_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ipc_is_uops_over_cycles() {
+        let mut s = stats();
+        s.cycles = 100;
+        s.committed_uops = 250;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_region_tracks_cause_counters() {
+        let mut s = stats();
+        s.record_region(300, 18, RegionEndCause::PrfExhausted);
+        s.record_region(10, 10, RegionEndCause::CsqFull);
+        s.record_region(50, 2, RegionEndCause::Sync);
+        s.record_region(5, 0, RegionEndCause::ProgramEnd);
+        assert_eq!(s.regions, 4);
+        assert_eq!(s.region_ends_prf, 1);
+        assert_eq!(s.csq_full_boundaries, 1);
+        assert_eq!(s.region_ends_sync, 1);
+        assert!((s.region_insts.mean() - 91.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdfs_sized_to_prf() {
+        let s = stats();
+        assert_eq!(s.free_int_cdf.max_value(), 180);
+        assert_eq!(s.free_fp_cdf.max_value(), 168);
+    }
+}

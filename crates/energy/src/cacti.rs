@@ -1,0 +1,152 @@
+//! CACTI-style SRAM cost estimates at 22 nm, reproducing Table 4.
+
+/// Area/latency/energy estimate for one SRAM structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramEstimate {
+    /// Structure label.
+    pub name: &'static str,
+    /// Chip area in µm².
+    pub area_um2: f64,
+    /// Access latency in ns.
+    pub access_ns: f64,
+    /// Dynamic energy per access in pJ.
+    pub dynamic_pj: f64,
+}
+
+impl SramEstimate {
+    /// Area as a fraction of the Xeon core (§7.12's 0.005% figure sums
+    /// the three structures).
+    pub fn core_area_fraction(&self) -> f64 {
+        (self.area_um2 / 1e6) / crate::CORE_AREA_MM2
+    }
+}
+
+/// Published Table 4 row: the 64-bit LCPC register.
+pub const LCPC: SramEstimate = SramEstimate {
+    name: "64-bit LCPC",
+    area_um2: 12.20,
+    access_ns: 0.057,
+    dynamic_pj: 0.00034,
+};
+
+/// Published Table 4 row: the 384-bit (rounded from 348) MaskReg.
+pub const MASK_REG_384: SramEstimate = SramEstimate {
+    name: "384-bit MaskReg",
+    area_um2: 74.03,
+    access_ns: 0.067,
+    dynamic_pj: 0.00029,
+};
+
+/// Published Table 4 row: the 40-entry CSQ.
+pub const CSQ_40: SramEstimate = SramEstimate {
+    name: "40-entry CSQ",
+    area_um2: 547.84,
+    access_ns: 0.07,
+    dynamic_pj: 0.00025,
+};
+
+/// A small SRAM area model fitted to the three Table 4 data points:
+/// `area = bits·A + (entries−1)·E + F` with A the 22 nm register-cell
+/// area, E the per-entry decode/port overhead, and F a fitting constant.
+/// Used to sweep structure sizes (e.g. the CSQ ablation) where CACTI
+/// itself is unavailable.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_energy::SramModel;
+///
+/// let m = SramModel::fitted();
+/// // Reproduces the published CSQ area within 1%.
+/// let a = m.area_um2(40 * 57, 40);
+/// assert!((a - 547.84).abs() / 547.84 < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramModel {
+    /// Area per bit (µm²).
+    pub bit_area_um2: f64,
+    /// Area per additional entry (decode/port, µm²).
+    pub entry_area_um2: f64,
+    /// Fitting constant (µm²).
+    pub fixed_um2: f64,
+}
+
+impl SramModel {
+    /// The model fitted to the published Table 4 points.
+    pub fn fitted() -> Self {
+        SramModel {
+            bit_area_um2: 0.193_22,
+            entry_area_um2: 2.755_6,
+            fixed_um2: -0.166,
+        }
+    }
+
+    /// Area of a structure with `bits` total bits across `entries`
+    /// entries.
+    pub fn area_um2(&self, bits: u64, entries: u64) -> f64 {
+        bits as f64 * self.bit_area_um2
+            + entries.saturating_sub(1) as f64 * self.entry_area_um2
+            + self.fixed_um2
+    }
+
+    /// CSQ area at a given entry count (each entry: a 9-bit register
+    /// index plus a 48-bit physical address, §7.12).
+    pub fn csq_area_um2(&self, entries: u64) -> f64 {
+        self.area_um2(entries * 57, entries)
+    }
+
+    /// MaskReg area for a PRF with `total_prf` registers, rounded up to a
+    /// multiple of 64 bits as the paper's 384-bit figure is.
+    pub fn mask_reg_area_um2(&self, total_prf: u64) -> f64 {
+        let bits = total_prf.div_ceil(64) * 64;
+        self.area_um2(bits, 1)
+    }
+}
+
+/// Total area of PPA's three structures (µm²).
+pub fn total_ppa_area_um2() -> f64 {
+    LCPC.area_um2 + MASK_REG_384.area_um2 + CSQ_40.area_um2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_rows_are_the_published_values() {
+        assert_eq!(LCPC.area_um2, 12.20);
+        assert_eq!(MASK_REG_384.access_ns, 0.067);
+        assert_eq!(CSQ_40.dynamic_pj, 0.00025);
+    }
+
+    #[test]
+    fn total_area_is_0_005_percent_of_the_core() {
+        let frac = total_ppa_area_um2() / 1e6 / crate::CORE_AREA_MM2;
+        // §7.12: 0.005% of an 11.85 mm² Xeon core.
+        assert!((frac * 100.0 - 0.005).abs() < 0.0006, "got {frac}");
+    }
+
+    #[test]
+    fn fitted_model_reproduces_all_three_rows() {
+        let m = SramModel::fitted();
+        let lcpc = m.area_um2(64, 1);
+        let mask = m.area_um2(384, 1);
+        let csq = m.csq_area_um2(40);
+        assert!((lcpc - LCPC.area_um2).abs() / LCPC.area_um2 < 0.01);
+        assert!((mask - MASK_REG_384.area_um2).abs() / MASK_REG_384.area_um2 < 0.01);
+        assert!((csq - CSQ_40.area_um2).abs() / CSQ_40.area_um2 < 0.01);
+    }
+
+    #[test]
+    fn model_scales_monotonically() {
+        let m = SramModel::fitted();
+        assert!(m.csq_area_um2(50) > m.csq_area_um2(40));
+        assert!(m.mask_reg_area_um2(348 + 64) > m.mask_reg_area_um2(348));
+    }
+
+    #[test]
+    fn core_fraction_helper() {
+        // The CSQ alone is under 0.005% of the core.
+        assert!(CSQ_40.core_area_fraction() < 5e-5);
+    }
+}

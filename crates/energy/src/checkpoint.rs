@@ -1,0 +1,148 @@
+//! JIT-checkpointing energy and latency arithmetic (§7.13).
+
+use crate::{ENERGY_PER_BYTE_NJ, LI_THIN_WH_PER_CM3, SUPERCAP_WH_PER_CM3};
+
+/// §7.13's worst case: 40 CSQ entries (320 B) + 88 physical registers at
+/// 16 B (1408 B) + 48 CRT entries at 9 bits (54 B) + a 384-bit MaskReg
+/// (48 B) + an 8 B LCPC = 1838 bytes.
+pub const CKPT_WORST_CASE_BYTES: u64 = 1838;
+
+/// Energy (µJ) to checkpoint `bytes` of SRAM state to NVM.
+///
+/// # Examples
+///
+/// ```
+/// // One byte costs 11.839 nJ.
+/// assert!((ppa_energy::checkpoint_energy_uj(1000) - 11.839).abs() < 1e-9);
+/// ```
+pub fn checkpoint_energy_uj(bytes: u64) -> f64 {
+    bytes as f64 * ENERGY_PER_BYTE_NJ / 1000.0
+}
+
+/// Volume (mm³) of a supercapacitor storing `energy_uj` microjoules.
+pub fn supercap_volume_mm3(energy_uj: f64) -> f64 {
+    volume_mm3(energy_uj, SUPERCAP_WH_PER_CM3)
+}
+
+/// Volume (mm³) of a Li-thin battery storing `energy_uj` microjoules.
+pub fn li_thin_volume_mm3(energy_uj: f64) -> f64 {
+    volume_mm3(energy_uj, LI_THIN_WH_PER_CM3)
+}
+
+fn volume_mm3(energy_uj: f64, density_wh_per_cm3: f64) -> f64 {
+    // Wh/cm³ → J/mm³: ×3600 J/Wh ÷ 1000 mm³/cm³.
+    let j_per_mm3 = density_wh_per_cm3 * 3600.0 / 1000.0;
+    (energy_uj * 1e-6) / j_per_mm3
+}
+
+/// Time (ns) for the checkpoint controller to read `bytes` at 8 B per
+/// cycle at 2 GHz (§7.13: 1838 B → 114.9 ns).
+pub fn controller_read_ns(bytes: u64) -> f64 {
+    let cycles = (bytes as f64 / 8.0).ceil();
+    cycles / 2.0
+}
+
+/// Total time (ns) to checkpoint `bytes`: controller read time plus the
+/// NVM flush at `write_gbps` (§7.13: 0.91 µs at 2.3 GB/s).
+pub fn checkpoint_time_ns(bytes: u64, write_gbps: f64) -> f64 {
+    assert!(write_gbps > 0.0, "write bandwidth must be positive");
+    controller_read_ns(bytes) + bytes as f64 / write_gbps
+}
+
+/// Complete §7.13 budget for a checkpoint of a given size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointBudget {
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Energy in µJ.
+    pub energy_uj: f64,
+    /// Supercapacitor volume in mm³.
+    pub supercap_mm3: f64,
+    /// Li-thin battery volume in mm³.
+    pub li_thin_mm3: f64,
+    /// Controller read time in ns.
+    pub read_ns: f64,
+    /// Total flush time in ns (at 2.3 GB/s).
+    pub total_ns: f64,
+}
+
+impl CheckpointBudget {
+    /// Budget for `bytes` at the default 2.3 GB/s PMEM write bandwidth.
+    pub fn for_bytes(bytes: u64) -> Self {
+        let energy_uj = checkpoint_energy_uj(bytes);
+        CheckpointBudget {
+            bytes,
+            energy_uj,
+            supercap_mm3: supercap_volume_mm3(energy_uj),
+            li_thin_mm3: li_thin_volume_mm3(energy_uj),
+            read_ns: controller_read_ns(bytes),
+            total_ns: checkpoint_time_ns(bytes, 2.3),
+        }
+    }
+
+    /// The paper's worst-case budget (1838 bytes).
+    pub fn worst_case() -> Self {
+        CheckpointBudget::for_bytes(CKPT_WORST_CASE_BYTES)
+    }
+
+    /// Supercapacitor volume as a ratio of the Xeon core area figure the
+    /// paper quotes (0.005 for PPA).
+    pub fn supercap_core_ratio(&self) -> f64 {
+        self.supercap_mm3 / crate::CORE_AREA_MM2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_energy_is_21_7_uj() {
+        let e = checkpoint_energy_uj(CKPT_WORST_CASE_BYTES);
+        // 1838 × 11.839 nJ = 21.76 µJ (§7.13 quotes 21.7 µJ).
+        assert!((e - 21.76).abs() < 0.01, "got {e}");
+    }
+
+    #[test]
+    fn supercap_volume_matches_paper_0_06_mm3() {
+        let v = supercap_volume_mm3(21.76);
+        assert!((v - 0.0604).abs() < 0.001, "got {v}");
+    }
+
+    #[test]
+    fn li_thin_volume_matches_paper_0_0006_mm3() {
+        let v = li_thin_volume_mm3(21.76);
+        assert!((v - 0.000604).abs() < 0.00002, "got {v}");
+    }
+
+    #[test]
+    fn controller_read_matches_paper_114_9_ns() {
+        let t = controller_read_ns(CKPT_WORST_CASE_BYTES);
+        assert!((t - 114.9).abs() < 0.15, "got {t}");
+    }
+
+    #[test]
+    fn total_flush_matches_paper_0_91_us() {
+        let t = checkpoint_time_ns(CKPT_WORST_CASE_BYTES, 2.3);
+        assert!((t / 1000.0 - 0.91).abs() < 0.01, "got {t} ns");
+    }
+
+    #[test]
+    fn budget_rolls_everything_up() {
+        let b = CheckpointBudget::worst_case();
+        assert_eq!(b.bytes, 1838);
+        assert!((b.supercap_core_ratio() - 0.005).abs() < 0.0002);
+        assert!(b.total_ns > b.read_ns);
+    }
+
+    #[test]
+    fn energy_scales_linearly() {
+        assert!((checkpoint_energy_uj(2000) - 2.0 * checkpoint_energy_uj(1000)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        checkpoint_time_ns(100, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Hardware cost and JIT-checkpointing energy models (paper §7.12–7.13).
+//!
+//! The paper sizes PPA's three structures (LCPC, MaskReg, CSQ) with CACTI
+//! 7.0 at 22 nm (Table 4), and derives the checkpointing energy budget
+//! analytically: bytes moved × 11.839 nJ/B, converted to a supercapacitor
+//! or Li-thin-battery volume via published energy densities (Table 5).
+//! This crate reproduces that arithmetic exactly — same constants, same
+//! results — and provides a small fitted SRAM model for sweeping structure
+//! sizes in ablation studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_energy::checkpoint::{checkpoint_energy_uj, CKPT_WORST_CASE_BYTES};
+//!
+//! // §7.13: 1838 bytes at 11.839 nJ/B is the paper's 21.7 µJ budget.
+//! let e = checkpoint_energy_uj(CKPT_WORST_CASE_BYTES);
+//! assert!((e - 21.76).abs() < 0.1);
+//! ```
+
+pub mod cacti;
+pub mod checkpoint;
+pub mod compare;
+
+pub use cacti::{SramEstimate, SramModel, CSQ_40, LCPC, MASK_REG_384};
+pub use checkpoint::{
+    checkpoint_energy_uj, checkpoint_time_ns, controller_read_ns, li_thin_volume_mm3,
+    supercap_volume_mm3, CheckpointBudget, CKPT_WORST_CASE_BYTES,
+};
+pub use compare::{scheme_budgets, SchemeBudget, WspScheme};
+
+/// Intel Xeon server core area (mm², §7.12, via McPAT, excluding shared
+/// L2) used for the "ratio to core size" rows.
+pub const CORE_AREA_MM2: f64 = 11.85;
+
+/// Energy to read a byte from SRAM and move it to NVM (nJ/B, §7.13).
+pub const ENERGY_PER_BYTE_NJ: f64 = 11.839;
+
+/// Supercapacitor energy density (Wh/cm³, §7.13).
+pub const SUPERCAP_WH_PER_CM3: f64 = 1e-4;
+
+/// Li-thin battery energy density (Wh/cm³, §7.13).
+pub const LI_THIN_WH_PER_CM3: f64 = 1e-2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(CORE_AREA_MM2, 11.85);
+        assert_eq!(ENERGY_PER_BYTE_NJ, 11.839);
+    }
+}

@@ -1,0 +1,181 @@
+//! Human-readable trace disassembly, in the notation of the paper's
+//! figures (`str r0, [100]`, persist barriers as `-- persist barrier --`).
+
+use crate::trace::Trace;
+use crate::uop::{BranchKind, SyncKind, Uop, UopKind};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Formats one micro-op the way the paper's figures write instructions.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::{disasm_uop, ArchReg, MemRef, Uop, UopKind};
+///
+/// let st = Uop::new(0x1000, UopKind::Store)
+///     .with_srcs(&[ArchReg::int(0)])
+///     .with_mem(MemRef::new(0x100, 8, 42));
+/// assert_eq!(disasm_uop(&st), "str r0, [0x100] ; =42");
+/// ```
+pub fn disasm_uop(u: &Uop) -> String {
+    let mut s = String::new();
+    let srcs: Vec<String> = u.sources().map(|r| r.to_string()).collect();
+    match u.kind {
+        UopKind::Store => {
+            let m = u.mem.expect("store has a memory reference");
+            let data = srcs.first().cloned().unwrap_or_else(|| "?".into());
+            let _ = write!(s, "str {data}, [{:#x}] ; ={}", m.addr, m.value);
+        }
+        UopKind::Load => {
+            let m = u.mem.expect("load has a memory reference");
+            let dst = u.dst.map(|d| d.to_string()).unwrap_or_else(|| "?".into());
+            let _ = write!(s, "ldr {dst}, [{:#x}]", m.addr);
+        }
+        UopKind::Clwb => {
+            let m = u.mem.expect("clwb has a memory reference");
+            let _ = write!(s, "clwb [{:#x}]", m.addr);
+        }
+        UopKind::PersistBarrier => s.push_str("-- persist barrier --"),
+        UopKind::Branch(BranchKind::Call) => s.push_str("call"),
+        UopKind::Branch(BranchKind::Ret) => s.push_str("ret"),
+        UopKind::Branch(BranchKind::Jump) => {
+            let _ = write!(s, "b {}", srcs.join(", "));
+        }
+        UopKind::Sync(k) => {
+            let name = match k {
+                SyncKind::Fence => "fence",
+                SyncKind::AtomicRmw => "lock rmw",
+                SyncKind::LockAcquire => "lock acquire",
+                SyncKind::LockRelease => "lock release",
+            };
+            s.push_str(name);
+        }
+        UopKind::Nop => s.push_str("nop"),
+        kind => {
+            // ALU forms: `op dst, src1[, src2]`.
+            let dst = u.dst.map(|d| d.to_string()).unwrap_or_else(|| "flags".into());
+            let _ = write!(s, "{kind} {dst}");
+            if !srcs.is_empty() {
+                let _ = write!(s, ", {}", srcs.join(", "));
+            }
+        }
+    }
+    s
+}
+
+/// A formatting adaptor that disassembles a trace (or a window of it).
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::{ArchReg, Disassembly, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("t");
+/// b.alu(ArchReg::int(0), &[ArchReg::int(1)]);
+/// b.store(ArchReg::int(0), 0x40, 7);
+/// let t = b.build();
+/// let text = Disassembly::of(&t).to_string();
+/// assert!(text.contains("str r0"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Disassembly<'a> {
+    trace: &'a Trace,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> Disassembly<'a> {
+    /// Disassembles the whole trace.
+    pub fn of(trace: &'a Trace) -> Self {
+        Disassembly {
+            trace,
+            start: 0,
+            end: trace.len(),
+        }
+    }
+
+    /// Disassembles `start..end` (clamped to the trace).
+    pub fn window(trace: &'a Trace, start: usize, end: usize) -> Self {
+        let end = end.min(trace.len());
+        Disassembly {
+            trace,
+            start: start.min(end),
+            end,
+        }
+    }
+}
+
+impl fmt::Display for Disassembly<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in self.start..self.end {
+            let u = &self.trace[i];
+            writeln!(f, "{:>6}  {:#08x}  {}", i, u.pc, disasm_uop(u))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+    use crate::trace::TraceBuilder;
+    use crate::uop::MemRef;
+
+    #[test]
+    fn store_and_load_forms() {
+        let st = Uop::new(0, UopKind::Store)
+            .with_srcs(&[ArchReg::int(3), ArchReg::int(0)])
+            .with_mem(MemRef::new(0x1234, 8, 9));
+        assert_eq!(disasm_uop(&st), "str r3, [0x1234] ; =9");
+        let ld = Uop::new(0, UopKind::Load)
+            .with_dst(ArchReg::fp(2))
+            .with_mem(MemRef::new(0x40, 8, 0));
+        assert_eq!(disasm_uop(&ld), "ldr f2, [0x40]");
+    }
+
+    #[test]
+    fn alu_and_flag_forms() {
+        let add = Uop::new(0, UopKind::IntAlu)
+            .with_dst(ArchReg::int(1))
+            .with_srcs(&[ArchReg::int(2), ArchReg::int(3)]);
+        assert_eq!(disasm_uop(&add), "ialu r1, r2, r3");
+        let cmp = Uop::new(0, UopKind::IntAlu).with_srcs(&[ArchReg::int(2)]);
+        assert_eq!(disasm_uop(&cmp), "ialu flags, r2");
+    }
+
+    #[test]
+    fn special_forms() {
+        assert_eq!(
+            disasm_uop(&Uop::new(0, UopKind::PersistBarrier)),
+            "-- persist barrier --"
+        );
+        assert_eq!(
+            disasm_uop(&Uop::new(0, UopKind::Sync(SyncKind::LockAcquire))),
+            "lock acquire"
+        );
+        assert_eq!(disasm_uop(&Uop::new(0, UopKind::Branch(BranchKind::Call))), "call");
+    }
+
+    #[test]
+    fn window_clamps_to_trace() {
+        let mut b = TraceBuilder::new("t");
+        b.nop().nop().nop();
+        let t = b.build();
+        let text = Disassembly::window(&t, 1, 100).to_string();
+        assert_eq!(text.lines().count(), 2);
+        let empty = Disassembly::window(&t, 5, 3).to_string();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn full_disassembly_has_one_line_per_uop() {
+        let mut b = TraceBuilder::new("t");
+        for _ in 0..7 {
+            b.nop();
+        }
+        let t = b.build();
+        assert_eq!(Disassembly::of(&t).to_string().lines().count(), 7);
+    }
+}

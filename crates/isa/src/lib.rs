@@ -1,0 +1,72 @@
+//! Micro-op ISA and instruction traces for the PPA simulator.
+//!
+//! The PPA paper evaluates an x86_64 out-of-order core, but its mechanism is
+//! ISA-agnostic: everything it adds happens at the rename and commit stages
+//! and in the L1D write-back path. This crate therefore models a small,
+//! explicit micro-op vocabulary — integer/floating-point ALU operations,
+//! loads, stores, branches, synchronisation primitives, and the `clwb`
+//! cache-line write-back the ReplayCache baseline inserts — together with
+//! the committed-path instruction *traces* the simulator executes.
+//!
+//! It also hosts the "compiler" passes of the two software baselines:
+//!
+//! * [`transform::replaycache`] — ReplayCache's (MICRO '21) store-integrity
+//!   region formation over the 16/32 architectural registers, plus the
+//!   `clwb` after every store (paper §2.4 and Figure 1);
+//! * [`transform::capri`] — Capri's (HPDC '22) redo-buffer-bounded region
+//!   formation (~29 instructions per region, paper §7.5).
+//!
+//! PPA itself needs *no* pass: its regions are formed dynamically in
+//! hardware, which is the paper's central claim.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_isa::{ArchReg, Trace, TraceBuilder, UopKind};
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! let r0 = ArchReg::int(0);
+//! b.alu(r0, &[r0]);
+//! b.store(r0, 0x1000, 42);
+//! let trace: Trace = b.build();
+//! assert_eq!(trace.len(), 2);
+//! assert!(matches!(trace[1].kind, UopKind::Store));
+//! ```
+
+mod disasm;
+mod reg;
+mod trace;
+pub mod transform;
+mod uop;
+
+pub use disasm::{disasm_uop, Disassembly};
+pub use reg::{ArchReg, RegClass, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS};
+pub use trace::{Trace, TraceBuilder, TraceMix};
+pub use uop::{BranchKind, MemRef, SyncKind, Uop, UopKind};
+
+/// Cache-line size in bytes, fixed at 64 B as in Table 2 of the paper.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Returns the cache-line-aligned address containing `addr`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ppa_isa::line_of(0x1234), 0x1200);
+/// ```
+pub const fn line_of(addr: u64) -> u64 {
+    addr & !(CACHE_LINE_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_masks_low_bits() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(0xffff_ffff_ffff_ffff), 0xffff_ffff_ffff_ffc0);
+    }
+}

@@ -1,0 +1,176 @@
+use std::fmt;
+
+/// Number of architectural integer registers (x86_64 GPRs), per §7.13.
+pub const NUM_INT_ARCH_REGS: usize = 16;
+
+/// Number of architectural floating-point/vector registers (XMM), per §7.13.
+pub const NUM_FP_ARCH_REGS: usize = 32;
+
+/// Register class: the paper's core has split integer and floating-point
+/// physical register files (180/168 entries in the default configuration),
+/// so every architectural register carries its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// General-purpose integer register.
+    Int,
+    /// Floating-point / vector register.
+    Fp,
+}
+
+impl RegClass {
+    /// Number of architectural registers in this class.
+    pub const fn arch_count(self) -> usize {
+        match self {
+            RegClass::Int => NUM_INT_ARCH_REGS,
+            RegClass::Fp => NUM_FP_ARCH_REGS,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register: class plus index within the class.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::{ArchReg, RegClass};
+///
+/// let r = ArchReg::int(3);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// assert_eq!(ArchReg::fp(1).to_string(), "f1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_ARCH_REGS`.
+    pub const fn int(index: u8) -> Self {
+        assert!(index < NUM_INT_ARCH_REGS as u8);
+        ArchReg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating-point architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_ARCH_REGS`.
+    pub const fn fp(index: u8) -> Self {
+        assert!(index < NUM_FP_ARCH_REGS as u8);
+        ArchReg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// Creates a register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the class's architectural register count.
+    pub const fn new(class: RegClass, index: u8) -> Self {
+        match class {
+            RegClass::Int => ArchReg::int(index),
+            RegClass::Fp => ArchReg::fp(index),
+        }
+    }
+
+    /// The register's class.
+    pub const fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register's index within its class.
+    pub const fn index(self) -> u8 {
+        self.index
+    }
+
+    /// A dense index over *all* architectural registers: integers first,
+    /// then floating-point. Useful for flat rename tables.
+    pub const fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_ARCH_REGS + self.index as usize,
+        }
+    }
+
+    /// Total number of architectural registers across both classes.
+    pub const fn flat_count() -> usize {
+        NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS
+    }
+
+    /// Iterator over every architectural register (ints then fps).
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_INT_ARCH_REGS as u8)
+            .map(ArchReg::int)
+            .chain((0..NUM_FP_ARCH_REGS as u8).map(ArchReg::fp))
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let mut seen = vec![false; ArchReg::flat_count()];
+        for r in ArchReg::all() {
+            assert!(!seen[r.flat_index()], "duplicate flat index for {r}");
+            seen[r.flat_index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn arch_counts_match_paper() {
+        assert_eq!(RegClass::Int.arch_count(), 16);
+        assert_eq!(RegClass::Fp.arch_count(), 32);
+        assert_eq!(ArchReg::flat_count(), 48);
+    }
+
+    #[test]
+    fn display_uses_r_and_f_prefixes() {
+        assert_eq!(ArchReg::int(15).to_string(), "r15");
+        assert_eq!(ArchReg::fp(31).to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_index_out_of_range_panics() {
+        ArchReg::int(16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fp_index_out_of_range_panics() {
+        ArchReg::fp(32);
+    }
+}

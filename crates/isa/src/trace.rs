@@ -1,0 +1,390 @@
+use crate::reg::ArchReg;
+use crate::uop::{BranchKind, MemRef, SyncKind, Uop, UopKind};
+use std::fmt;
+use std::ops::Index;
+
+/// A committed-path instruction trace: the unit of work a simulated core
+/// executes.
+///
+/// Traces are produced by the workload generators in `ppa-workloads` (one
+/// per paper application) or hand-built with [`TraceBuilder`] in tests.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::{ArchReg, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("t");
+/// b.load(ArchReg::int(0), 0x40);
+/// b.store(ArchReg::int(0), 0x80, 1);
+/// let t = b.build();
+/// assert_eq!(t.mix().loads, 1);
+/// assert_eq!(t.mix().stores, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    uops: Vec<Uop>,
+}
+
+impl Trace {
+    /// Creates a trace from raw micro-ops.
+    pub fn from_uops(name: impl Into<String>, uops: Vec<Uop>) -> Self {
+        Trace {
+            name: name.into(),
+            uops,
+        }
+    }
+
+    /// The trace's name (usually the application name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of micro-ops.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Micro-op at `idx`, or `None` past the end.
+    pub fn get(&self, idx: usize) -> Option<&Uop> {
+        self.uops.get(idx)
+    }
+
+    /// Iterator over the micro-ops.
+    pub fn iter(&self) -> std::slice::Iter<'_, Uop> {
+        self.uops.iter()
+    }
+
+    /// The micro-ops as a slice.
+    pub fn as_slice(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// Consumes the trace, returning its micro-ops.
+    pub fn into_uops(self) -> Vec<Uop> {
+        self.uops
+    }
+
+    /// Distinct cache lines the trace touches (loads + stores) — the
+    /// simulated working-set footprint in lines.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ppa_isa::{ArchReg, TraceBuilder};
+    /// let mut b = TraceBuilder::new("t");
+    /// b.store(ArchReg::int(0), 0x00, 1);
+    /// b.store(ArchReg::int(0), 0x08, 2); // same line
+    /// b.store(ArchReg::int(0), 0x40, 3); // new line
+    /// assert_eq!(b.build().footprint_lines(), 2);
+    /// ```
+    pub fn footprint_lines(&self) -> usize {
+        let mut lines: Vec<u64> = self
+            .uops
+            .iter()
+            .filter_map(|u| u.mem.map(|m| crate::line_of(m.addr)))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+
+    /// Instruction-mix statistics for the whole trace.
+    pub fn mix(&self) -> TraceMix {
+        let mut m = TraceMix::default();
+        for u in &self.uops {
+            m.total += 1;
+            match u.kind {
+                UopKind::IntAlu | UopKind::IntMul | UopKind::IntDiv => m.int_ops += 1,
+                UopKind::FpAlu | UopKind::FpMul | UopKind::FpDiv => m.fp_ops += 1,
+                UopKind::Load => m.loads += 1,
+                UopKind::Store => m.stores += 1,
+                UopKind::Branch(_) => m.branches += 1,
+                UopKind::Clwb => m.clwbs += 1,
+                UopKind::Sync(_) => m.syncs += 1,
+                UopKind::PersistBarrier => m.barriers += 1,
+                UopKind::Nop => m.nops += 1,
+            }
+            if u.defines_reg() {
+                m.reg_defs += 1;
+            }
+        }
+        m
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Uop;
+
+    fn index(&self, idx: usize) -> &Uop {
+        &self.uops[idx]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Uop;
+    type IntoIter = std::slice::Iter<'a, Uop>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.uops.iter()
+    }
+}
+
+/// Instruction-mix counts for a [`Trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceMix {
+    /// Total micro-ops.
+    pub total: u64,
+    /// Integer ALU/mul/div ops.
+    pub int_ops: u64,
+    /// Floating-point ops.
+    pub fp_ops: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches (jumps, calls, returns).
+    pub branches: u64,
+    /// `clwb` ops (ReplayCache-transformed traces only).
+    pub clwbs: u64,
+    /// Synchronisation primitives.
+    pub syncs: u64,
+    /// Persist barriers (software-baseline traces only).
+    pub barriers: u64,
+    /// No-ops.
+    pub nops: u64,
+    /// Micro-ops that define a register (consume a physical register).
+    pub reg_defs: u64,
+}
+
+impl TraceMix {
+    /// Fraction of micro-ops that are stores.
+    pub fn store_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of micro-ops that define a register. The paper reports ~30%
+    /// for its workloads, which is what leaves the PRF underutilised.
+    pub fn def_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.reg_defs as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} uops: {} int, {} fp, {} ld, {} st, {} br, {} sync ({}% defs)",
+            self.total,
+            self.int_ops,
+            self.fp_ops,
+            self.loads,
+            self.stores,
+            self.branches,
+            self.syncs,
+            (self.def_fraction() * 100.0).round()
+        )
+    }
+}
+
+/// Incremental builder for [`Trace`]s with automatic PC assignment.
+///
+/// Every helper advances a synthetic program counter by 4 so that the
+/// last-committed-PC (LCPC) logic has distinct addresses to record.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    name: String,
+    uops: Vec<Uop>,
+    pc: u64,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder; PCs start at `0x1000`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            uops: Vec::new(),
+            pc: 0x1000,
+        }
+    }
+
+    fn next_pc(&mut self) -> u64 {
+        let pc = self.pc;
+        self.pc += 4;
+        pc
+    }
+
+    /// Pushes a fully formed micro-op, overriding its PC with the builder's.
+    pub fn push(&mut self, mut uop: Uop) -> &mut Self {
+        uop.pc = self.next_pc();
+        self.uops.push(uop);
+        self
+    }
+
+    /// Pushes an integer ALU op `dst = f(srcs)`.
+    pub fn alu(&mut self, dst: ArchReg, srcs: &[ArchReg]) -> &mut Self {
+        let pc = self.next_pc();
+        self.uops
+            .push(Uop::new(pc, UopKind::IntAlu).with_dst(dst).with_srcs(srcs));
+        self
+    }
+
+    /// Pushes a floating-point ALU op.
+    pub fn fp_alu(&mut self, dst: ArchReg, srcs: &[ArchReg]) -> &mut Self {
+        let pc = self.next_pc();
+        self.uops
+            .push(Uop::new(pc, UopKind::FpAlu).with_dst(dst).with_srcs(srcs));
+        self
+    }
+
+    /// Pushes an 8-byte load into `dst` from `addr`.
+    pub fn load(&mut self, dst: ArchReg, addr: u64) -> &mut Self {
+        let pc = self.next_pc();
+        self.uops.push(
+            Uop::new(pc, UopKind::Load)
+                .with_dst(dst)
+                .with_mem(MemRef::new(addr, 8, 0)),
+        );
+        self
+    }
+
+    /// Pushes an 8-byte store of register `data` (holding `value`) to `addr`.
+    pub fn store(&mut self, data: ArchReg, addr: u64, value: u64) -> &mut Self {
+        let pc = self.next_pc();
+        self.uops.push(
+            Uop::new(pc, UopKind::Store)
+                .with_srcs(&[data])
+                .with_mem(MemRef::new(addr, 8, value)),
+        );
+        self
+    }
+
+    /// Pushes a branch of the given kind.
+    pub fn branch(&mut self, kind: BranchKind) -> &mut Self {
+        let pc = self.next_pc();
+        self.uops.push(Uop::new(pc, UopKind::Branch(kind)));
+        self
+    }
+
+    /// Pushes a synchronisation primitive.
+    pub fn sync(&mut self, kind: SyncKind) -> &mut Self {
+        let pc = self.next_pc();
+        self.uops.push(Uop::new(pc, UopKind::Sync(kind)));
+        self
+    }
+
+    /// Pushes a no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        let pc = self.next_pc();
+        self.uops.push(Uop::new(pc, UopKind::Nop));
+        self
+    }
+
+    /// Number of micro-ops queued so far.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether no micro-ops have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Finishes the trace.
+    pub fn build(self) -> Trace {
+        Trace {
+            name: self.name,
+            uops: self.uops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_increasing_pcs() {
+        let mut b = TraceBuilder::new("t");
+        b.nop().nop().nop();
+        let t = b.build();
+        assert!(t[0].pc < t[1].pc && t[1].pc < t[2].pc);
+    }
+
+    #[test]
+    fn mix_counts_every_category() {
+        let mut b = TraceBuilder::new("t");
+        b.alu(ArchReg::int(0), &[]);
+        b.fp_alu(ArchReg::fp(0), &[]);
+        b.load(ArchReg::int(1), 0x40);
+        b.store(ArchReg::int(1), 0x80, 9);
+        b.branch(BranchKind::Call);
+        b.sync(SyncKind::Fence);
+        b.nop();
+        let m = b.build().mix();
+        assert_eq!(m.total, 7);
+        assert_eq!(m.int_ops, 1);
+        assert_eq!(m.fp_ops, 1);
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.stores, 1);
+        assert_eq!(m.branches, 1);
+        assert_eq!(m.syncs, 1);
+        assert_eq!(m.nops, 1);
+        // alu, fp_alu and load define registers.
+        assert_eq!(m.reg_defs, 3);
+    }
+
+    #[test]
+    fn store_fraction_and_def_fraction() {
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0, 0);
+        b.nop();
+        let m = b.build().mix();
+        assert!((m.store_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(m.def_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_mix_fractions_are_zero() {
+        let m = Trace::from_uops("e", Vec::new()).mix();
+        assert_eq!(m.store_fraction(), 0.0);
+        assert_eq!(m.def_fraction(), 0.0);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let mut b = TraceBuilder::new("t");
+        b.load(ArchReg::int(0), 0x100);
+        b.load(ArchReg::int(1), 0x104); // same line
+        b.store(ArchReg::int(0), 0x200, 1);
+        b.nop();
+        let t = b.build();
+        assert_eq!(t.footprint_lines(), 2);
+        assert_eq!(Trace::from_uops("e", vec![]).footprint_lines(), 0);
+    }
+
+    #[test]
+    fn trace_indexing_and_iteration() {
+        let mut b = TraceBuilder::new("t");
+        b.nop().nop();
+        let t = b.build();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!((&t).into_iter().count(), 2);
+        assert!(t.get(5).is_none());
+    }
+}

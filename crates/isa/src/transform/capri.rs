@@ -1,0 +1,233 @@
+use crate::trace::Trace;
+use crate::transform::TracePass;
+use crate::uop::{BranchKind, Uop, UopKind};
+
+/// Capri's compiler region formation (paper §8 and §7.5), reproduced as a
+/// trace pass.
+///
+/// Capri partitions the program into recoverable regions whose stores are
+/// held in a per-core battery-backed redo buffer; the compiler must bound
+/// each region so the buffer can never overflow, and — being a static,
+/// intra-procedural analysis — it also ends regions at calls and returns.
+/// The paper measures Capri's average region size at 29 instructions,
+/// roughly 11× shorter than PPA's dynamically formed regions (§7.1/§7.5),
+/// and that gap is the root of Capri's 26% overhead.
+///
+/// Unlike ReplayCache, Capri does not insert `clwb`s: the redo buffer
+/// drains to NVM over a dedicated persist path whose bandwidth the core
+/// model charges for (4 GB/s in the paper's practical configuration).
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::transform::{region_lengths, CapriPass, TracePass};
+/// use ppa_isa::{ArchReg, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("t");
+/// for i in 0..200u64 {
+///     b.store(ArchReg::int(0), i * 8, i);
+/// }
+/// let out = CapriPass::new().apply(&b.build());
+/// let lens = region_lengths(&out);
+/// let avg = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+/// assert!(avg <= 33.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CapriPass {
+    /// Static instruction bound per region. The compiler proves the redo
+    /// buffer cannot overflow by bounding region length conservatively; 32
+    /// instructions reproduces the paper's measured average of 29 once
+    /// call/return splits are added.
+    max_insts: usize,
+    /// Redo-buffer byte budget per region; a region also ends when its
+    /// stores would exceed this.
+    max_store_bytes: usize,
+}
+
+impl CapriPass {
+    /// Creates the pass with the paper-calibrated defaults.
+    pub fn new() -> Self {
+        CapriPass {
+            max_insts: 32,
+            max_store_bytes: 54 * 1024,
+        }
+    }
+
+    /// Overrides the static per-region instruction bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_insts` is zero.
+    pub fn with_max_insts(mut self, max_insts: usize) -> Self {
+        assert!(max_insts > 0, "region bound must be positive");
+        self.max_insts = max_insts;
+        self
+    }
+
+    /// Overrides the redo-buffer byte budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_max_store_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "redo buffer budget must be positive");
+        self.max_store_bytes = bytes;
+        self
+    }
+}
+
+impl Default for CapriPass {
+    fn default() -> Self {
+        CapriPass::new()
+    }
+}
+
+impl TracePass for CapriPass {
+    fn name(&self) -> &str {
+        "capri"
+    }
+
+    fn apply(&self, trace: &Trace) -> Trace {
+        let mut out: Vec<Uop> = Vec::with_capacity(trace.len() + trace.len() / 16);
+        let mut insts = 0usize;
+        let mut store_bytes = 0usize;
+        let mut has_store = false;
+
+        let end_region =
+            |out: &mut Vec<Uop>, insts: &mut usize, bytes: &mut usize, has: &mut bool, pc: u64| {
+                // Regions are recoverable epochs: the compiler seals every
+                // one, stores or not (the barrier is how recovery finds
+                // epoch boundaries).
+                let _ = has;
+                out.push(Uop::new(pc, UopKind::PersistBarrier));
+                *insts = 0;
+                *bytes = 0;
+                *has = false;
+            };
+
+        for u in trace {
+            let boundary_branch = matches!(
+                u.kind,
+                UopKind::Branch(BranchKind::Call) | UopKind::Branch(BranchKind::Ret)
+            );
+            out.push(*u);
+            insts += 1;
+            if u.kind.is_store() {
+                has_store = true;
+                store_bytes += u.mem.map(|m| m.size as usize).unwrap_or(8);
+            }
+            if boundary_branch
+                || u.kind.is_sync_boundary()
+                || insts >= self.max_insts
+                || store_bytes >= self.max_store_bytes
+            {
+                end_region(&mut out, &mut insts, &mut store_bytes, &mut has_store, u.pc);
+            }
+        }
+        if has_store {
+            end_region(
+                &mut out,
+                &mut insts,
+                &mut store_bytes,
+                &mut has_store,
+                trace.len() as u64 * 4,
+            );
+        }
+        Trace::from_uops(format!("{}+capri", trace.name()), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+    use crate::trace::TraceBuilder;
+    use crate::transform::region_lengths;
+    use crate::uop::SyncKind;
+
+    #[test]
+    fn regions_bounded_by_max_insts() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..100u64 {
+            b.store(ArchReg::int(0), i * 8, i);
+        }
+        let out = CapriPass::new().with_max_insts(10).apply(&b.build());
+        for len in region_lengths(&out) {
+            assert!(len <= 10, "region of {len} exceeds the bound");
+        }
+    }
+
+    #[test]
+    fn redo_buffer_budget_splits_regions() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..8u64 {
+            b.store(ArchReg::int(0), i * 8, i);
+        }
+        // 16-byte budget => two 8-byte stores per region.
+        let out = CapriPass::new()
+            .with_max_insts(1000)
+            .with_max_store_bytes(16)
+            .apply(&b.build());
+        let lens = region_lengths(&out);
+        assert_eq!(lens, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn calls_split_regions() {
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0, 0);
+        b.branch(BranchKind::Call);
+        b.store(ArchReg::int(0), 8, 1);
+        let out = CapriPass::new().apply(&b.build());
+        assert_eq!(region_lengths(&out).len(), 2);
+    }
+
+    #[test]
+    fn syncs_split_regions() {
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0, 0);
+        b.sync(SyncKind::LockRelease);
+        b.store(ArchReg::int(0), 8, 1);
+        let out = CapriPass::new().apply(&b.build());
+        assert_eq!(region_lengths(&out).len(), 2);
+    }
+
+    #[test]
+    fn storeless_code_is_still_partitioned_into_epochs() {
+        let mut b = TraceBuilder::new("t");
+        for _ in 0..100 {
+            b.nop();
+        }
+        let out = CapriPass::new().apply(&b.build());
+        let n = out.iter().filter(|u| u.kind == UopKind::PersistBarrier).count();
+        assert!(n >= 3, "expected epoch barriers, got {n}");
+    }
+
+    #[test]
+    fn default_average_region_matches_paper_ballpark() {
+        // Mixed trace: mostly ALU ops with ~10% stores and occasional calls.
+        let mut b = TraceBuilder::new("t");
+        for i in 0..3000u64 {
+            if i % 10 == 0 {
+                b.store(ArchReg::int(0), i * 8, i);
+            } else if i % 97 == 0 {
+                b.branch(BranchKind::Call);
+            } else {
+                b.alu(ArchReg::int(1), &[ArchReg::int(1)]);
+            }
+        }
+        let out = CapriPass::new().apply(&b.build());
+        let lens = region_lengths(&out);
+        let avg = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(
+            (20.0..=33.0).contains(&avg),
+            "Capri average region {avg} should be near the paper's 29"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        CapriPass::new().with_max_insts(0);
+    }
+}

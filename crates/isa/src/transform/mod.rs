@@ -1,0 +1,93 @@
+//! "Compiler" passes over instruction traces.
+//!
+//! The PPA paper compares against two software-formed-region baselines:
+//! ReplayCache (MICRO '21) and Capri (HPDC '22). Both rely on a compiler to
+//! partition the program into persistence regions ahead of time; in this
+//! reproduction those compilers are trace-to-trace passes. PPA itself needs
+//! no pass — its regions come from hardware free-list pressure.
+
+mod capri;
+mod replaycache;
+
+pub use capri::CapriPass;
+pub use replaycache::ReplayCachePass;
+
+use crate::trace::Trace;
+use crate::uop::UopKind;
+
+/// A trace-to-trace transformation (a stand-in for a compiler pass).
+pub trait TracePass {
+    /// Human-readable pass name.
+    fn name(&self) -> &str;
+
+    /// Applies the pass, producing a new trace.
+    fn apply(&self, trace: &Trace) -> Trace;
+}
+
+/// Lengths (in micro-ops, excluding the barrier itself) of the statically
+/// formed regions of a trace, split at [`UopKind::PersistBarrier`].
+///
+/// The trailing partial region is included, matching how the paper counts
+/// average region size (Figure 13 reports Capri's average as 29).
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::transform::{region_lengths, CapriPass, TracePass};
+/// use ppa_isa::{ArchReg, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("t");
+/// for i in 0..100u64 {
+///     b.store(ArchReg::int(0), i * 8, i);
+/// }
+/// let t = CapriPass::new().apply(&b.build());
+/// assert!(!region_lengths(&t).is_empty());
+/// ```
+pub fn region_lengths(trace: &Trace) -> Vec<usize> {
+    let mut lens = Vec::new();
+    let mut cur = 0usize;
+    for u in trace {
+        if u.kind == UopKind::PersistBarrier {
+            lens.push(cur);
+            cur = 0;
+        } else {
+            cur += 1;
+        }
+    }
+    if cur > 0 {
+        lens.push(cur);
+    }
+    lens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use crate::uop::{Uop, UopKind};
+
+    #[test]
+    fn region_lengths_split_at_barriers() {
+        let mut b = TraceBuilder::new("t");
+        b.nop().nop();
+        b.push(Uop::new(0, UopKind::PersistBarrier));
+        b.nop();
+        let lens = region_lengths(&b.build());
+        assert_eq!(lens, vec![2, 1]);
+    }
+
+    #[test]
+    fn trailing_barrier_yields_no_empty_region() {
+        let mut b = TraceBuilder::new("t");
+        b.nop();
+        b.push(Uop::new(0, UopKind::PersistBarrier));
+        let lens = region_lengths(&b.build());
+        assert_eq!(lens, vec![1]);
+    }
+
+    #[test]
+    fn empty_trace_has_no_regions() {
+        let t = Trace::from_uops("e", Vec::new());
+        assert!(region_lengths(&t).is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+use crate::reg::ArchReg;
+use std::fmt;
+
+/// Branch flavours. ReplayCache's compiler cannot keep store-integrity
+/// regions alive across calls and returns (paper §2.4: "function
+/// calls/loops" limit its region size), so the trace distinguishes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional or unconditional intra-procedural branch.
+    Jump,
+    /// Function call.
+    Call,
+    /// Function return.
+    Ret,
+}
+
+/// Synchronisation primitive kinds. Under PPA every one of these is a
+/// region boundary (paper §6): the core may not commit it until all stores
+/// of the current region are persisted and the CSQ is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// Memory fence (`mfence`/`sfence`).
+    Fence,
+    /// Atomic read-modify-write (`lock`-prefixed instruction).
+    AtomicRmw,
+    /// Lock acquire — an atomic that may additionally spin/contend.
+    LockAcquire,
+    /// Lock release — a plain store with release semantics plus ordering.
+    LockRelease,
+}
+
+/// A memory reference carried by a load, store, or `clwb` micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4, or 8).
+    pub size: u8,
+    /// For stores: the value written (the simulator replays these values
+    /// during power-failure recovery). Ignored for loads.
+    pub value: u64,
+}
+
+impl MemRef {
+    /// Creates a memory reference.
+    pub fn new(addr: u64, size: u8, value: u64) -> Self {
+        MemRef { addr, size, value }
+    }
+}
+
+/// Micro-op kinds with their execution-latency classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// Single-cycle integer ALU operation (add, sub, logic, shifts).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/sub/compare.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer.
+    Branch(BranchKind),
+    /// Cache-line write-back (`clwb`). Only produced by the ReplayCache
+    /// pass; occupies a store-queue entry (paper Table 1).
+    Clwb,
+    /// Synchronisation primitive.
+    Sync(SyncKind),
+    /// A persist barrier marking a region boundary in the *trace*. Only the
+    /// software baselines (ReplayCache, Capri) carry these; PPA forms its
+    /// regions dynamically in hardware.
+    PersistBarrier,
+    /// No-op (pipeline filler; commits without resources).
+    Nop,
+}
+
+impl UopKind {
+    /// Fixed execution latency in cycles, excluding memory access time.
+    /// Loads/stores get their memory latency from the cache hierarchy.
+    pub const fn exec_latency(self) -> u32 {
+        match self {
+            UopKind::IntAlu | UopKind::Nop | UopKind::PersistBarrier => 1,
+            UopKind::Branch(_) => 1,
+            UopKind::IntMul => 3,
+            UopKind::IntDiv => 12,
+            UopKind::FpAlu => 4,
+            UopKind::FpMul => 4,
+            UopKind::FpDiv => 14,
+            UopKind::Load | UopKind::Store | UopKind::Clwb => 1,
+            UopKind::Sync(_) => 2,
+        }
+    }
+
+    /// Whether this kind accesses memory through the data cache.
+    pub const fn is_mem(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::Store | UopKind::Clwb)
+    }
+
+    /// Whether this is a store (writes memory at commit).
+    pub const fn is_store(self) -> bool {
+        matches!(self, UopKind::Store)
+    }
+
+    /// Whether this kind needs a store-queue entry. Note `clwb` does (paper
+    /// Table 1, footnote 5) — this is one of the two reasons ReplayCache is
+    /// slow on server-class cores.
+    pub const fn needs_sq_entry(self) -> bool {
+        matches!(self, UopKind::Store | UopKind::Clwb)
+    }
+
+    /// Whether this kind needs a load-queue entry.
+    pub const fn needs_lq_entry(self) -> bool {
+        matches!(self, UopKind::Load)
+    }
+
+    /// Whether PPA must treat this micro-op as a region boundary regardless
+    /// of free-list pressure (paper §6: synchronisation primitives).
+    pub const fn is_sync_boundary(self) -> bool {
+        matches!(self, UopKind::Sync(_))
+    }
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UopKind::IntAlu => "ialu",
+            UopKind::IntMul => "imul",
+            UopKind::IntDiv => "idiv",
+            UopKind::FpAlu => "falu",
+            UopKind::FpMul => "fmul",
+            UopKind::FpDiv => "fdiv",
+            UopKind::Load => "ld",
+            UopKind::Store => "st",
+            UopKind::Branch(BranchKind::Jump) => "br",
+            UopKind::Branch(BranchKind::Call) => "call",
+            UopKind::Branch(BranchKind::Ret) => "ret",
+            UopKind::Clwb => "clwb",
+            UopKind::Sync(SyncKind::Fence) => "fence",
+            UopKind::Sync(SyncKind::AtomicRmw) => "rmw",
+            UopKind::Sync(SyncKind::LockAcquire) => "lock",
+            UopKind::Sync(SyncKind::LockRelease) => "unlock",
+            UopKind::PersistBarrier => "pbar",
+            UopKind::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One micro-op on the committed path of a program.
+///
+/// Traces contain only committed instructions (the PPA mechanism never
+/// touches wrong-path state: §4 "PPA does not save or recover architectural
+/// status related to speculation"). Front-end effects of misspeculation are
+/// modelled statistically by the workload generators as fetch bubbles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uop {
+    /// Program counter of the parent instruction.
+    pub pc: u64,
+    /// Operation kind.
+    pub kind: UopKind,
+    /// Source architectural registers (up to three; `None`s are trailing).
+    pub srcs: [Option<ArchReg>; 3],
+    /// Destination architectural register, if the op defines one.
+    pub dst: Option<ArchReg>,
+    /// Memory reference for loads/stores/`clwb`.
+    pub mem: Option<MemRef>,
+}
+
+impl Uop {
+    /// Creates a micro-op with no register operands or memory reference.
+    pub fn new(pc: u64, kind: UopKind) -> Self {
+        Uop {
+            pc,
+            kind,
+            srcs: [None; 3],
+            dst: None,
+            mem: None,
+        }
+    }
+
+    /// Adds source registers (consuming builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than three sources are supplied in total.
+    pub fn with_srcs(mut self, srcs: &[ArchReg]) -> Self {
+        let first_free = self.srcs.iter().position(Option::is_none).unwrap_or(3);
+        for (slot, &r) in (first_free..).zip(srcs) {
+            assert!(slot < 3, "a micro-op has at most three sources");
+            self.srcs[slot] = Some(r);
+        }
+        self
+    }
+
+    /// Sets the destination register.
+    pub fn with_dst(mut self, dst: ArchReg) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Sets the memory reference.
+    pub fn with_mem(mut self, mem: MemRef) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Whether this op defines (renames) a new architectural register value.
+    /// This is what consumes a physical register at the rename stage — the
+    /// paper observes only ~30% of instructions do.
+    pub fn defines_reg(&self) -> bool {
+        self.dst.is_some()
+    }
+
+    /// Iterator over the op's source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// For a store, the register whose value is being stored: by convention
+    /// the *first* source operand (the data register). The paper's MaskReg
+    /// optimisation (§4.2 footnote 10) keeps only the data register.
+    pub fn store_data_reg(&self) -> Option<ArchReg> {
+        if self.kind.is_store() {
+            self.srcs[0]
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+
+    #[test]
+    fn latencies_are_positive() {
+        for k in [
+            UopKind::IntAlu,
+            UopKind::IntMul,
+            UopKind::IntDiv,
+            UopKind::FpAlu,
+            UopKind::FpMul,
+            UopKind::FpDiv,
+            UopKind::Load,
+            UopKind::Store,
+            UopKind::Branch(BranchKind::Jump),
+            UopKind::Clwb,
+            UopKind::Sync(SyncKind::Fence),
+            UopKind::PersistBarrier,
+            UopKind::Nop,
+        ] {
+            assert!(k.exec_latency() >= 1, "{k} must take at least a cycle");
+        }
+    }
+
+    #[test]
+    fn clwb_occupies_store_queue_but_is_not_a_store() {
+        assert!(UopKind::Clwb.needs_sq_entry());
+        assert!(!UopKind::Clwb.is_store());
+        assert!(UopKind::Clwb.is_mem());
+    }
+
+    #[test]
+    fn sync_ops_are_region_boundaries() {
+        assert!(UopKind::Sync(SyncKind::AtomicRmw).is_sync_boundary());
+        assert!(!UopKind::Store.is_sync_boundary());
+    }
+
+    #[test]
+    fn with_srcs_appends() {
+        let u = Uop::new(0, UopKind::IntAlu)
+            .with_srcs(&[ArchReg::int(1)])
+            .with_srcs(&[ArchReg::int(2), ArchReg::int(3)]);
+        assert_eq!(u.sources().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most three")]
+    fn too_many_sources_panics() {
+        Uop::new(0, UopKind::IntAlu).with_srcs(&[
+            ArchReg::int(0),
+            ArchReg::int(1),
+            ArchReg::int(2),
+            ArchReg::int(3),
+        ]);
+    }
+
+    #[test]
+    fn store_data_reg_is_first_source() {
+        let u = Uop::new(0, UopKind::Store)
+            .with_srcs(&[ArchReg::int(5), ArchReg::int(6)])
+            .with_mem(MemRef::new(0x100, 8, 7));
+        assert_eq!(u.store_data_reg(), Some(ArchReg::int(5)));
+        let l = Uop::new(0, UopKind::Load).with_srcs(&[ArchReg::int(5)]);
+        assert_eq!(l.store_data_reg(), None);
+    }
+}

@@ -1,0 +1,216 @@
+use crate::cache::CacheConfig;
+use crate::nvm::NvmConfig;
+
+/// Direct-mapped DRAM cache configuration (PMEM memory mode's LLC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCacheConfig {
+    /// Capacity in bytes (Table 2: 4 GB).
+    pub size_bytes: u64,
+    /// Hit latency in core cycles (DDR4-2400 round trip, ~30 ns → 60).
+    pub hit_latency: u64,
+}
+
+impl DramCacheConfig {
+    /// The paper's default 4 GB direct-mapped DDR4-2400 cache.
+    pub fn paper_default() -> Self {
+        DramCacheConfig {
+            size_bytes: 4 << 30,
+            hit_latency: crate::ns_to_cycles(30.0),
+        }
+    }
+}
+
+/// What sits at the bottom of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backing {
+    /// Persistent memory with a WPQ (memory mode, app-direct, PPA).
+    Nvm(NvmConfig),
+    /// Volatile DRAM main memory (the Figure 9 DRAM-only system).
+    Dram {
+        /// Access latency in core cycles.
+        latency: u64,
+    },
+}
+
+/// Full memory-system configuration.
+///
+/// Use the preset constructors ([`MemConfig::memory_mode`] etc.) and adjust
+/// fields for sweeps; every preset mirrors a configuration from the
+/// paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Per-core L1 data cache (Table 2: 64 KB, 8-way, 4 cycles).
+    pub l1d: CacheConfig,
+    /// L2 cache (Table 2: shared 16 MB, 16-way, 44 cycles).
+    pub l2: CacheConfig,
+    /// Whether the L2 is shared among cores (`false` only in the Figure 14
+    /// deeper-hierarchy configuration).
+    pub l2_shared: bool,
+    /// Optional shared L3 (Figure 14: 16 MB, 16-way, 44 cycles).
+    pub l3: Option<CacheConfig>,
+    /// Optional DRAM cache (present in memory mode, absent in app-direct
+    /// and DRAM-only systems).
+    pub dram_cache: Option<DramCacheConfig>,
+    /// Bottom of the hierarchy.
+    pub backing: Backing,
+    /// Per-core L1D write-buffer entries for asynchronous persistence.
+    pub write_buffer_entries: usize,
+    /// Whether the write buffer performs persist coalescing (§4.3).
+    pub persist_coalescing: bool,
+    /// Cycles for an asynchronous write-back to travel from the L1D write
+    /// buffer to the NVM controller (on-chip network + channel).
+    pub persist_path_latency: u64,
+    /// Capri's dedicated persist-path bandwidth in bytes per core cycle
+    /// (the paper evaluates Capri at a practical 4 GB/s → 2 B/cycle).
+    pub capri_path_bytes_per_cycle: f64,
+    /// Capri's per-core battery-backed redo-buffer capacity (54 KB).
+    pub capri_buffer_bytes: u64,
+    /// Number of memory controllers the NVM sits behind (§6). Lines
+    /// interleave across channels; aggregate bandwidth stays the same, but
+    /// completion order across channels becomes arbitrary — the hazard
+    /// PPA's region-level persistence tolerates.
+    pub memory_controllers: usize,
+}
+
+impl MemConfig {
+    /// PMEM **memory mode** (Table 2): L1D + shared L2 + 4 GB DRAM cache
+    /// over NVM. This is the baseline system and the one PPA runs on.
+    pub fn memory_mode() -> Self {
+        MemConfig {
+            l1d: CacheConfig::new(64 * 1024, 8, 4),
+            l2: CacheConfig::new(16 << 20, 16, 44),
+            l2_shared: true,
+            l3: None,
+            dram_cache: Some(DramCacheConfig::paper_default()),
+            backing: Backing::Nvm(NvmConfig::paper_default()),
+            write_buffer_entries: 16,
+            persist_coalescing: true,
+            persist_path_latency: 4,
+            capri_path_bytes_per_cycle: crate::gbps_to_bytes_per_cycle(4.0),
+            capri_buffer_bytes: 54 * 1024,
+            memory_controllers: 1,
+        }
+    }
+
+    /// Same system with the NVM behind `n` interleaved memory controllers
+    /// (the §6 multi-MC configuration; Table 2's machine has two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_memory_controllers(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one memory controller");
+        self.memory_controllers = n;
+        self
+    }
+
+    /// The Figure 14 deeper hierarchy: private 1 MB L2 (14 cycles) plus a
+    /// shared 16 MB L3 (44 cycles) atop the DRAM cache.
+    pub fn deep_hierarchy() -> Self {
+        MemConfig {
+            l2: CacheConfig::new(1 << 20, 16, 14),
+            l2_shared: false,
+            l3: Some(CacheConfig::new(16 << 20, 16, 44)),
+            ..MemConfig::memory_mode()
+        }
+    }
+
+    /// The Figure 9 comparison system: 32 GB of volatile DRAM as main
+    /// memory, no NVM at all.
+    pub fn dram_only() -> Self {
+        MemConfig {
+            dram_cache: None,
+            backing: Backing::Dram {
+                latency: crate::ns_to_cycles(30.0),
+            },
+            ..MemConfig::memory_mode()
+        }
+    }
+
+    /// App-direct / ideal PSP (eADR / BBB, Figure 10): NVM is the main
+    /// memory, with no DRAM cache to hide its latency. Batteries make the
+    /// SRAM caches persistence-safe, so no persist operations are needed.
+    pub fn app_direct() -> Self {
+        MemConfig {
+            dram_cache: None,
+            ..MemConfig::memory_mode()
+        }
+    }
+
+    /// Returns the NVM configuration if the backing is persistent.
+    pub fn nvm(&self) -> Option<&NvmConfig> {
+        match &self.backing {
+            Backing::Nvm(n) => Some(n),
+            Backing::Dram { .. } => None,
+        }
+    }
+
+    /// Replaces the NVM configuration (sweep helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backing is not NVM.
+    pub fn with_nvm(mut self, nvm: NvmConfig) -> Self {
+        match &mut self.backing {
+            Backing::Nvm(n) => *n = nvm,
+            Backing::Dram { .. } => panic!("configuration has no NVM backing"),
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_mode_matches_table2() {
+        let c = MemConfig::memory_mode();
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l1d.ways, 8);
+        assert_eq!(c.l1d.hit_latency, 4);
+        assert_eq!(c.l2.size_bytes, 16 << 20);
+        assert_eq!(c.l2.hit_latency, 44);
+        assert!(c.l2_shared);
+        assert!(c.l3.is_none());
+        assert_eq!(c.dram_cache.unwrap().size_bytes, 4 << 30);
+        let nvm = c.nvm().unwrap();
+        assert_eq!(nvm.wpq_entries, 16);
+    }
+
+    #[test]
+    fn deep_hierarchy_has_private_l2_and_l3() {
+        let c = MemConfig::deep_hierarchy();
+        assert!(!c.l2_shared);
+        assert_eq!(c.l2.size_bytes, 1 << 20);
+        assert_eq!(c.l2.hit_latency, 14);
+        assert_eq!(c.l3.unwrap().hit_latency, 44);
+    }
+
+    #[test]
+    fn dram_only_has_no_nvm() {
+        let c = MemConfig::dram_only();
+        assert!(c.nvm().is_none());
+        assert!(c.dram_cache.is_none());
+    }
+
+    #[test]
+    fn app_direct_drops_the_dram_cache_but_keeps_nvm() {
+        let c = MemConfig::app_direct();
+        assert!(c.dram_cache.is_none());
+        assert!(c.nvm().is_some());
+    }
+
+    #[test]
+    fn with_nvm_swaps_device() {
+        let c = MemConfig::memory_mode()
+            .with_nvm(NvmConfig::paper_default().with_wpq_entries(8));
+        assert_eq!(c.nvm().unwrap().wpq_entries, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "no NVM backing")]
+    fn with_nvm_on_dram_only_panics() {
+        MemConfig::dram_only().with_nvm(NvmConfig::paper_default());
+    }
+}

@@ -1,0 +1,191 @@
+//! Multiple memory controllers (§6, "Multiple Memory Controller (MC)
+//! Support").
+//!
+//! Table 2's machine has two integrated memory controllers. PPA supports
+//! any number "without any hassle": region-level persistence guarantees
+//! that a younger store destined to a near MC can never be durable before
+//! an older one destined to a far MC *across* regions, and failures inside
+//! a region are repaired by replaying the whole region anyway.
+//!
+//! [`MultiChannelNvm`] models that organisation: cache lines interleave
+//! across `n` channels (each an independent [`crate::Nvm`] with its own
+//! WPQ and write bandwidth), so channel completion order can arbitrarily
+//! permute store persistence order — exactly the hazard §6 argues PPA
+//! tolerates.
+
+use crate::nvm::{Nvm, NvmConfig, NvmStats};
+
+/// An NVM built from `n` independent channels with line interleaving.
+///
+/// The aggregate write bandwidth is split evenly across channels, keeping
+/// total device capability identical to a single-channel [`Nvm`] with the
+/// same configuration — only the *ordering* behaviour differs.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_mem::{MultiChannelNvm, NvmConfig};
+///
+/// let mut nvm = MultiChannelNvm::new(NvmConfig::paper_default(), 2);
+/// // Adjacent lines land on different controllers.
+/// assert_ne!(nvm.channel_of(0x0), nvm.channel_of(0x40));
+/// assert!(nvm.enqueue_write(0x0, 0).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiChannelNvm {
+    channels: Vec<Nvm>,
+}
+
+impl MultiChannelNvm {
+    /// Creates an `n`-channel device. Each channel receives `1/n` of the
+    /// configured write bandwidth and a full-size WPQ (WPQs are per
+    /// controller on real platforms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(cfg: NvmConfig, n: usize) -> Self {
+        assert!(n > 0, "need at least one memory controller");
+        let per_channel = NvmConfig {
+            write_bytes_per_cycle: cfg.write_bytes_per_cycle / n as f64,
+            ..cfg
+        };
+        MultiChannelNvm {
+            channels: (0..n).map(|_| Nvm::new(per_channel)).collect(),
+        }
+    }
+
+    /// Number of controllers.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Which controller serves the line containing `addr` (line-granular
+    /// interleaving).
+    pub fn channel_of(&self, addr: u64) -> usize {
+        ((addr / ppa_isa::CACHE_LINE_BYTES) % self.channels.len() as u64) as usize
+    }
+
+    /// Routes a line write to its channel; same contract as
+    /// [`Nvm::enqueue_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the earliest retry cycle when that channel's WPQ is full.
+    pub fn enqueue_write(&mut self, line_addr: u64, now: u64) -> Result<u64, u64> {
+        let ch = self.channel_of(line_addr);
+        self.channels[ch].enqueue_write(line_addr, now)
+    }
+
+    /// Routes a line read to its channel.
+    pub fn read(&mut self, line_addr: u64, now: u64) -> u64 {
+        let ch = self.channel_of(line_addr);
+        self.channels[ch].read(line_addr, now)
+    }
+
+    /// Retires completed writes on every channel.
+    pub fn drain(&mut self, now: u64) {
+        for c in &mut self.channels {
+            c.drain(now);
+        }
+    }
+
+    /// Merged statistics across channels.
+    pub fn stats(&self) -> NvmStats {
+        let mut s = NvmStats::default();
+        for c in &self.channels {
+            s.reads += c.stats().reads;
+            s.writes += c.stats().writes;
+            s.combined_writes += c.stats().combined_writes;
+            s.wpq_full_events += c.stats().wpq_full_events;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NvmConfig {
+        NvmConfig {
+            read_latency: 350,
+            write_latency: 180,
+            wpq_entries: 2,
+            write_bytes_per_cycle: 2.0,
+            write_combining: true,
+        }
+    }
+
+    #[test]
+    fn lines_interleave_across_channels() {
+        let nvm = MultiChannelNvm::new(cfg(), 2);
+        assert_eq!(nvm.channel_of(0x000), 0);
+        assert_eq!(nvm.channel_of(0x040), 1);
+        assert_eq!(nvm.channel_of(0x080), 0);
+        // Sub-line addresses map with their line.
+        assert_eq!(nvm.channel_of(0x07f), 1);
+    }
+
+    #[test]
+    fn channels_have_independent_wpqs() {
+        let mut nvm = MultiChannelNvm::new(cfg(), 2);
+        // Fill channel 0's 2-entry WPQ.
+        nvm.enqueue_write(0x000, 0).unwrap();
+        nvm.enqueue_write(0x080, 0).unwrap();
+        assert!(nvm.enqueue_write(0x100, 0).is_err(), "channel 0 full");
+        // Channel 1 still has room.
+        assert!(nvm.enqueue_write(0x040, 0).is_ok());
+    }
+
+    #[test]
+    fn completion_order_can_invert_program_order() {
+        // An older store to a busy far channel completes after a younger
+        // store to an idle near one — the §6 hazard.
+        let mut nvm = MultiChannelNvm::new(cfg(), 2);
+        nvm.enqueue_write(0x000, 0).unwrap(); // pre-load channel 0
+        let older = nvm.enqueue_write(0x080, 0).unwrap(); // queued behind
+        let younger = nvm.enqueue_write(0x040, 0).unwrap(); // idle channel 1
+        assert!(
+            younger < older,
+            "younger ({younger}) should complete before older ({older})"
+        );
+    }
+
+    #[test]
+    fn aggregate_bandwidth_matches_single_channel() {
+        // Writing 4 alternating lines through 2 channels takes the same
+        // channel time as 4 lines through 1 channel of 2x bandwidth.
+        let roomy = NvmConfig {
+            wpq_entries: 8,
+            ..cfg()
+        };
+        let mut one = Nvm::new(roomy);
+        let mut two = MultiChannelNvm::new(roomy, 2);
+        let mut last_one = 0;
+        let mut last_two = 0;
+        for i in 0..4u64 {
+            last_one = last_one.max(one.enqueue_write(i * 64, 0).unwrap());
+            last_two = last_two.max(two.enqueue_write(i * 64, 0).unwrap());
+        }
+        assert_eq!(last_one, last_two);
+    }
+
+    #[test]
+    fn stats_merge_channels() {
+        let mut nvm = MultiChannelNvm::new(cfg(), 4);
+        for i in 0..8u64 {
+            nvm.enqueue_write(i * 64, 0).unwrap();
+        }
+        nvm.read(0, 0);
+        let s = nvm.stats();
+        assert_eq!(s.writes, 8);
+        assert_eq!(s.reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one memory controller")]
+    fn zero_channels_panics() {
+        MultiChannelNvm::new(cfg(), 0);
+    }
+}

@@ -1,0 +1,288 @@
+use ppa_isa::CACHE_LINE_BYTES;
+use std::collections::VecDeque;
+
+/// PMEM (NVM) device configuration, matching Table 2's defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmConfig {
+    /// Read latency in core cycles (175 ns → 350 cycles at 2 GHz).
+    pub read_latency: u64,
+    /// Write latency in core cycles (90 ns → 180 cycles).
+    pub write_latency: u64,
+    /// Write-pending-queue entries (default 16).
+    pub wpq_entries: usize,
+    /// Sustained write bandwidth in bytes per core cycle
+    /// (2.3 GB/s → 1.15 B/cycle at 2 GHz).
+    pub write_bytes_per_cycle: f64,
+    /// Whether the WPQ combines writes to a line already pending (real
+    /// PMEM DIMMs do; the ablation study switches this off).
+    pub write_combining: bool,
+}
+
+impl NvmConfig {
+    /// The paper's default PMEM: 175/90 ns, 16-entry WPQ, 2.3 GB/s.
+    pub fn paper_default() -> Self {
+        NvmConfig {
+            read_latency: crate::ns_to_cycles(175.0),
+            write_latency: crate::ns_to_cycles(90.0),
+            wpq_entries: 16,
+            write_bytes_per_cycle: crate::gbps_to_bytes_per_cycle(2.3),
+            write_combining: true,
+        }
+    }
+
+    /// Same device with WPQ write combining disabled (ablation).
+    pub fn without_write_combining(mut self) -> Self {
+        self.write_combining = false;
+        self
+    }
+
+    /// Same device with a different WPQ depth (Figure 15 sweep).
+    pub fn with_wpq_entries(mut self, entries: usize) -> Self {
+        assert!(entries > 0, "WPQ must have at least one entry");
+        self.wpq_entries = entries;
+        self
+    }
+
+    /// Same device with a different write bandwidth in GB/s (Figure 18).
+    pub fn with_write_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "write bandwidth must be positive");
+        self.write_bytes_per_cycle = crate::gbps_to_bytes_per_cycle(gbps);
+        self
+    }
+}
+
+/// NVM traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NvmStats {
+    /// Line reads served.
+    pub reads: u64,
+    /// Line writes accepted into the WPQ.
+    pub writes: u64,
+    /// Writes combined into a WPQ entry already pending for the same line.
+    pub combined_writes: u64,
+    /// Cycles during which at least one requester found the WPQ full.
+    pub wpq_full_events: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WpqEntry {
+    line_addr: u64,
+    completes_at: u64,
+}
+
+/// The PMEM device: a write-pending queue in front of the media, with
+/// bounded write bandwidth.
+///
+/// Writes occupy a WPQ entry from acceptance until the media write
+/// completes; bandwidth serialises media writes (one line costs
+/// `line / write_bytes_per_cycle` cycles of channel time plus the fixed
+/// media latency). Reads bypass the WPQ (reads and writes use separate
+/// queues on real PMEM DIMMs) and are charged the fixed read latency.
+///
+/// The WPQ itself is inside the ADR (asynchronous DRAM refresh) domain:
+/// entries that made it into the queue are considered persistent, which is
+/// exactly how Intel's ADR domain behaves and what the paper assumes when
+/// it counts a store persisted once acknowledged.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_mem::{Nvm, NvmConfig};
+///
+/// let mut nvm = Nvm::new(NvmConfig::paper_default());
+/// let done = nvm.enqueue_write(0x1000, 0).expect("WPQ has room");
+/// assert!(done > 180, "write takes at least the media latency");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nvm {
+    cfg: NvmConfig,
+    wpq: VecDeque<WpqEntry>,
+    /// Cycle at which the write channel becomes free again.
+    channel_free_at: u64,
+    stats: NvmStats,
+}
+
+impl Nvm {
+    /// Creates an idle device.
+    pub fn new(cfg: NvmConfig) -> Self {
+        Nvm {
+            cfg,
+            wpq: VecDeque::with_capacity(cfg.wpq_entries),
+            channel_free_at: 0,
+            stats: NvmStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &NvmConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Retires WPQ entries whose media write has completed by `now`.
+    pub fn drain(&mut self, now: u64) {
+        while let Some(front) = self.wpq.front() {
+            if front.completes_at <= now {
+                self.wpq.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Free WPQ entries after draining completions up to `now`.
+    pub fn wpq_free(&mut self, now: u64) -> usize {
+        self.drain(now);
+        self.cfg.wpq_entries - self.wpq.len()
+    }
+
+    /// Number of occupied WPQ entries (without draining).
+    pub fn wpq_occupancy(&self) -> usize {
+        self.wpq.len()
+    }
+
+    /// Attempts to enqueue a line write at `now`. On success returns the
+    /// cycle at which the write is durable; on failure (WPQ full) returns
+    /// the earliest cycle at which an entry will free up, so the caller can
+    /// retry — this backpressure is the WPQ contention of §7.7.
+    pub fn enqueue_write(&mut self, line_addr: u64, now: u64) -> Result<u64, u64> {
+        self.drain(now);
+        // Write combining: a line already pending in the WPQ absorbs the
+        // new write — the eventual media write carries the newest data.
+        // This is what lets PPA's per-store write-backs of hot lines stay
+        // within the device's write bandwidth (§4.3).
+        if self.cfg.write_combining {
+            if let Some(e) = self.wpq.iter().find(|e| e.line_addr == line_addr) {
+                self.stats.combined_writes += 1;
+                return Ok(e.completes_at);
+            }
+        }
+        if self.wpq.len() >= self.cfg.wpq_entries {
+            self.stats.wpq_full_events += 1;
+            let retry_at = self
+                .wpq
+                .front()
+                .map(|e| e.completes_at)
+                .expect("full WPQ is non-empty");
+            return Err(retry_at.max(now + 1));
+        }
+        let start = now.max(self.channel_free_at);
+        let xfer = (CACHE_LINE_BYTES as f64 / self.cfg.write_bytes_per_cycle).ceil() as u64;
+        self.channel_free_at = start + xfer;
+        let completes_at = start + xfer + self.cfg.write_latency;
+        self.wpq.push_back(WpqEntry {
+            line_addr,
+            completes_at,
+        });
+        self.stats.writes += 1;
+        Ok(completes_at)
+    }
+
+    /// Reads a line at `now`, returning the completion cycle.
+    pub fn read(&mut self, _line_addr: u64, now: u64) -> u64 {
+        self.stats.reads += 1;
+        now + self.cfg.read_latency
+    }
+
+    /// Line addresses currently sitting in the WPQ. They are inside the
+    /// persistence domain, so the consistency checker counts them as
+    /// durable even if power fails before the media write finishes.
+    pub fn wpq_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.wpq.iter().map(|e| e.line_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Nvm {
+        Nvm::new(NvmConfig {
+            read_latency: 350,
+            write_latency: 180,
+            wpq_entries: 2,
+            write_bytes_per_cycle: 2.0, // 64B line = 32 cycles of channel
+            write_combining: true,
+        })
+    }
+
+    #[test]
+    fn write_completion_includes_transfer_and_media_latency() {
+        let mut nvm = small();
+        let done = nvm.enqueue_write(0, 0).unwrap();
+        assert_eq!(done, 32 + 180);
+    }
+
+    #[test]
+    fn bandwidth_serialises_back_to_back_writes() {
+        let mut nvm = small();
+        let a = nvm.enqueue_write(0, 0).unwrap();
+        let b = nvm.enqueue_write(64, 0).unwrap();
+        assert_eq!(b - a, 32, "second line waits for the channel");
+    }
+
+    #[test]
+    fn wpq_full_returns_retry_time() {
+        let mut nvm = small();
+        nvm.enqueue_write(0, 0).unwrap();
+        nvm.enqueue_write(64, 0).unwrap();
+        let err = nvm.enqueue_write(128, 0).unwrap_err();
+        // First entry completes at 212; retry then.
+        assert_eq!(err, 212);
+        assert_eq!(nvm.stats().wpq_full_events, 1);
+    }
+
+    #[test]
+    fn entries_drain_after_completion() {
+        let mut nvm = small();
+        nvm.enqueue_write(0, 0).unwrap();
+        assert_eq!(nvm.wpq_free(0), 1);
+        assert_eq!(nvm.wpq_free(10_000), 2);
+    }
+
+    #[test]
+    fn enqueue_succeeds_after_drain() {
+        let mut nvm = small();
+        nvm.enqueue_write(0, 0).unwrap();
+        nvm.enqueue_write(64, 0).unwrap();
+        assert!(nvm.enqueue_write(128, 0).is_err());
+        assert!(nvm.enqueue_write(128, 10_000).is_ok());
+    }
+
+    #[test]
+    fn reads_have_fixed_latency_and_no_wpq_interaction() {
+        let mut nvm = small();
+        nvm.enqueue_write(0, 0).unwrap();
+        assert_eq!(nvm.read(64, 100), 450);
+        assert_eq!(nvm.stats().reads, 1);
+        assert_eq!(nvm.wpq_occupancy(), 1);
+    }
+
+    #[test]
+    fn wpq_lines_lists_pending_writes() {
+        let mut nvm = small();
+        nvm.enqueue_write(0, 0).unwrap();
+        nvm.enqueue_write(64, 0).unwrap();
+        let lines: Vec<u64> = nvm.wpq_lines().collect();
+        assert_eq!(lines, vec![0, 64]);
+    }
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let cfg = NvmConfig::paper_default();
+        assert_eq!(cfg.read_latency, 350);
+        assert_eq!(cfg.write_latency, 180);
+        assert_eq!(cfg.wpq_entries, 16);
+        assert!((cfg.write_bytes_per_cycle - 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_wpq_panics() {
+        NvmConfig::paper_default().with_wpq_entries(0);
+    }
+}

@@ -1,0 +1,264 @@
+use std::collections::VecDeque;
+
+/// Statistics for one core's L1D write buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteBufferStats {
+    /// Persist operations enqueued.
+    pub enqueued: u64,
+    /// Persist operations absorbed by coalescing with a pending entry to
+    /// the same line (§4.3's persist coalescing).
+    pub coalesced: u64,
+    /// Persist operations accepted by the NVM WPQ.
+    pub issued: u64,
+    /// Enqueue attempts rejected because the buffer was full (the store
+    /// stalls at commit until space frees up).
+    pub full_rejections: u64,
+}
+
+/// The L1D write buffer that implements PPA's asynchronous store
+/// persistence (§4.3).
+///
+/// When a committed store merges into the L1D, the cache controller drops a
+/// persist operation for the dirty line into this buffer; the buffer pushes
+/// it toward the NVM write-pending queue in the background while the
+/// pipeline keeps executing. A persist operation is **acknowledged the
+/// moment the WPQ accepts it** — the WPQ sits inside the ADR persistence
+/// domain, exactly as on Intel platforms, so acceptance is durability. The
+/// 90 ns media write happens behind the queue and only matters as
+/// backpressure when traffic exceeds the device's write bandwidth
+/// (Figures 15 and 18).
+///
+/// While a persist waits in the buffer, a younger store to the same line
+/// coalesces into it (§4.3's persist coalescing) — correct within a region
+/// because persist barriers guarantee all pending entries belong to the
+/// same region.
+///
+/// The buffer also maintains the §4.3 **persistence counter**: the number
+/// of persist operations accepted from the core but not yet acknowledged
+/// by the WPQ. PPA's region boundary simply waits for this counter to
+/// reach zero.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_mem::WriteBuffer;
+///
+/// let mut wb = WriteBuffer::new(16, true);
+/// assert!(wb.enqueue(0x1000, 0));
+/// assert!(wb.enqueue(0x1000, 1)); // coalesces
+/// assert_eq!(wb.outstanding(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    lines: VecDeque<(u64, u64)>,
+    capacity: usize,
+    coalesce: bool,
+    stats: WriteBufferStats,
+}
+
+impl WriteBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, coalesce: bool) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        WriteBuffer {
+            lines: VecDeque::with_capacity(capacity),
+            capacity,
+            coalesce,
+            stats: WriteBufferStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &WriteBufferStats {
+        &self.stats
+    }
+
+    /// Attempts to enqueue a persist operation for `line_addr`. Returns
+    /// `false` (and counts a rejection) when the buffer is full and the
+    /// operation cannot coalesce — the caller must stall and retry.
+    pub fn enqueue(&mut self, line_addr: u64, now: u64) -> bool {
+        self.enqueue_delayed(line_addr, now, 0)
+    }
+
+    /// Like [`WriteBuffer::enqueue`], but the entry only becomes eligible
+    /// for WPQ issue after `delay` cycles — used for `clwb` operations,
+    /// whose flush must traverse the cache hierarchy before it can reach
+    /// the persistence domain (Table 1: unlike PPA's direct L1D write-back
+    /// path, `clwb` rides the demand path).
+    pub fn enqueue_delayed(&mut self, line_addr: u64, now: u64, delay: u64) -> bool {
+        if self.coalesce && self.lines.iter().any(|&(l, _)| l == line_addr) {
+            self.stats.enqueued += 1;
+            self.stats.coalesced += 1;
+            return true;
+        }
+        if self.lines.len() >= self.capacity {
+            self.stats.full_rejections += 1;
+            return false;
+        }
+        self.lines.push_back((line_addr, now + delay));
+        self.stats.enqueued += 1;
+        true
+    }
+
+    /// Advances the buffer one step at `now`: offers the oldest entry to
+    /// the NVM via `issue` (which returns `Ok(media_completion_cycle)` on
+    /// WPQ acceptance or `Err(retry_cycle)` when the WPQ is full). On
+    /// acceptance the entry leaves the buffer — it is durable — and
+    /// `retire` is called with the line address.
+    ///
+    /// At most one entry is issued per call (one L1D write-back port).
+    pub fn tick<I, R>(&mut self, now: u64, mut issue: I, mut retire: R)
+    where
+        I: FnMut(u64, u64) -> Result<u64, u64>,
+        R: FnMut(u64),
+    {
+        if let Some(&(line, ready_at)) = self.lines.front() {
+            if ready_at <= now && issue(line, now).is_ok() {
+                self.lines.pop_front();
+                self.stats.issued += 1;
+                retire(line);
+            }
+        }
+    }
+
+    /// The §4.3 persistence counter: persists accepted from the core but
+    /// not yet acknowledged by the WPQ. A region boundary may only be
+    /// crossed when this is 0.
+    pub fn outstanding(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the buffer has room for a new non-coalescing entry.
+    pub fn has_room(&self) -> bool {
+        self.lines.len() < self.capacity
+    }
+
+    /// Whether a persist for `line_addr` would coalesce with a waiting
+    /// entry.
+    pub fn would_coalesce(&self, line_addr: u64) -> bool {
+        self.coalesce && self.lines.iter().any(|&(l, _)| l == line_addr)
+    }
+
+    /// Drops all entries (used when modelling power failure: persists that
+    /// have not reached the WPQ are lost — PPA replays them from the CSQ
+    /// instead).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Line addresses still waiting for WPQ acceptance.
+    pub fn pending_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.iter().map(|&(l, _)| l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_merges_same_line() {
+        let mut wb = WriteBuffer::new(4, true);
+        assert!(wb.enqueue(0, 0));
+        assert!(wb.enqueue(0, 1));
+        assert_eq!(wb.outstanding(), 1);
+        assert_eq!(wb.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn no_coalescing_when_disabled() {
+        let mut wb = WriteBuffer::new(4, false);
+        wb.enqueue(0, 0);
+        wb.enqueue(0, 1);
+        assert_eq!(wb.outstanding(), 2);
+        assert_eq!(wb.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn full_buffer_rejects() {
+        let mut wb = WriteBuffer::new(1, true);
+        assert!(wb.enqueue(0, 0));
+        assert!(!wb.enqueue(64, 1));
+        assert_eq!(wb.stats().full_rejections, 1);
+    }
+
+    #[test]
+    fn acceptance_retires_the_entry_immediately() {
+        let mut wb = WriteBuffer::new(4, true);
+        wb.enqueue(0, 0);
+        let mut retired = Vec::new();
+        wb.tick(0, |_, now| Ok(now + 236), |l| retired.push(l));
+        assert_eq!(wb.outstanding(), 0, "durable at WPQ acceptance");
+        assert_eq!(retired, vec![0]);
+    }
+
+    #[test]
+    fn one_issue_per_tick() {
+        let mut wb = WriteBuffer::new(4, true);
+        wb.enqueue(0, 0);
+        wb.enqueue(64, 0);
+        let mut issued = Vec::new();
+        wb.tick(0, |l, now| { issued.push(l); Ok(now) }, |_| {});
+        assert_eq!(issued, vec![0]);
+        assert_eq!(wb.outstanding(), 1);
+        wb.tick(1, |l, now| { issued.push(l); Ok(now) }, |_| {});
+        assert_eq!(issued, vec![0, 64]);
+        assert_eq!(wb.outstanding(), 0);
+    }
+
+    #[test]
+    fn wpq_backpressure_keeps_entry_buffered() {
+        let mut wb = WriteBuffer::new(4, true);
+        wb.enqueue(0, 0);
+        wb.tick(0, |_, _| Err(50), |_| {});
+        assert_eq!(wb.stats().issued, 0);
+        assert_eq!(wb.outstanding(), 1);
+        // Coalescing still works while blocked.
+        assert!(wb.enqueue(0, 1));
+        assert_eq!(wb.outstanding(), 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut wb = WriteBuffer::new(4, true);
+        wb.enqueue(0, 0);
+        wb.enqueue(64, 0);
+        wb.clear();
+        assert_eq!(wb.outstanding(), 0);
+        assert_eq!(wb.pending_lines().count(), 0);
+    }
+
+    #[test]
+    fn delayed_entries_wait_for_readiness() {
+        let mut wb = WriteBuffer::new(4, true);
+        wb.enqueue_delayed(0, 0, 100);
+        let mut issued = 0;
+        wb.tick(50, |_, now| { issued += 1; Ok(now) }, |_| {});
+        assert_eq!(issued, 0, "not ready yet");
+        wb.tick(100, |_, now| { issued += 1; Ok(now) }, |_| {});
+        assert_eq!(issued, 1);
+        assert_eq!(wb.outstanding(), 0);
+    }
+
+    #[test]
+    fn delayed_head_blocks_younger_entries() {
+        // FIFO: a slow clwb at the head holds back later persists, like a
+        // single write-back port would.
+        let mut wb = WriteBuffer::new(4, true);
+        wb.enqueue_delayed(0, 0, 100);
+        wb.enqueue(64, 0);
+        let mut issued = Vec::new();
+        wb.tick(10, |l, now| { issued.push(l); Ok(now) }, |_| {});
+        assert!(issued.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        WriteBuffer::new(0, true);
+    }
+}

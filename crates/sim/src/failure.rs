@@ -1,0 +1,218 @@
+use crate::presets::SystemConfig;
+use ppa_core::{replay_stores, Core, PersistenceMode};
+use ppa_isa::Trace;
+use ppa_mem::MemorySystem;
+
+/// Outcome of one injected power failure plus recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureOutcome {
+    /// Cycle at which power was cut.
+    pub fail_cycle: u64,
+    /// Micro-ops committed before the failure (across all cores).
+    pub committed_before: u64,
+    /// Whether the raw NVM image already matched architectural memory at
+    /// the failure point (usually not — that is the crash inconsistency).
+    pub consistent_before_recovery: bool,
+    /// Stores replayed from the checkpointed CSQs.
+    pub replayed_stores: usize,
+    /// Bytes the JIT checkpoint moved to NVM (summed over cores).
+    pub checkpoint_bytes: u64,
+    /// Whether NVM matched architectural memory right after replay.
+    pub consistent_after_recovery: bool,
+    /// Whether the recovered machine resumed and completed the program
+    /// with a consistent final NVM image.
+    pub completed_after_resume: bool,
+}
+
+/// Runs a PPA machine until `fail_cycle`, cuts power, JIT-checkpoints,
+/// recovers per §4.5–4.6, resumes, and reports every verification step.
+///
+/// # Panics
+///
+/// Panics if the configuration's persistence mode is not
+/// [`PersistenceMode::Ppa`] — only PPA defines this recovery protocol.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_sim::{inject_failure, SystemConfig};
+/// use ppa_workloads::registry;
+///
+/// let app = registry::by_name("hmmer").unwrap();
+/// let trace = app.generate(3_000, 2);
+/// let out = inject_failure(&SystemConfig::ppa(), &trace, 1_000);
+/// assert!(out.consistent_after_recovery);
+/// assert!(out.completed_after_resume);
+/// ```
+pub fn inject_failure(cfg: &SystemConfig, trace: &Trace, fail_cycle: u64) -> FailureOutcome {
+    inject_failure_multicore(cfg, std::slice::from_ref(trace), fail_cycle)
+}
+
+/// Multi-core version of [`inject_failure`]: every core is checkpointed
+/// and recovered individually, and the CSQs are replayed in arbitrary
+/// (here: core-index) order — §6 argues DRF makes any order correct.
+pub fn inject_failure_multicore(
+    cfg: &SystemConfig,
+    traces: &[Trace],
+    fail_cycle: u64,
+) -> FailureOutcome {
+    assert_eq!(
+        cfg.core.mode,
+        PersistenceMode::Ppa,
+        "failure injection drives PPA's recovery protocol"
+    );
+    assert!(!traces.is_empty(), "need at least one trace");
+
+    let mut mem = MemorySystem::new(cfg.mem, traces.len());
+    let mut cores: Vec<Core> = (0..traces.len())
+        .map(|i| Core::new(cfg.core, i))
+        .collect();
+
+    // Phase 1: run until the power failure.
+    for now in 0..fail_cycle {
+        for (core, trace) in cores.iter_mut().zip(traces) {
+            core.step(trace, &mut mem, now);
+        }
+        mem.tick(now);
+    }
+
+    let committed_before: u64 = cores.iter().map(Core::committed).sum();
+    let consistent_before_recovery = mem.nvm_image().diff(mem.arch_mem()).is_empty();
+
+    // Phase 2: power failure — JIT checkpoint, then all volatile state
+    // dies.
+    let images: Vec<_> = cores.iter().map(Core::jit_checkpoint).collect();
+    let checkpoint_bytes: u64 = images
+        .iter()
+        .map(|i| i.checkpoint_bytes(cfg.core.total_prf()))
+        .sum();
+    mem.power_failure();
+
+    // Phase 3: recovery — restore, replay each core's CSQ (any order),
+    // and verify consistency at the last commit point.
+    let mut replayed_stores = 0;
+    for image in &images {
+        replayed_stores += replay_stores(image, mem.nvm_image_mut()).replayed_stores;
+    }
+    let consistent_after_recovery = mem.nvm_image().diff(mem.arch_mem()).is_empty();
+
+    // Phase 4: resume after the LCPC and run to completion.
+    let mut recovered: Vec<Core> = images
+        .iter()
+        .enumerate()
+        .map(|(i, img)| Core::recover(cfg.core, i, img))
+        .collect();
+    let total_uops: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let limit = fail_cycle + 1_000_000 + total_uops * 2_000;
+    let mut now = fail_cycle;
+    loop {
+        let mut all_done = true;
+        for (core, trace) in recovered.iter_mut().zip(traces) {
+            core.step(trace, &mut mem, now);
+            all_done &= core.is_finished();
+        }
+        mem.tick(now);
+        now += 1;
+        if all_done {
+            break;
+        }
+        assert!(now < limit, "recovered machine deadlocked");
+    }
+    let completed = recovered
+        .iter()
+        .zip(traces)
+        .all(|(c, t)| c.committed() == t.len() as u64)
+        && mem.nvm_image().diff(mem.arch_mem()).is_empty();
+
+    FailureOutcome {
+        fail_cycle,
+        committed_before,
+        consistent_before_recovery,
+        replayed_stores,
+        checkpoint_bytes,
+        consistent_after_recovery,
+        completed_after_resume: completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_workloads::registry;
+
+    #[test]
+    fn recovery_restores_consistency_at_many_failure_points() {
+        let app = registry::by_name("tpcc").unwrap();
+        let trace = app.generate(2_000, 11);
+        for fail_cycle in [1, 50, 333, 1_000, 2_500] {
+            let out = inject_failure(&SystemConfig::ppa(), &trace, fail_cycle);
+            assert!(
+                out.consistent_after_recovery,
+                "inconsistent after recovery at cycle {fail_cycle}"
+            );
+            assert!(
+                out.completed_after_resume,
+                "did not complete after resume at cycle {fail_cycle}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_run_failures_exhibit_the_inconsistency_ppa_repairs() {
+        // At some failure point the raw NVM image must differ from the
+        // architectural memory — otherwise the experiment proves nothing.
+        let app = registry::by_name("rb").unwrap();
+        let trace = app.generate(3_000, 7);
+        let mut saw_inconsistency = false;
+        for i in 1..25 {
+            let fail_cycle = i * 211;
+            let out = inject_failure(&SystemConfig::ppa(), &trace, fail_cycle);
+            saw_inconsistency |= !out.consistent_before_recovery;
+            assert!(out.consistent_after_recovery);
+        }
+        assert!(saw_inconsistency, "no failure point was inconsistent");
+    }
+
+    #[test]
+    fn checkpoint_bytes_within_paper_worst_case() {
+        let app = registry::by_name("lulesh").unwrap();
+        let trace = app.generate(2_000, 3);
+        let out = inject_failure(&SystemConfig::ppa(), &trace, 1_200);
+        assert!(out.checkpoint_bytes > 0);
+        // One core's checkpoint can never exceed §7.13's 1838-byte bound
+        // (40 CSQ entries, 88 registers, CRT, MaskReg, LCPC).
+        assert!(
+            out.checkpoint_bytes <= 1838,
+            "checkpoint was {} bytes",
+            out.checkpoint_bytes
+        );
+    }
+
+    #[test]
+    fn multicore_recovery_in_arbitrary_order_is_consistent() {
+        let app = registry::by_name("water-ns").unwrap();
+        let traces: Vec<_> = (0..4).map(|t| app.generate_thread(1_500, 5, t)).collect();
+        let cfg = SystemConfig::ppa().with_threads(4);
+        let out = inject_failure_multicore(&cfg, &traces, 900);
+        assert!(out.consistent_after_recovery);
+        assert!(out.completed_after_resume);
+    }
+
+    #[test]
+    fn failure_before_any_commit_is_trivially_recoverable() {
+        let app = registry::by_name("gcc").unwrap();
+        let trace = app.generate(500, 1);
+        let out = inject_failure(&SystemConfig::ppa(), &trace, 0);
+        assert_eq!(out.committed_before, 0);
+        assert_eq!(out.replayed_stores, 0);
+        assert!(out.completed_after_resume);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery protocol")]
+    fn non_ppa_mode_panics() {
+        let app = registry::by_name("gcc").unwrap();
+        let trace = app.generate(100, 1);
+        inject_failure(&SystemConfig::baseline(), &trace, 10);
+    }
+}

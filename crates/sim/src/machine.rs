@@ -1,0 +1,249 @@
+use crate::presets::SystemConfig;
+use crate::report::SimReport;
+use ppa_core::Core;
+use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
+use ppa_isa::Trace;
+use ppa_mem::MemorySystem;
+use ppa_workloads::AppDescriptor;
+use std::collections::HashSet;
+
+/// Deterministically selects the fraction of the traces' footprint that
+/// is DRAM-cache resident at measurement time (see
+/// [`ppa_workloads::AppDescriptor::dram_resident_frac`]): a line is
+/// resident iff a hash of its address falls below the fraction.
+fn classify_lines(traces: &[Trace], app: &AppDescriptor) -> (Vec<u64>, Vec<u64>) {
+    let mut hot = HashSet::new();
+    let mut resident = HashSet::new();
+    for t in traces {
+        for u in t {
+            if let Some(m) = u.mem {
+                let line = ppa_isa::line_of(m.addr);
+                if app.is_hot_line(line) {
+                    hot.insert(line);
+                } else if hash01(line) < app.dram_resident_frac {
+                    resident.insert(line);
+                }
+            }
+        }
+    }
+    // Sorted so prewarm order (and therefore LRU state) is deterministic.
+    let mut h: Vec<u64> = hot.into_iter().collect();
+    h.sort_unstable();
+    let mut r: Vec<u64> = resident.into_iter().collect();
+    r.sort_unstable();
+    (h, r)
+}
+
+fn hash01(x: u64) -> f64 {
+    // SplitMix64 finaliser: uniform enough for residency sampling.
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Cache contents established before a measured run (steady-state warmth).
+#[derive(Debug, Clone, Default)]
+struct Prewarm {
+    /// Hot working-set lines: warmed into L2 and DRAM cache.
+    hot: Vec<u64>,
+    /// Additional DRAM-cache-resident lines.
+    dram_resident: Vec<u64>,
+}
+
+/// A runnable machine: a [`SystemConfig`] plus the drive loop.
+///
+/// `Machine` owns nothing mutable — each `run_*` call builds a fresh
+/// memory system and cores, so runs are independent and deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_sim::{Machine, SystemConfig};
+/// use ppa_workloads::registry;
+///
+/// let app = registry::by_name("gobmk").unwrap();
+/// let report = Machine::new(SystemConfig::ppa()).run_app(&app, 4_000, 1);
+/// assert_eq!(report.committed, 4_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Machine {
+    cfg: SystemConfig,
+}
+
+impl Machine {
+    /// Creates a machine from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        Machine { cfg }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Applies the persistence mode's compiler pass to a raw trace
+    /// (identity for baseline and PPA — that is the paper's point).
+    pub fn prepare_trace(&self, raw: &Trace) -> Trace {
+        match self.cfg.core.mode {
+            ppa_core::PersistenceMode::ReplayCache => ReplayCachePass::new().apply(raw),
+            ppa_core::PersistenceMode::Capri => CapriPass::new().apply(raw),
+            _ => raw.clone(),
+        }
+    }
+
+    /// Runs a single prepared trace on core 0.
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        self.run_threads(std::slice::from_ref(trace))
+    }
+
+    /// Runs one prepared trace per core, in lock step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the machine deadlocks (a cycle
+    /// bound of 2000 cycles per micro-op is enforced).
+    pub fn run_threads(&self, traces: &[Trace]) -> SimReport {
+        self.run_inner(traces, &Prewarm::default())
+    }
+
+    fn run_inner(&self, traces: &[Trace], warm: &Prewarm) -> SimReport {
+        assert!(!traces.is_empty(), "need at least one trace");
+        let mut mem = MemorySystem::new(self.cfg.mem, traces.len());
+        for &line in &warm.hot {
+            mem.prewarm_l2(line);
+            mem.prewarm_dram(line);
+        }
+        for &line in &warm.dram_resident {
+            mem.prewarm_dram(line);
+        }
+        let mut cores: Vec<Core> = (0..traces.len())
+            .map(|i| Core::new(self.cfg.core, i))
+            .collect();
+        let total_uops: u64 = traces.iter().map(|t| t.len() as u64).sum();
+        let limit = 1_000_000 + total_uops * 2_000;
+        let mut now = 0;
+        loop {
+            let mut all_done = true;
+            for (core, trace) in cores.iter_mut().zip(traces) {
+                core.step(trace, &mut mem, now);
+                all_done &= core.is_finished();
+            }
+            mem.tick(now);
+            now += 1;
+            if all_done {
+                break;
+            }
+            assert!(now < limit, "machine deadlocked after {now} cycles");
+        }
+        let cycles = cores
+            .iter()
+            .map(|c| c.finished_at().expect("all cores finished"))
+            .max()
+            .unwrap_or(0);
+        let committed = cores.iter().map(Core::committed).sum();
+        let consistent = mem.nvm_image().diff(mem.arch_mem()).is_empty();
+        SimReport {
+            cycles,
+            committed,
+            core_stats: cores.into_iter().map(|c| c.stats().clone()).collect(),
+            mem_stats: mem.stats(),
+            consistent,
+        }
+    }
+
+    /// Generates the application's traces (one per configured thread),
+    /// applies the mode's compiler pass, and runs. `len` is micro-ops per
+    /// thread of the *raw* program, so every scheme executes the same
+    /// program (the software schemes' inserted `clwb`s/barriers make
+    /// their dynamic instruction count larger, as in reality).
+    pub fn run_app(&self, app: &AppDescriptor, len: usize, seed: u64) -> SimReport {
+        let threads = self.cfg.threads.min(app.threads.max(1));
+        let traces: Vec<Trace> = (0..threads)
+            .map(|tid| self.prepare_trace(&app.generate_thread(len, seed, tid)))
+            .collect();
+        let (hot, dram_resident) = classify_lines(&traces, app);
+        self.run_inner(&traces, &Prewarm { hot, dram_resident })
+    }
+
+    /// Runs the application with its default thread count under this
+    /// configuration (SPEC apps stay single-threaded even on an 8-core
+    /// config).
+    pub fn run_app_parallel(&self, app: &AppDescriptor, len: usize, seed: u64) -> SimReport {
+        let cfg = SystemConfig {
+            threads: app.threads,
+            ..self.cfg
+        };
+        Machine::new(cfg).run_app(app, len, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::SystemConfig;
+    use ppa_workloads::registry;
+
+    #[test]
+    fn baseline_and_ppa_commit_the_same_program() {
+        let app = registry::by_name("sjeng").unwrap();
+        let base = Machine::new(SystemConfig::baseline()).run_app(&app, 3_000, 9);
+        let ppa = Machine::new(SystemConfig::ppa()).run_app(&app, 3_000, 9);
+        assert_eq!(base.committed, 3_000);
+        assert_eq!(ppa.committed, 3_000);
+        assert!(ppa.consistent);
+    }
+
+    #[test]
+    fn replaycache_trace_is_longer_than_raw() {
+        let app = registry::by_name("bzip2").unwrap();
+        let m = Machine::new(SystemConfig::replay_cache());
+        let raw = app.generate(2_000, 1);
+        let prepared = m.prepare_trace(&raw);
+        assert!(prepared.len() > raw.len(), "clwbs and barriers added");
+    }
+
+    #[test]
+    fn multicore_run_is_consistent_and_deterministic() {
+        let app = registry::by_name("radix").unwrap();
+        let m = Machine::new(SystemConfig::ppa().with_threads(4));
+        let r1 = m.run_app(&app, 2_000, 5);
+        let r2 = m.run_app(&app, 2_000, 5);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.committed, 4 * 2_000);
+        assert!(r1.consistent);
+    }
+
+    #[test]
+    fn dram_only_is_fastest_on_memory_bound_apps() {
+        let app = registry::by_name("lbm").unwrap();
+        let dram = Machine::new(SystemConfig::dram_only()).run_app(&app, 30_000, 3);
+        let mem_mode = Machine::new(SystemConfig::baseline()).run_app(&app, 30_000, 3);
+        assert!(
+            dram.cycles < mem_mode.cycles,
+            "DRAM-only ({}) must beat memory mode ({})",
+            dram.cycles,
+            mem_mode.cycles
+        );
+    }
+
+    #[test]
+    fn app_direct_is_slower_than_memory_mode_for_missy_apps() {
+        let app = registry::by_name("libquantum").unwrap();
+        let psp = Machine::new(SystemConfig::eadr_bbb()).run_app(&app, 10_000, 3);
+        let mem_mode = Machine::new(SystemConfig::baseline()).run_app(&app, 10_000, 3);
+        assert!(
+            psp.cycles > mem_mode.cycles,
+            "app-direct ({}) must trail memory mode ({})",
+            psp.cycles,
+            mem_mode.cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_trace_list_panics() {
+        Machine::new(SystemConfig::baseline()).run_threads(&[]);
+    }
+}

@@ -1,0 +1,184 @@
+use ppa_core::{CoreConfig, PersistenceMode};
+use ppa_mem::MemConfig;
+
+/// A complete machine configuration: core + memory + thread count.
+///
+/// The preset constructors pair the core's persistence mode with the
+/// memory organisation the paper evaluates it on; sweep helpers adjust
+/// single parameters for the sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Per-core configuration.
+    pub core: CoreConfig,
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+    /// Number of cores (threads) simulated.
+    pub threads: usize,
+}
+
+impl SystemConfig {
+    /// The paper's baseline: original binaries on PMEM's memory mode, no
+    /// persistence support. Every figure normalises against this.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            core: CoreConfig::paper_default(PersistenceMode::Baseline),
+            mem: MemConfig::memory_mode(),
+            threads: 1,
+        }
+    }
+
+    /// PPA on memory mode (Table 2 defaults, 40-entry CSQ).
+    pub fn ppa() -> Self {
+        SystemConfig {
+            core: CoreConfig::paper_default(PersistenceMode::Ppa),
+            ..SystemConfig::baseline()
+        }
+    }
+
+    /// ReplayCache: store-integrity binaries (apply
+    /// [`ppa_isa::transform::ReplayCachePass`] to the trace) with a `clwb`
+    /// per store. `clwb` tracks single stores, so persist coalescing is
+    /// off (Table 1).
+    pub fn replay_cache() -> Self {
+        SystemConfig {
+            core: CoreConfig::paper_default(PersistenceMode::ReplayCache),
+            mem: MemConfig {
+                persist_coalescing: false,
+                ..MemConfig::memory_mode()
+            },
+            threads: 1,
+        }
+    }
+
+    /// Capri with its practical 4 GB/s persist path (§7.1); traces must be
+    /// pre-processed with [`ppa_isa::transform::CapriPass`].
+    pub fn capri() -> Self {
+        SystemConfig {
+            core: CoreConfig::paper_default(PersistenceMode::Capri),
+            ..SystemConfig::baseline()
+        }
+    }
+
+    /// The Figure 10 ideal-PSP comparator (eADR/BBB): batteries make the
+    /// SRAM caches persistent, so the core needs no support — but the
+    /// PMEM is used app-direct, with no DRAM cache to hide its latency.
+    pub fn eadr_bbb() -> Self {
+        SystemConfig {
+            mem: MemConfig::app_direct(),
+            ..SystemConfig::baseline()
+        }
+    }
+
+    /// A CXL-attached far persistent memory (the introduction's claim:
+    /// PPA "treats the underlying cache hierarchy as a black box, thus
+    /// being suitable for ... CXL-based far persistent memory"): the same
+    /// memory-mode system with the NVM an extra ~300 ns away.
+    pub fn with_cxl_far_memory(mut self) -> Self {
+        if let Some(nvm) = self.mem.nvm() {
+            let far = ppa_mem::NvmConfig {
+                read_latency: nvm.read_latency + ppa_mem::ns_to_cycles(300.0),
+                write_latency: nvm.write_latency + ppa_mem::ns_to_cycles(300.0),
+                ..*nvm
+            };
+            self.mem = self.mem.with_nvm(far);
+        }
+        self
+    }
+
+    /// The Figure 9 comparison system: 32 GB of volatile DRAM only.
+    pub fn dram_only() -> Self {
+        SystemConfig {
+            mem: MemConfig::dram_only(),
+            ..SystemConfig::baseline()
+        }
+    }
+
+    /// The Figure 14 deeper hierarchy (private 1 MB L2 + shared 16 MB L3
+    /// atop the DRAM cache), for `ppa` or `baseline` cores.
+    pub fn with_deep_hierarchy(mut self) -> Self {
+        self.mem = MemConfig {
+            backing: self.mem.backing,
+            ..MemConfig::deep_hierarchy()
+        };
+        self
+    }
+
+    /// Runs on `threads` cores; synchronisation contention grows mildly
+    /// with the core count (Figure 19's thread study also scales the
+    /// shared L2 and WPQ proportionally, which this mirrors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self.core.sync_extra_latency = 16 + 2 * threads as u64;
+        if threads > 8 {
+            // §7.11: the study scales the shared L2 and the NVM WPQ with
+            // the thread count (more DIMMs behind more controllers, so
+            // aggregate write bandwidth scales too).
+            let scale = (threads / 8) as u64;
+            self.mem.l2.size_bytes *= scale;
+            if let Some(nvm) = self.mem.nvm() {
+                let mut scaled = nvm.with_wpq_entries(nvm.wpq_entries * scale as usize);
+                scaled.write_bytes_per_cycle *= scale as f64;
+                self.mem = self.mem.with_nvm(scaled);
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pair_modes_with_memories() {
+        assert_eq!(SystemConfig::baseline().core.mode, PersistenceMode::Baseline);
+        assert_eq!(SystemConfig::ppa().core.mode, PersistenceMode::Ppa);
+        assert!(SystemConfig::eadr_bbb().mem.dram_cache.is_none());
+        assert!(SystemConfig::eadr_bbb().mem.nvm().is_some());
+        assert!(SystemConfig::dram_only().mem.nvm().is_none());
+        assert!(!SystemConfig::replay_cache().mem.persist_coalescing);
+    }
+
+    #[test]
+    fn deep_hierarchy_keeps_the_backing() {
+        let c = SystemConfig::ppa().with_deep_hierarchy();
+        assert!(c.mem.l3.is_some());
+        assert!(!c.mem.l2_shared);
+        assert!(c.mem.nvm().is_some());
+    }
+
+    #[test]
+    fn thread_scaling_grows_shared_resources() {
+        let c8 = SystemConfig::ppa().with_threads(8);
+        let c32 = SystemConfig::ppa().with_threads(32);
+        assert_eq!(c32.threads, 32);
+        assert!(c32.core.sync_extra_latency > c8.core.sync_extra_latency);
+        assert_eq!(c32.mem.l2.size_bytes, 4 * c8.mem.l2.size_bytes);
+        assert_eq!(c32.mem.nvm().unwrap().wpq_entries, 64);
+    }
+
+    #[test]
+    fn cxl_far_memory_raises_nvm_latency_only() {
+        let near = SystemConfig::ppa();
+        let far = SystemConfig::ppa().with_cxl_far_memory();
+        let n = near.mem.nvm().unwrap();
+        let f = far.mem.nvm().unwrap();
+        assert_eq!(f.read_latency, n.read_latency + 600);
+        assert_eq!(f.write_latency, n.write_latency + 600);
+        assert_eq!(f.wpq_entries, n.wpq_entries);
+        // DRAM-only systems are unaffected.
+        let d = SystemConfig::dram_only().with_cxl_far_memory();
+        assert!(d.mem.nvm().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        SystemConfig::ppa().with_threads(0);
+    }
+}

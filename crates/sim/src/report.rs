@@ -1,0 +1,191 @@
+use ppa_core::CoreStats;
+use ppa_mem::MemStats;
+use ppa_stats::Summary;
+use std::fmt;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Wall-clock cycles until the last core finished (and drained).
+    pub cycles: u64,
+    /// Micro-ops committed across all cores.
+    pub committed: u64,
+    /// Per-core execution statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem_stats: MemStats,
+    /// Whether the NVM image matched architectural memory at completion.
+    /// Always `true` for a drained WSP scheme; typically `false` for the
+    /// baseline (its dirty lines die in the caches).
+    pub consistent: bool,
+}
+
+impl SimReport {
+    /// Instructions per cycle across all cores.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average instructions per PPA region across cores (Figure 13).
+    pub fn region_insts(&self) -> Summary {
+        let mut s = Summary::new();
+        for c in &self.core_stats {
+            s.merge(&c.region_insts);
+        }
+        s
+    }
+
+    /// Average stores per PPA region across cores (Figure 13).
+    pub fn region_stores(&self) -> Summary {
+        let mut s = Summary::new();
+        for c in &self.core_stats {
+            s.merge(&c.region_stores);
+        }
+        s
+    }
+
+    /// Fraction of cycles stalled at region ends, averaged over cores
+    /// (Figure 11).
+    pub fn region_end_stall_fraction(&self) -> f64 {
+        if self.core_stats.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .core_stats
+            .iter()
+            .map(CoreStats::region_end_stall_fraction)
+            .sum();
+        sum / self.core_stats.len() as f64
+    }
+
+    /// Fraction of cycles the rename stage was out of registers, averaged
+    /// over cores (Figure 12).
+    pub fn rename_noreg_stall_fraction(&self) -> f64 {
+        if self.core_stats.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .core_stats
+            .iter()
+            .map(CoreStats::rename_noreg_stall_fraction)
+            .sum();
+        sum / self.core_stats.len() as f64
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cycles, {} uops (IPC {:.2}), {} core(s), consistent: {}",
+            self.cycles,
+            self.committed,
+            self.ipc(),
+            self.core_stats.len(),
+            self.consistent
+        )?;
+        let regions: u64 = self.core_stats.iter().map(|c| c.regions).sum();
+        if regions > 0 {
+            writeln!(
+                f,
+                "regions: {} (avg {:.0} insts / {:.1} stores), region-end stall {:.2}%",
+                regions,
+                self.region_insts().mean(),
+                self.region_stores().mean(),
+                self.region_end_stall_fraction() * 100.0
+            )?;
+        }
+        write!(
+            f,
+            "mem: L1D miss {:.1}%, L2 miss {:.1}%, NVM {} reads / {} writes ({} combined)",
+            self.mem_stats.l1d.miss_rate() * 100.0,
+            self.mem_stats.l2.miss_rate() * 100.0,
+            self.mem_stats.nvm.reads,
+            self.mem_stats.nvm.writes,
+            self.mem_stats.nvm.combined_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_core::{CoreConfig, PersistenceMode};
+
+    fn empty_report() -> SimReport {
+        SimReport {
+            cycles: 0,
+            committed: 0,
+            core_stats: vec![],
+            mem_stats: MemStats::default(),
+            consistent: true,
+        }
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(empty_report().ipc(), 0.0);
+    }
+
+    #[test]
+    fn fractions_average_over_cores() {
+        let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
+        let mut a = CoreStats::new(&cfg);
+        a.cycles = 100;
+        a.region_end_stall_cycles = 10;
+        let mut b = CoreStats::new(&cfg);
+        b.cycles = 100;
+        b.region_end_stall_cycles = 30;
+        let r = SimReport {
+            cycles: 100,
+            committed: 0,
+            core_stats: vec![a, b],
+            mem_stats: MemStats::default(),
+            consistent: true,
+        };
+        assert!((r.region_end_stall_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(empty_report().region_end_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_is_single_screen_and_nonempty() {
+        let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
+        let mut c = CoreStats::new(&cfg);
+        c.cycles = 100;
+        c.record_region(300, 18, ppa_core::RegionEndCause::PrfExhausted);
+        let r = SimReport {
+            cycles: 100,
+            committed: 250,
+            core_stats: vec![c],
+            mem_stats: MemStats::default(),
+            consistent: true,
+        };
+        let s = r.to_string();
+        assert!(s.contains("IPC 2.50"));
+        assert!(s.contains("regions: 1"));
+        assert!(s.lines().count() <= 4);
+    }
+
+    #[test]
+    fn region_summaries_merge_cores() {
+        let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
+        let mut a = CoreStats::new(&cfg);
+        a.record_region(100, 5, ppa_core::RegionEndCause::PrfExhausted);
+        let mut b = CoreStats::new(&cfg);
+        b.record_region(300, 15, ppa_core::RegionEndCause::PrfExhausted);
+        let r = SimReport {
+            cycles: 1,
+            committed: 0,
+            core_stats: vec![a, b],
+            mem_stats: MemStats::default(),
+            consistent: true,
+        };
+        assert_eq!(r.region_insts().count(), 2);
+        assert!((r.region_insts().mean() - 200.0).abs() < 1e-12);
+        assert!((r.region_stores().mean() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,206 @@
+/// Cumulative distribution over integer-valued samples.
+///
+/// Figure 5 of the PPA paper plots the CDF of the number of free physical
+/// registers, sampled every cycle at the rename stage. Samples there are
+/// small integers (0 ..= PRF size), so the CDF is stored as a dense count
+/// vector indexed by value — O(1) per sample and exact quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_stats::Cdf;
+///
+/// let mut cdf = Cdf::with_max_value(10);
+/// for v in [2u64, 2, 4, 8] {
+///     cdf.record(v);
+/// }
+/// // 75% of samples are <= 4.
+/// assert!((cdf.fraction_at_or_below(4) - 0.75).abs() < 1e-12);
+/// assert_eq!(cdf.quantile(0.75), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cdf {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Cdf {
+    /// Creates a CDF able to record values in `0 ..= max_value`.
+    pub fn with_max_value(max_value: u64) -> Self {
+        Cdf {
+            counts: vec![0; max_value as usize + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one sample, clamping values beyond the configured maximum
+    /// into the top bucket (the rename stage can never observe more free
+    /// registers than the PRF holds, so clamping only defends against
+    /// harness misuse).
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recordable value.
+    pub fn max_value(&self) -> u64 {
+        (self.counts.len() - 1) as u64
+    }
+
+    /// Fraction of samples `<= value`; `0.0` when empty.
+    pub fn fraction_at_or_below(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hi = (value as usize).min(self.counts.len() - 1);
+        let c: u64 = self.counts[..=hi].iter().sum();
+        c as f64 / self.total as f64
+    }
+
+    /// Smallest value `v` such that at least `q` of the samples are `<= v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]` or the CDF is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        assert!(self.total > 0, "quantile of an empty CDF");
+        let threshold = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= threshold {
+                return v as u64;
+            }
+        }
+        self.max_value()
+    }
+
+    /// The complementary quantile used by Figure 5's narration: the number
+    /// of free registers available for at least `q` of the cycles, i.e. the
+    /// `(1 - q)`-quantile of the sample distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1)` or the CDF is empty.
+    pub fn value_available_for(&self, q: f64) -> u64 {
+        assert!((0.0..1.0).contains(&q), "fraction must be in [0, 1), got {q}");
+        self.quantile(1.0 - q)
+    }
+
+    /// Points `(value, cumulative_fraction)` suitable for plotting; one
+    /// point per distinct recorded value.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut acc = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                acc += c;
+                out.push((v as u64, acc as f64 / self.total as f64));
+            }
+        }
+        out
+    }
+
+    /// Merges another CDF (over the same value range) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two CDFs have different maximum values.
+    pub fn merge(&mut self, other: &Cdf) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge CDFs with different value ranges"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cdf() -> Cdf {
+        let mut cdf = Cdf::with_max_value(100);
+        for v in 0..100u64 {
+            cdf.record(v);
+        }
+        cdf
+    }
+
+    #[test]
+    fn fractions_are_monotone() {
+        let cdf = sample_cdf();
+        let mut last = 0.0;
+        for v in 0..=100 {
+            let f = cdf.fraction_at_or_below(v);
+            assert!(f >= last);
+            last = f;
+        }
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_uniform_distribution() {
+        let cdf = sample_cdf();
+        assert_eq!(cdf.quantile(0.5), 49);
+        assert_eq!(cdf.quantile(1.0), 99);
+    }
+
+    #[test]
+    fn values_beyond_max_clamp_into_top_bucket() {
+        let mut cdf = Cdf::with_max_value(4);
+        cdf.record(1_000);
+        assert_eq!(cdf.quantile(1.0), 4);
+    }
+
+    #[test]
+    fn available_for_is_complementary_quantile() {
+        // 75% of the cycles have at least `v` free registers  <=>  v is the
+        // 25th-percentile sample.
+        let cdf = sample_cdf();
+        assert_eq!(cdf.value_available_for(0.75), cdf.quantile(0.25));
+    }
+
+    #[test]
+    fn points_cover_all_mass() {
+        let mut cdf = Cdf::with_max_value(10);
+        cdf.record(3);
+        cdf.record(3);
+        cdf.record(7);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].0, 3);
+        assert!((pts[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Cdf::with_max_value(10);
+        a.record(1);
+        let mut b = Cdf::with_max_value(10);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert!((a.fraction_at_or_below(5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Cdf::with_max_value(3).quantile(0.5);
+    }
+}

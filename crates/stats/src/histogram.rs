@@ -1,0 +1,139 @@
+/// Fixed-width histogram over `f64` samples.
+///
+/// Used by the harness for distributions that are not small integers, such
+/// as per-region persistence latencies. Samples below the range go into the
+/// first bin and samples above into the last, so no sample is ever dropped.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(4), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records one sample, clamping out-of-range samples into the edge bins.
+    pub fn record(&mut self, v: f64) {
+        let n = self.bins.len();
+        let idx = if v < self.lo {
+            0
+        } else if v >= self.hi {
+            n - 1
+        } else {
+            let w = (self.hi - self.lo) / n as f64;
+            (((v - self.lo) / w) as usize).min(n - 1)
+        };
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn bin_len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * i as f64
+    }
+
+    /// Iterator over `(bin_lower_edge, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(move |i| (self.bin_lo(i), self.bins[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record(5.0);
+        h.record(15.0);
+        h.record(99.9);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(9), 1);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-5.0);
+        h.record(50.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn bin_edges_are_uniform() {
+        let h = Histogram::new(10.0, 20.0, 5);
+        assert!((h.bin_lo(0) - 10.0).abs() < 1e-12);
+        assert!((h.bin_lo(4) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_all_bins() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.iter().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 3);
+    }
+}

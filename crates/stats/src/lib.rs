@@ -1,0 +1,143 @@
+//! Statistics helpers for the PPA simulator.
+//!
+//! The evaluation section of the PPA paper reports three kinds of numbers:
+//! per-application slowdowns aggregated with a geometric mean, per-cycle
+//! cumulative distributions (free physical registers, Figure 5), and simple
+//! averages (region sizes, stall ratios). This crate provides small,
+//! dependency-free building blocks for all of them, plus an aligned text
+//! table used by the `repro` harness to print the same rows the paper
+//! reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_stats::{geomean, Summary};
+//!
+//! let slowdowns = [1.02, 1.01, 1.05];
+//! assert!((geomean(slowdowns.iter().copied()) - 1.0266).abs() < 1e-3);
+//!
+//! let s: Summary = slowdowns.iter().copied().collect();
+//! assert_eq!(s.count(), 3);
+//! assert!(s.max() > 1.04);
+//! ```
+
+mod cdf;
+mod histogram;
+mod summary;
+mod table;
+
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use table::{fmt_percent, fmt_slowdown, TextTable};
+
+/// Geometric mean of an iterator of strictly positive values.
+///
+/// Used throughout the evaluation to aggregate per-application slowdowns
+/// exactly as the paper's `gmean` columns do. Returns `1.0` for an empty
+/// iterator so a missing suite degrades to "no slowdown" rather than NaN.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive, since the logarithm of a
+/// non-positive slowdown is meaningless.
+///
+/// # Examples
+///
+/// ```
+/// let g = ppa_stats::geomean([2.0, 8.0].into_iter());
+/// assert!((g - 4.0).abs() < 1e-12);
+/// ```
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        assert!(v > 0.0, "geomean requires strictly positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean of an iterator of values; `0.0` when empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ppa_stats::mean([1.0, 3.0].into_iter()), 2.0);
+/// ```
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Ratio `a / b` reported as a slowdown, guarding against a zero baseline.
+///
+/// The paper normalises every scheme's execution cycles to the memory-mode
+/// baseline; a zero-cycle baseline would indicate a harness bug, so this
+/// panics rather than producing infinity silently.
+///
+/// # Panics
+///
+/// Panics if `baseline` is zero.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ppa_stats::slowdown(150, 100), 1.5);
+/// ```
+pub fn slowdown(cycles: u64, baseline: u64) -> f64 {
+    assert!(baseline > 0, "baseline cycle count must be non-zero");
+    cycles as f64 / baseline as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_empty_is_one() {
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean([1.0, 4.0, 16.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn geomean_rejects_zero() {
+        geomean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn slowdown_is_ratio() {
+        assert!((slowdown(102, 100) - 1.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn slowdown_rejects_zero_baseline() {
+        slowdown(1, 0);
+    }
+}

@@ -1,0 +1,165 @@
+use std::fmt;
+
+/// Column-aligned text table for harness output.
+///
+/// The `repro` binary prints one table per reproduced figure; this type
+/// keeps that output readable without pulling in a formatting dependency.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_stats::TextTable;
+///
+/// let mut t = TextTable::new(["app", "slowdown"]);
+/// t.row(["mcf", "1.02"]);
+/// t.row(["gmean", "1.02"]);
+/// let s = t.to_string();
+/// assert!(s.contains("app"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are allowed (the extra cells widen the table).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (i, width) in w.iter().enumerate() {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, "{cell:<width$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a slowdown as the paper prints it, e.g. `1.02` or `5.13`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ppa_stats::fmt_slowdown(1.0234), "1.02");
+/// ```
+pub fn fmt_slowdown(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `0.21%`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ppa_stats::fmt_percent(0.0021), "0.21%");
+/// ```
+pub fn fmt_percent(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new(["a", "bbbb"]);
+        t.row(["xxxxx", "y"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and row should have the second column starting at the same
+        // offset.
+        let header_off = lines[0].find("bbbb").unwrap();
+        let row_off = lines[2].find('y').unwrap();
+        assert_eq!(header_off, row_off);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        let s = t.to_string();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn empty_table_prints_header_only() {
+        let t = TextTable::new(["just", "header"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_slowdown(4.999), "5.00");
+        assert_eq!(fmt_percent(1.0), "100.00%");
+    }
+}

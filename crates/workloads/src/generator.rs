@@ -1,0 +1,568 @@
+use crate::app::AppDescriptor;
+use ppa_isa::{ArchReg, BranchKind, MemRef, RegClass, SyncKind, Trace, Uop, UopKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Read-only region shared by all threads (load traffic).
+pub const LOAD_BASE: u64 = 0x0001_0000_0000;
+/// Base of per-thread store regions; thread `t` writes at
+/// `STORE_BASE + t * STORE_STRIDE` so the program is data-race-free (§6).
+pub const STORE_BASE: u64 = 0x0100_0000_0000;
+/// Address-space stride between threads' store regions.
+pub const STORE_STRIDE: u64 = 0x0010_0000_0000;
+/// Kernel per-CPU data region (context-switch bursts write here).
+pub const KERNEL_BASE: u64 = 0x1000_0000_0000;
+/// Micro-ops in one kernel burst (trap + scheduler work + return).
+pub const KERNEL_BURST_LEN: u32 = 48;
+
+/// Deterministic trace generator for one [`AppDescriptor`] thread.
+///
+/// Produces a committed-path micro-op stream matching the descriptor's
+/// instruction mix, register pressure, and locality model. Stores carry
+/// explicit values chosen so that every store reading the same register
+/// definition stores the same value — the property PPA's register-based
+/// replay relies on.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_workloads::registry;
+///
+/// let app = registry::by_name("lbm").unwrap();
+/// let t = app.generate(5_000, 1);
+/// let mix = t.mix();
+/// // lbm is memory-intensive: plenty of loads and stores.
+/// assert!(mix.loads > 500);
+/// assert!(mix.stores > 200);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator<'a> {
+    app: &'a AppDescriptor,
+    rng: StdRng,
+    tid: usize,
+    int_cursor: u8,
+    fp_cursor: u8,
+    value_counter: u64,
+    /// Value each architectural register's current definition would store;
+    /// `None` until first used by a store after a (re)definition.
+    reg_store_value: [Option<u64>; ppa_isa::ArchReg::flat_count()],
+    call_depth: u32,
+    lock_held: bool,
+    cur_store_line: Option<u64>,
+    /// Remaining micro-ops of an in-progress kernel burst.
+    kernel_remaining: u32,
+    /// Micro-ops since the last kernel entry.
+    since_kernel: u64,
+}
+
+impl<'a> TraceGenerator<'a> {
+    /// Creates a generator for thread `tid` of the application.
+    pub fn new(app: &'a AppDescriptor, seed: u64, tid: usize) -> Self {
+        // Distinct, deterministic stream per (app, seed, thread).
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in app
+            .name
+            .bytes()
+            .chain(seed.to_le_bytes())
+            .chain((tid as u64).to_le_bytes())
+        {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TraceGenerator {
+            app,
+            rng: StdRng::seed_from_u64(hash),
+            tid,
+            int_cursor: 0,
+            fp_cursor: 0,
+            value_counter: (tid as u64) << 48,
+            reg_store_value: [None; ppa_isa::ArchReg::flat_count()],
+            call_depth: 0,
+            lock_held: false,
+            cur_store_line: None,
+            kernel_remaining: 0,
+            since_kernel: 0,
+        }
+    }
+
+    // Register index 0 of each class is a *stable* register (a base
+    // pointer / loop-invariant value): never redefined, so reading it
+    // creates no dependency chain. Definitions cycle through 1..N. This
+    // is what gives the synthetic code realistic instruction- and
+    // memory-level parallelism — without it every micro-op would chain on
+    // the previous few and the core could never overlap cache misses.
+    fn next_int_def(&mut self) -> ArchReg {
+        self.int_cursor = 1 + (self.int_cursor % (self.app.int_regs - 1).max(1));
+        ArchReg::int(self.int_cursor)
+    }
+
+    fn next_fp_def(&mut self) -> ArchReg {
+        if self.app.fp_regs < 2 {
+            return self.next_int_def();
+        }
+        self.fp_cursor = 1 + (self.fp_cursor % (self.app.fp_regs - 1));
+        ArchReg::fp(self.fp_cursor)
+    }
+
+    /// A value-carrying source: mostly recent pool registers (dataflow),
+    /// sometimes the stable register.
+    fn random_reg(&mut self, class: RegClass) -> ArchReg {
+        if self.rng.random::<f64>() < 0.6 {
+            return self.stable_reg(class);
+        }
+        match class {
+            RegClass::Int => ArchReg::int(self.rng.random_range(0..self.app.int_regs)),
+            RegClass::Fp => {
+                if self.app.fp_regs == 0 {
+                    self.random_reg(RegClass::Int)
+                } else {
+                    ArchReg::fp(self.rng.random_range(0..self.app.fp_regs))
+                }
+            }
+        }
+    }
+
+    fn stable_reg(&mut self, class: RegClass) -> ArchReg {
+        match class {
+            RegClass::Int => ArchReg::int(0),
+            RegClass::Fp => {
+                if self.app.fp_regs == 0 {
+                    ArchReg::int(0)
+                } else {
+                    ArchReg::fp(0)
+                }
+            }
+        }
+    }
+
+    /// An address-generation source: almost always a stable base register,
+    /// so loads expose memory-level parallelism.
+    fn addr_reg(&mut self) -> ArchReg {
+        if self.rng.random::<f64>() < 0.9 {
+            ArchReg::int(0)
+        } else {
+            ArchReg::int(self.rng.random_range(0..self.app.int_regs))
+        }
+    }
+
+    fn define(&mut self, reg: ArchReg) {
+        // A fresh definition gets a fresh store value when first stored.
+        self.reg_store_value[reg.flat_index()] = None;
+    }
+
+    fn store_value_for(&mut self, reg: ArchReg) -> u64 {
+        // Every store of the same definition must carry the same value so
+        // that register-based replay (one value per physical register)
+        // reproduces architectural memory exactly.
+        *self.reg_store_value[reg.flat_index()].get_or_insert_with(|| {
+            self.value_counter += 1;
+            self.value_counter
+        })
+    }
+
+    fn load_addr(&mut self) -> u64 {
+        if self.rng.random::<f64>() < self.app.load_cold_frac {
+            LOAD_BASE + self.rng.random_range(0..self.app.load_cold_lines.max(1)) * 64
+        } else {
+            LOAD_BASE + self.rng.random_range(0..self.app.load_hot_lines.max(1)) * 64
+        }
+    }
+
+    fn store_addr(&mut self) -> u64 {
+        // Stores arrive in line-sized runs: stay in the current line with
+        // probability 1 - 1/run_len, otherwise pick a new (hot or cold)
+        // line.
+        let switch = 1.0 / self.app.store_run_len;
+        let line = match self.cur_store_line {
+            Some(line) if self.rng.random::<f64>() >= switch => line,
+            _ => {
+                let idx = if self.rng.random::<f64>() < self.app.store_cold_frac {
+                    // Past the hot region so cold stores never alias hot
+                    // ones.
+                    self.app.store_hot_lines
+                        + self.rng.random_range(0..self.app.store_cold_lines.max(1))
+                } else {
+                    self.rng.random_range(0..self.app.store_hot_lines.max(1))
+                };
+                let line = STORE_BASE + self.tid as u64 * STORE_STRIDE + idx * 64;
+                self.cur_store_line = Some(line);
+                line
+            }
+        };
+        line + self.rng.random_range(0..8u64) * 8
+    }
+
+    fn gen_store(&mut self, pc: u64) -> Uop {
+        let fp_data = self.rng.random::<f64>() < self.app.fp_frac;
+        let class = if fp_data { RegClass::Fp } else { RegClass::Int };
+        let data = match class {
+            RegClass::Int => ArchReg::int(self.rng.random_range(0..self.app.int_regs)),
+            RegClass::Fp if self.app.fp_regs > 0 => {
+                ArchReg::fp(self.rng.random_range(0..self.app.fp_regs))
+            }
+            RegClass::Fp => ArchReg::int(self.rng.random_range(0..self.app.int_regs)),
+        };
+        let addr_reg = self.addr_reg();
+        let addr = self.store_addr();
+        let value = self.store_value_for(data);
+        Uop::new(pc, UopKind::Store)
+            .with_srcs(&[data, addr_reg])
+            .with_mem(MemRef::new(addr, 8, value))
+    }
+
+    fn gen_load(&mut self, pc: u64) -> Uop {
+        let fp = self.rng.random::<f64>() < self.app.fp_frac;
+        let dst = if fp { self.next_fp_def() } else { self.next_int_def() };
+        self.define(dst);
+        let addr_reg = self.addr_reg();
+        let addr = self.load_addr();
+        Uop::new(pc, UopKind::Load)
+            .with_dst(dst)
+            .with_srcs(&[addr_reg])
+            .with_mem(MemRef::new(addr, 8, 0))
+    }
+
+    fn gen_branch(&mut self, pc: u64) -> Uop {
+        let r = self.rng.random::<f64>();
+        let kind = if self.call_depth > 0 && r < self.app.call_frac / 2.0 {
+            self.call_depth -= 1;
+            BranchKind::Ret
+        } else if r < self.app.call_frac {
+            self.call_depth += 1;
+            BranchKind::Call
+        } else {
+            BranchKind::Jump
+        };
+        let cond = self.random_reg(RegClass::Int);
+        Uop::new(pc, UopKind::Branch(kind)).with_srcs(&[cond])
+    }
+
+    fn gen_sync(&mut self, pc: u64) -> Uop {
+        let kind = if self.lock_held {
+            self.lock_held = false;
+            SyncKind::LockRelease
+        } else {
+            match self.rng.random_range(0..4u32) {
+                0 => SyncKind::Fence,
+                1 => SyncKind::AtomicRmw,
+                _ => {
+                    self.lock_held = true;
+                    SyncKind::LockAcquire
+                }
+            }
+        };
+        Uop::new(pc, UopKind::Sync(kind))
+    }
+
+    fn gen_compute(&mut self, pc: u64) -> Uop {
+        let fp = self.rng.random::<f64>() < self.app.fp_frac;
+        let class = if fp { RegClass::Fp } else { RegClass::Int };
+        let kind = match (fp, self.rng.random_range(0..100u32)) {
+            (false, 0..=89) => UopKind::IntAlu,
+            (false, 90..=97) => UopKind::IntMul,
+            (false, _) => UopKind::IntDiv,
+            (true, 0..=84) => UopKind::FpAlu,
+            (true, 85..=96) => UopKind::FpMul,
+            (true, _) => UopKind::FpDiv,
+        };
+        let s1 = self.random_reg(class);
+        let mut u = Uop::new(pc, kind).with_srcs(&[s1]);
+        if self.rng.random::<f64>() < 0.6 {
+            let s2 = self.random_reg(class);
+            u = u.with_srcs(&[s2]);
+        }
+        if self.rng.random::<f64>() < self.app.alu_def_frac {
+            let dst = if fp { self.next_fp_def() } else { self.next_int_def() };
+            self.define(dst);
+            u = u.with_dst(dst);
+        }
+        u
+    }
+
+    /// One micro-op of a kernel burst: register-heavy scheduler work over
+    /// per-CPU data, bracketed by a trap (Call) and a return. Kernel code
+    /// is just code to PPA (§5: "PPA does not differentiate between
+    /// kernel code and user program").
+    fn gen_kernel(&mut self, pc: u64) -> Uop {
+        let step = KERNEL_BURST_LEN - self.kernel_remaining;
+        self.kernel_remaining -= 1;
+        if step == 0 {
+            self.call_depth += 1;
+            return Uop::new(pc, UopKind::Branch(BranchKind::Call));
+        }
+        if self.kernel_remaining == 0 {
+            self.call_depth = self.call_depth.saturating_sub(1);
+            return Uop::new(pc, UopKind::Branch(BranchKind::Ret));
+        }
+        let base = KERNEL_BASE + self.tid as u64 * STORE_STRIDE;
+        match step % 12 {
+            // Save/restore architectural state: stores and loads on the
+            // per-CPU kernel stack.
+            1 => {
+                let data = ArchReg::int(self.rng.random_range(0..self.app.int_regs));
+                // Per-CPU scratch line: the handler's save area is one
+                // hot cache line, so its persists coalesce.
+                let addr = base + u64::from(step % 8) * 8;
+                let value = self.store_value_for(data);
+                Uop::new(pc, UopKind::Store)
+                    .with_srcs(&[data, ArchReg::int(0)])
+                    .with_mem(MemRef::new(addr, 8, value))
+            }
+            2 => {
+                let dst = self.next_int_def();
+                self.define(dst);
+                Uop::new(pc, UopKind::Load)
+                    .with_dst(dst)
+                    .with_srcs(&[ArchReg::int(0)])
+                    .with_mem(MemRef::new(base + 64 + u64::from(step) * 8, 8, 0))
+            }
+            // Scheduler bookkeeping: register-dense integer work.
+            _ => {
+                let dst = self.next_int_def();
+                self.define(dst);
+                let s1 = self.random_reg(RegClass::Int);
+                Uop::new(pc, UopKind::IntAlu).with_dst(dst).with_srcs(&[s1])
+            }
+        }
+    }
+
+    /// Generates a trace of exactly `len` micro-ops.
+    pub fn generate(&mut self, len: usize) -> Trace {
+        let mut uops = Vec::with_capacity(len);
+        let sync_p = self.app.sync_per_kilo / 1000.0;
+        for i in 0..len {
+            let pc = 0x40_0000 + i as u64 * 4;
+            if self.kernel_remaining > 0 {
+                uops.push(self.gen_kernel(pc));
+                continue;
+            }
+            if self.app.context_switch_every > 0 {
+                if self.since_kernel == 0 {
+                    // Stagger the first kernel entry per thread — timer
+                    // ticks are not synchronised across CPUs.
+                    self.since_kernel =
+                        self.rng.random_range(0..self.app.context_switch_every.max(1));
+                }
+                self.since_kernel += 1;
+                if self.since_kernel >= self.app.context_switch_every {
+                    self.since_kernel = 1;
+                    self.kernel_remaining = KERNEL_BURST_LEN;
+                    uops.push(self.gen_kernel(pc));
+                    continue;
+                }
+            }
+            let mut r = self.rng.random::<f64>();
+            let uop = if r < sync_p {
+                self.gen_sync(pc)
+            } else {
+                r = self.rng.random::<f64>();
+                if r < self.app.store_frac {
+                    self.gen_store(pc)
+                } else if r < self.app.store_frac + self.app.load_frac {
+                    self.gen_load(pc)
+                } else if r < self.app.store_frac + self.app.load_frac + self.app.branch_frac {
+                    self.gen_branch(pc)
+                } else {
+                    self.gen_compute(pc)
+                }
+            };
+            uops.push(uop);
+        }
+        Trace::from_uops(format!("{}#{}", self.app.name, self.tid), uops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Suite;
+    use std::collections::HashMap;
+
+    fn app() -> AppDescriptor {
+        AppDescriptor::spec_base("test", Suite::Cpu2006)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = app();
+        let t1 = TraceGenerator::new(&a, 7, 0).generate(2_000);
+        let t2 = TraceGenerator::new(&a, 7, 0).generate(2_000);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = app();
+        let t1 = TraceGenerator::new(&a, 7, 0).generate(2_000);
+        let t2 = TraceGenerator::new(&a, 8, 0).generate(2_000);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn mix_tracks_descriptor_fractions() {
+        let a = app();
+        let t = TraceGenerator::new(&a, 1, 0).generate(50_000);
+        let mix = t.mix();
+        let store_f = mix.stores as f64 / mix.total as f64;
+        let load_f = mix.loads as f64 / mix.total as f64;
+        assert!((store_f - a.store_frac).abs() < 0.01, "stores {store_f}");
+        assert!((load_f - a.load_frac).abs() < 0.01, "loads {load_f}");
+        // Register-defining fraction in the paper's ballpark (~30%).
+        let defs = mix.def_fraction();
+        assert!((0.2..0.55).contains(&defs), "def fraction {defs}");
+    }
+
+    #[test]
+    fn stores_sharing_a_definition_share_a_value() {
+        let a = AppDescriptor {
+            store_frac: 0.4,
+            alu_def_frac: 0.2,
+            ..app()
+        };
+        let t = TraceGenerator::new(&a, 3, 0).generate(20_000);
+        // Walk the trace tracking definitions; all stores between two
+        // definitions of a register must carry one value.
+        let mut current: HashMap<ArchReg, u64> = HashMap::new();
+        for u in &t {
+            if let Some(d) = u.dst {
+                current.remove(&d);
+            }
+            if u.kind == UopKind::Store {
+                let data = u.store_data_reg().expect("store has data reg");
+                let v = u.mem.unwrap().value;
+                if let Some(&prev) = current.get(&data) {
+                    assert_eq!(prev, v, "store value changed without redefinition");
+                } else {
+                    current.insert(data, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_write_disjoint_addresses() {
+        let a = AppDescriptor::parallel_base("p", Suite::Splash3);
+        let t0 = TraceGenerator::new(&a, 1, 0).generate(10_000);
+        let t1 = TraceGenerator::new(&a, 1, 1).generate(10_000);
+        let stores = |t: &Trace| -> std::collections::HashSet<u64> {
+            t.iter()
+                .filter(|u| u.kind == UopKind::Store)
+                .map(|u| u.mem.unwrap().addr & !63)
+                .collect()
+        };
+        assert!(stores(&t0).is_disjoint(&stores(&t1)));
+    }
+
+    #[test]
+    fn parallel_apps_emit_syncs_and_pair_locks() {
+        let a = AppDescriptor {
+            sync_per_kilo: 20.0,
+            ..AppDescriptor::parallel_base("p", Suite::Stamp)
+        };
+        let t = TraceGenerator::new(&a, 1, 0).generate(50_000);
+        let mut held = false;
+        let mut acquires = 0;
+        for u in &t {
+            match u.kind {
+                UopKind::Sync(SyncKind::LockAcquire) => {
+                    assert!(!held, "nested acquire");
+                    held = true;
+                    acquires += 1;
+                }
+                UopKind::Sync(SyncKind::LockRelease) => {
+                    assert!(held, "release without acquire");
+                    held = false;
+                }
+                _ => {}
+            }
+        }
+        assert!(acquires > 100, "expected plenty of lock activity");
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let a = AppDescriptor {
+            branch_frac: 0.3,
+            call_frac: 0.3,
+            ..app()
+        };
+        let t = TraceGenerator::new(&a, 5, 0).generate(30_000);
+        let mut depth: i64 = 0;
+        for u in &t {
+            match u.kind {
+                UopKind::Branch(BranchKind::Call) => depth += 1,
+                UopKind::Branch(BranchKind::Ret) => {
+                    depth -= 1;
+                    assert!(depth >= 0, "return below the initial frame");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_bursts_appear_at_the_configured_interval() {
+        let a = app().with_context_switches(500);
+        let t = TraceGenerator::new(&a, 1, 0).generate(10_000);
+        // Each burst is bracketed by a Call and a Ret and stores to the
+        // kernel region.
+        let kernel_stores = t
+            .iter()
+            .filter(|u| {
+                u.kind == UopKind::Store && u.mem.unwrap().addr >= super::KERNEL_BASE
+            })
+            .count();
+        assert!(kernel_stores > 0, "kernel bursts must store per-CPU state");
+        // ~10_000 / (500 + 48) bursts expected.
+        let calls = t
+            .iter()
+            .filter(|u| u.kind == UopKind::Branch(BranchKind::Call))
+            .count();
+        assert!(calls >= 15, "expected kernel entries, got {calls} calls");
+    }
+
+    #[test]
+    fn kernel_bursts_do_not_break_store_value_consistency() {
+        let a = AppDescriptor {
+            store_frac: 0.2,
+            ..app().with_context_switches(200)
+        };
+        let t = TraceGenerator::new(&a, 3, 0).generate(20_000);
+        let mut current: HashMap<ArchReg, u64> = HashMap::new();
+        for u in &t {
+            if let Some(d) = u.dst {
+                current.remove(&d);
+            }
+            if u.kind == UopKind::Store {
+                let data = u.store_data_reg().unwrap();
+                let v = u.mem.unwrap().value;
+                if let Some(&prev) = current.get(&data) {
+                    assert_eq!(prev, v);
+                } else {
+                    current.insert(data, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_fraction_spreads_addresses() {
+        let cold = AppDescriptor {
+            load_cold_frac: 0.9,
+            ..app()
+        };
+        let hot = AppDescriptor {
+            load_cold_frac: 0.0,
+            ..app()
+        };
+        let distinct = |a: &AppDescriptor| {
+            let t = TraceGenerator::new(a, 1, 0).generate(20_000);
+            t.iter()
+                .filter(|u| u.kind == UopKind::Load)
+                .map(|u| u.mem.unwrap().addr & !63)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(distinct(&cold) > 4 * distinct(&hot));
+    }
+}

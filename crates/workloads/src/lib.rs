@@ -1,0 +1,44 @@
+//! Workload models for the 41 applications of the PPA evaluation.
+//!
+//! The paper evaluates PPA with SPEC CPU2006/2017, SPLASH3, STAMP,
+//! WHISPER, and DOE Mini-apps running under gem5 full-system mode. Real
+//! benchmark binaries cannot run on this simulator, so each application is
+//! modelled as a **parameterised synthetic trace generator** calibrated to
+//! the behavioural characteristics that drive every experiment in the
+//! paper:
+//!
+//! * instruction mix (load/store/FP/branch fractions) and the fraction of
+//!   register-defining instructions (~30%, §1) — these set PRF pressure
+//!   and therefore PPA's dynamic region length;
+//! * architectural register pressure (`bzip2`/`libquantum` cycle many
+//!   registers → short regions, Figure 13);
+//! * load/store working sets and locality (`lbm`/`pc` thrash the DRAM
+//!   cache, Figure 9; `rb` has high locality but heavy write traffic,
+//!   Figures 15/18);
+//! * call/return density (bounds the compiler-formed regions of
+//!   ReplayCache and Capri);
+//! * synchronisation rate and thread count for the multi-threaded suites
+//!   (SPLASH3, STAMP, WHISPER; §6, Figure 19).
+//!
+//! Generation is fully deterministic: the same `(app, length, seed)`
+//! triple always produces the same trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_workloads::registry;
+//!
+//! let app = registry::by_name("mcf").expect("mcf is in CPU2006");
+//! let trace = app.generate(10_000, 42);
+//! assert_eq!(trace.len(), 10_000);
+//! // Deterministic:
+//! assert_eq!(trace, app.generate(10_000, 42));
+//! assert_eq!(registry::all().len(), 41);
+//! ```
+
+mod app;
+mod generator;
+pub mod registry;
+
+pub use app::{AppDescriptor, Suite};
+pub use generator::TraceGenerator;

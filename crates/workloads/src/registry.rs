@@ -1,0 +1,155 @@
+//! The 41-application registry of the paper's evaluation (Table 3 and the
+//! figure x-axes), grouped by suite.
+
+use crate::app::{AppDescriptor, Suite};
+
+mod cpu2006;
+mod cpu2017;
+mod miniapps;
+mod splash3;
+mod stamp;
+mod whisper;
+
+/// Every application, in suite order (CPU2006, CPU2017, SPLASH3, STAMP,
+/// WHISPER, Mini-apps), exactly 41 entries.
+///
+/// # Examples
+///
+/// ```
+/// let apps = ppa_workloads::registry::all();
+/// assert_eq!(apps.len(), 41);
+/// ```
+pub fn all() -> Vec<AppDescriptor> {
+    let mut v = Vec::with_capacity(41);
+    v.extend(cpu2006::apps());
+    v.extend(cpu2017::apps());
+    v.extend(splash3::apps());
+    v.extend(stamp::apps());
+    v.extend(whisper::apps());
+    v.extend(miniapps::apps());
+    v
+}
+
+/// Applications of one suite.
+pub fn by_suite(suite: Suite) -> Vec<AppDescriptor> {
+    all().into_iter().filter(|a| a.suite == suite).collect()
+}
+
+/// Looks an application up by name.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_workloads::registry;
+/// assert!(registry::by_name("lulesh").is_some());
+/// assert!(registry::by_name("doom").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<AppDescriptor> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+/// The memory-intensive subset used by Figures 10, 15, and 18: high L2
+/// miss rates (the paper quotes 18%–100%) plus the multi-threaded apps the
+/// WPQ studies include. `load_cold_frac` here is the *unprefetchable*
+/// below-L2 traffic, so even small values mark a memory-hungry app.
+pub fn memory_intensive() -> Vec<AppDescriptor> {
+    all()
+        .into_iter()
+        .filter(|a| {
+            a.load_cold_frac >= 0.004
+                || a.dram_resident_frac <= 0.92
+                || a.suite == Suite::Whisper
+                || a.suite == Suite::Splash3
+                || a.suite == Suite::MiniApps
+        })
+        .collect()
+}
+
+/// The multi-threaded applications (SPLASH3, STAMP, WHISPER) used by the
+/// thread-count study (Figure 19).
+pub fn multi_threaded() -> Vec<AppDescriptor> {
+    all().into_iter().filter(|a| a.threads > 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_41_applications() {
+        assert_eq!(all().len(), 41);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = all().iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 41);
+    }
+
+    #[test]
+    fn every_descriptor_validates() {
+        for a in all() {
+            a.validate();
+        }
+    }
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        assert_eq!(by_suite(Suite::Cpu2006).len(), 10);
+        assert_eq!(by_suite(Suite::Cpu2017).len(), 8);
+        assert_eq!(by_suite(Suite::Splash3).len(), 8);
+        assert_eq!(by_suite(Suite::Stamp).len(), 6);
+        assert_eq!(by_suite(Suite::Whisper).len(), 7);
+        assert_eq!(by_suite(Suite::MiniApps).len(), 2);
+    }
+
+    #[test]
+    fn spec_is_single_threaded_parallel_suites_are_not() {
+        for a in by_suite(Suite::Cpu2006).iter().chain(&by_suite(Suite::Cpu2017)) {
+            assert_eq!(a.threads, 1, "{}", a.name);
+        }
+        for a in multi_threaded() {
+            assert_eq!(a.threads, 8, "{}", a.name);
+            assert!(a.sync_per_kilo > 0.0, "{} needs sync traffic", a.name);
+        }
+    }
+
+    #[test]
+    fn paper_outliers_have_their_characteristics() {
+        // lbm and pc have poor DRAM-cache locality (Figure 9 outliers).
+        assert!(by_name("lbm").unwrap().dram_resident_frac <= 0.85);
+        assert!(by_name("pc").unwrap().dram_resident_frac <= 0.95);
+        // rb has high locality (4% L2 miss) but heavy write traffic.
+        let rb = by_name("rb").unwrap();
+        assert!(rb.load_cold_frac <= 0.01);
+        assert!(rb.store_cold_frac >= 0.3, "rb scatters writes across the tree");
+        // libquantum tops the Figure 10 PSP comparison (2.4x): by far the
+        // largest unprefetchable below-L2 load traffic.
+        assert!(by_name("libquantum").unwrap().load_cold_frac >= 0.02);
+        // bzip2 and libquantum burn registers (short regions, Figure 13).
+        assert!(by_name("bzip2").unwrap().alu_def_frac >= 0.5);
+    }
+
+    #[test]
+    fn memory_intensive_subset_is_nonempty_and_contains_the_expected() {
+        let names: HashSet<&str> = memory_intensive().iter().map(|a| a.name).collect();
+        for expected in ["libquantum", "lbm", "mcf", "rb", "sps", "lulesh", "xsbench"] {
+            assert!(names.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn whisper_footprints_match_table3() {
+        let mb = |n: &str| by_name(n).unwrap().footprint_mb;
+        assert_eq!(mb("lulesh"), 664);
+        assert_eq!(mb("xsbench"), 241);
+        assert_eq!(mb("pc"), 196);
+        assert_eq!(mb("rb"), 166);
+        assert_eq!(mb("sps"), 264);
+        assert_eq!(mb("tatp"), 287);
+        assert_eq!(mb("tpcc"), 110);
+        assert_eq!(mb("r20w80"), 189);
+        assert_eq!(mb("r50w50"), 189);
+    }
+}

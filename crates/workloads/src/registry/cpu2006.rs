@@ -1,0 +1,147 @@
+//! SPEC CPU2006 application models (10 apps, reference inputs).
+
+use crate::app::{AppDescriptor, Suite};
+
+fn base(name: &'static str) -> AppDescriptor {
+    AppDescriptor::spec_base(name, Suite::Cpu2006)
+}
+
+pub(crate) fn apps() -> Vec<AppDescriptor> {
+    vec![
+        AppDescriptor {
+            // Compression: integer-heavy, burns registers — one of the
+            // paper's short-region outliers (Figure 13).
+            alu_def_frac: 0.55,
+            int_regs: 16,
+            store_frac: 0.1100,
+            load_frac: 0.26,
+            load_hot_lines: 4096,
+            load_cold_frac: 0.0037,
+            dram_resident_frac: 0.8599,
+            store_run_len: 40.5,
+            footprint_mb: 870,
+            description: "compression, register-hungry integer code",
+            ..base("bzip2")
+        },
+        AppDescriptor {
+            branch_frac: 0.22,
+            call_frac: 0.14,
+            load_hot_lines: 8192,
+            load_cold_frac: 0.0047,
+            dram_resident_frac: 0.8503,
+            store_run_len: 25.0,
+            store_frac: 0.0800,
+            footprint_mb: 940,
+            description: "compiler, branchy pointer-chasing",
+            ..base("gcc")
+        },
+        AppDescriptor {
+            load_frac: 0.30,
+            load_cold_frac: 0.0045,
+            load_cold_lines: 1 << 21,
+            store_frac: 0.0600,
+            dram_resident_frac: 0.8974,
+            store_run_len: 25.0,
+            footprint_mb: 1700,
+            description: "single-source shortest path, cache-hostile",
+            ..base("mcf")
+        },
+        AppDescriptor {
+            branch_frac: 0.20,
+            call_frac: 0.12,
+            load_hot_lines: 2048,
+            load_cold_frac: 0.0036,
+            dram_resident_frac: 0.8738,
+            store_run_len: 25.0,
+            store_frac: 0.0800,
+            footprint_mb: 30,
+            description: "Go playing, branchy search",
+            ..base("gobmk")
+        },
+        AppDescriptor {
+            // §7.8: hmmer needs many live registers; hurts at PRF 80/80.
+            alu_def_frac: 0.58,
+            int_regs: 16,
+            fp_regs: 16,
+            load_frac: 0.28,
+            store_frac: 0.1200,
+            load_hot_lines: 1024,
+            load_cold_frac: 0.0021,
+            dram_resident_frac: 0.8327,
+            store_run_len: 58.5,
+            footprint_mb: 60,
+            description: "profile HMM search, register-dense inner loop",
+            ..base("hmmer")
+        },
+        AppDescriptor {
+            branch_frac: 0.21,
+            call_frac: 0.10,
+            load_hot_lines: 1500,
+            load_cold_frac: 0.0027,
+            dram_resident_frac: 0.9279,
+            store_run_len: 39.5,
+            store_frac: 0.0800,
+            footprint_mb: 180,
+            description: "chess, deep branchy search",
+            ..base("sjeng")
+        },
+        AppDescriptor {
+            // Streaming over a large vector; the Figure 10 worst case for
+            // PSP (2.4x) and a short-region outlier.
+            load_frac: 0.33,
+            store_frac: 0.1000,
+            alu_def_frac: 0.52,
+            int_regs: 16,
+            load_cold_frac: 0.0224,
+            load_cold_lines: 1 << 21,
+            store_cold_frac: 0.30,
+            store_cold_lines: 1 << 19,
+            dram_resident_frac: 0.9652,
+            store_run_len: 40.5,
+            footprint_mb: 100,
+            description: "quantum simulation, streaming vector sweeps",
+            ..base("libquantum")
+        },
+        AppDescriptor {
+            fp_frac: 0.12,
+            load_frac: 0.28,
+            store_frac: 0.1000,
+            load_hot_lines: 3000,
+            load_cold_frac: 0.0019,
+            dram_resident_frac: 0.7995,
+            store_run_len: 25.0,
+            footprint_mb: 65,
+            description: "H.264 encoding, hot macroblock kernels",
+            ..base("h264ref")
+        },
+        AppDescriptor {
+            branch_frac: 0.19,
+            call_frac: 0.16,
+            load_frac: 0.27,
+            load_cold_frac: 0.0023,
+            dram_resident_frac: 0.8651,
+            store_run_len: 39.5,
+            store_frac: 0.0800,
+            footprint_mb: 175,
+            description: "discrete event simulation, pointer-heavy",
+            ..base("omnetpp")
+        },
+        AppDescriptor {
+            // Lattice-Boltzmann: FP streaming with poor locality; one of
+            // the Figure 9 outliers (44% over DRAM-only).
+            fp_frac: 0.45,
+            fp_regs: 28,
+            load_frac: 0.30,
+            store_frac: 0.1300,
+            load_cold_frac: 0.0064,
+            load_cold_lines: 1 << 21,
+            store_cold_frac: 0.35,
+            store_cold_lines: 1 << 20,
+            dram_resident_frac: 0.7803,
+            store_run_len: 64.0,
+            footprint_mb: 410,
+            description: "lattice-Boltzmann fluid dynamics, streaming FP",
+            ..base("lbm")
+        },
+    ]
+}

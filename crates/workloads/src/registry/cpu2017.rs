@@ -1,0 +1,112 @@
+//! SPEC CPU2017 application models (8 apps, reference inputs).
+
+use crate::app::{AppDescriptor, Suite};
+
+fn base(name: &'static str) -> AppDescriptor {
+    AppDescriptor::spec_base(name, Suite::Cpu2017)
+}
+
+pub(crate) fn apps() -> Vec<AppDescriptor> {
+    vec![
+        AppDescriptor {
+            branch_frac: 0.21,
+            call_frac: 0.15,
+            load_frac: 0.26,
+            load_hot_lines: 4096,
+            load_cold_frac: 0.0025,
+            dram_resident_frac: 0.8855,
+            store_run_len: 25.0,
+            store_frac: 0.0800,
+            footprint_mb: 202,
+            description: "Perl interpreter, branchy dispatch",
+            ..base("perlbench")
+        },
+        AppDescriptor {
+            fp_frac: 0.10,
+            load_frac: 0.29,
+            store_frac: 0.1000,
+            load_hot_lines: 3000,
+            load_cold_frac: 0.0033,
+            dram_resident_frac: 0.8423,
+            store_run_len: 38.2,
+            footprint_mb: 120,
+            description: "video encoding (x264), hot SIMD-ish kernels",
+            ..base("x264")
+        },
+        AppDescriptor {
+            branch_frac: 0.20,
+            call_frac: 0.11,
+            alu_def_frac: 0.50,
+            int_regs: 14,
+            load_cold_frac: 0.0018,
+            dram_resident_frac: 0.8309,
+            store_run_len: 40.5,
+            store_frac: 0.0800,
+            footprint_mb: 700,
+            description: "chess engine, register-dense search",
+            ..base("deepsjeng")
+        },
+        AppDescriptor {
+            branch_frac: 0.18,
+            call_frac: 0.13,
+            load_hot_lines: 2048,
+            load_cold_frac: 0.0027,
+            dram_resident_frac: 0.7741,
+            store_run_len: 31.2,
+            store_frac: 0.0800,
+            footprint_mb: 25,
+            description: "Go engine (MCTS), pointer-chasing tree",
+            ..base("leela")
+        },
+        AppDescriptor {
+            alu_def_frac: 0.48,
+            branch_frac: 0.12,
+            load_frac: 0.14,
+            store_frac: 0.0500,
+            load_cold_frac: 0.0027,
+            dram_resident_frac: 0.9158,
+            store_run_len: 25.0,
+            footprint_mb: 1,
+            description: "sudoku-style integer puzzle, compute-bound",
+            ..base("exchange2")
+        },
+        AppDescriptor {
+            load_frac: 0.27,
+            store_frac: 0.1100,
+            load_cold_frac: 0.0012,
+            load_cold_lines: 1 << 21,
+            dram_resident_frac: 0.8358,
+            store_run_len: 40.5,
+            footprint_mb: 1150,
+            description: "LZMA de/compression over large buffers",
+            ..base("xz")
+        },
+        AppDescriptor {
+            fp_frac: 0.50,
+            fp_regs: 30,
+            load_frac: 0.30,
+            store_frac: 0.1100,
+            load_cold_frac: 0.0014,
+            load_cold_lines: 1 << 21,
+            store_cold_frac: 0.20,
+            dram_resident_frac: 0.8709,
+            store_run_len: 60.0,
+            footprint_mb: 1300,
+            description: "numerical relativity stencils, FP streaming",
+            ..base("cactuBSSN")
+        },
+        AppDescriptor {
+            fp_frac: 0.45,
+            fp_regs: 26,
+            load_frac: 0.31,
+            store_frac: 0.1000,
+            load_cold_frac: 0.0021,
+            load_cold_lines: 1 << 21,
+            dram_resident_frac: 0.8525,
+            store_run_len: 40.5,
+            footprint_mb: 850,
+            description: "regional ocean model, FP stencils",
+            ..base("roms")
+        },
+    ]
+}

@@ -1,0 +1,42 @@
+//! DOE Mini-app models (LULESH, XSBench), single-socket runs with the
+//! Table 3 inputs.
+
+use crate::app::{AppDescriptor, Suite};
+
+pub(crate) fn apps() -> Vec<AppDescriptor> {
+    vec![
+        AppDescriptor {
+            // "High instruction and memory-level parallelism" (Table 3).
+            fp_frac: 0.45,
+            fp_regs: 28,
+            load_frac: 0.30,
+            store_frac: 0.0210,
+            load_cold_frac: 0.0014,
+            load_cold_lines: 1 << 21,
+            store_cold_frac: 0.18,
+            store_cold_lines: 1 << 20,
+            sync_per_kilo: 1.0,
+            dram_resident_frac: 0.8932,
+            store_run_len: 64.0,
+            footprint_mb: 664,
+            input: "-s 100",
+            description: "high instruction and memory-level parallelism",
+            ..AppDescriptor::parallel_base("lulesh", Suite::MiniApps)
+        },
+        AppDescriptor {
+            // "Stress memory system with little computations" (Table 3).
+            load_frac: 0.38,
+            store_frac: 0.0210,
+            load_cold_frac: 0.0084,
+            load_cold_lines: 1 << 21,
+            branch_frac: 0.14,
+            sync_per_kilo: 0.5,
+            dram_resident_frac: 0.9681,
+            store_run_len: 40.0,
+            footprint_mb: 241,
+            input: "-s small",
+            description: "stress memory system with little computation",
+            ..AppDescriptor::parallel_base("xsbench", Suite::MiniApps)
+        },
+    ]
+}

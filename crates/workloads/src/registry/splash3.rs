@@ -1,0 +1,126 @@
+//! SPLASH-3 application models (8 apps, 8 threads).
+
+use crate::app::{AppDescriptor, Suite};
+
+fn base(name: &'static str) -> AppDescriptor {
+    AppDescriptor::parallel_base(name, Suite::Splash3)
+}
+
+pub(crate) fn apps() -> Vec<AppDescriptor> {
+    vec![
+    AppDescriptor {
+            fp_frac: 0.35,
+            fp_regs: 20,
+            load_frac: 0.28,
+            load_cold_frac: 0.0010,
+            sync_per_kilo: 1.5,
+            dram_resident_frac: 0.9867,
+            store_run_len: 51.3,
+            store_frac: 0.0280,
+            footprint_mb: 160,
+            description: "Barnes-Hut N-body, octree walks",
+            ..base("barnes")
+        },
+        AppDescriptor {
+            fp_frac: 0.40,
+            fp_regs: 24,
+            load_frac: 0.27,
+            sync_per_kilo: 1.0,
+            load_cold_frac: 0.0016,
+            dram_resident_frac: 0.9040,
+            store_run_len: 64.0,
+            store_frac: 0.0198,
+            footprint_mb: 120,
+            description: "fast multipole method",
+            ..base("fmm")
+        },
+        AppDescriptor {
+            fp_frac: 0.42,
+            fp_regs: 24,
+            load_frac: 0.30,
+            store_frac: 0.0272,
+            load_cold_frac: 0.0016,
+            load_cold_lines: 1 << 20,
+            sync_per_kilo: 2.0,
+            dram_resident_frac: 0.9183,
+            store_run_len: 64.0,
+            footprint_mb: 890,
+            description: "ocean current simulation, grid sweeps",
+            ..base("ocean")
+        },
+        AppDescriptor {
+            load_frac: 0.30,
+            store_frac: 0.0346,
+            load_cold_frac: 0.0027,
+            load_cold_lines: 1 << 20,
+            store_cold_frac: 0.25,
+            sync_per_kilo: 3.0,
+            dram_resident_frac: 0.8331,
+            store_run_len: 64.0,
+            footprint_mb: 256,
+            description: "radix sort, all-to-all key exchange",
+            ..base("radix")
+        },
+        AppDescriptor {
+            // §7.8 calls out lu-cg at small PRFs: dense register tiles.
+            fp_frac: 0.48,
+            fp_regs: 30,
+            alu_def_frac: 0.55,
+            load_frac: 0.28,
+            store_frac: 0.0297,
+            sync_per_kilo: 1.2,
+            load_cold_frac: 0.0013,
+            dram_resident_frac: 0.8643,
+            store_run_len: 64.0,
+            footprint_mb: 130,
+            description: "LU factorisation (contiguous), register tiles",
+            ..base("lu-cg")
+        },
+        AppDescriptor {
+            fp_frac: 0.30,
+            load_frac: 0.25,
+            load_cold_frac: 0.0014,
+            sync_per_kilo: 1.0,
+            dram_resident_frac: 0.9709,
+            store_run_len: 64.0,
+            store_frac: 0.0198,
+            footprint_mb: 64,
+            description: "ray tracing, read-mostly scene data",
+            ..base("raytrace")
+        },
+        AppDescriptor {
+            // water-ns/water-sp: more stores and shorter regions than the
+            // suite average — the Figure 11 stall outliers (6.1%/8.1%).
+            fp_frac: 0.40,
+            fp_regs: 26,
+            store_frac: 0.0328,
+            load_frac: 0.28,
+            alu_def_frac: 0.52,
+            store_cold_frac: 0.12,
+            store_hot_lines: 24,
+            sync_per_kilo: 4.0,
+            store_run_len: 48.0,
+            load_cold_frac: 0.0013,
+            dram_resident_frac: 0.9920,
+            footprint_mb: 90,
+            description: "water molecules (n-squared), store-dense updates",
+            ..base("water-ns")
+        },
+        AppDescriptor {
+            fp_frac: 0.40,
+            fp_regs: 26,
+            store_frac: 0.0297,
+            load_frac: 0.27,
+            alu_def_frac: 0.54,
+            store_cold_frac: 0.14,
+            store_hot_lines: 20,
+            sync_per_kilo: 4.5,
+            store_run_len: 47.0,
+            load_cold_frac: 0.0012,
+            dram_resident_frac: 0.9144,
+            footprint_mb: 85,
+            description: "water molecules (spatial), store-dense updates",
+            ..base("water-sp")
+        },
+    ]
+}

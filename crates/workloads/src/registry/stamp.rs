@@ -1,0 +1,88 @@
+//! STAMP transactional application models (6 apps, 8 threads).
+
+use crate::app::{AppDescriptor, Suite};
+
+fn base(name: &'static str) -> AppDescriptor {
+    AppDescriptor {
+        // Transactions bracket work with atomics, so STAMP applications
+        // synchronise more than SPLASH3 kernels.
+        sync_per_kilo: 5.0,
+        ..AppDescriptor::parallel_base(name, Suite::Stamp)
+    }
+}
+
+pub(crate) fn apps() -> Vec<AppDescriptor> {
+    vec![
+    AppDescriptor {
+            load_frac: 0.28,
+            load_cold_frac: 0.0014,
+            branch_frac: 0.18,
+            dram_resident_frac: 0.9233,
+            store_run_len: 64.0,
+            store_frac: 0.0198,
+            footprint_mb: 2,
+            description: "gene sequencing by segment matching",
+            ..base("genome")
+        },
+        AppDescriptor {
+            branch_frac: 0.20,
+            call_frac: 0.12,
+            load_frac: 0.27,
+            load_cold_frac: 0.0018,
+            dram_resident_frac: 0.9649,
+            store_run_len: 64.0,
+            store_frac: 0.0198,
+            footprint_mb: 64,
+            description: "network intrusion detection, packet dissection",
+            ..base("intruder")
+        },
+        AppDescriptor {
+            fp_frac: 0.30,
+            load_frac: 0.30,
+            store_frac: 0.0247,
+            load_cold_frac: 0.0010,
+            load_cold_lines: 1 << 20,
+            sync_per_kilo: 3.0,
+            dram_resident_frac: 0.7349,
+            store_run_len: 64.0,
+            footprint_mb: 128,
+            description: "k-means clustering over large point sets",
+            ..base("kmeans")
+        },
+        AppDescriptor {
+            load_frac: 0.29,
+            store_frac: 0.0297,
+            load_cold_frac: 0.0012,
+            store_cold_frac: 0.20,
+            dram_resident_frac: 0.8778,
+            store_run_len: 64.0,
+            footprint_mb: 32,
+            description: "maze routing with speculative path claims",
+            ..base("labyrinth")
+        },
+        AppDescriptor {
+            load_frac: 0.28,
+            store_frac: 0.0247,
+            branch_frac: 0.18,
+            call_frac: 0.12,
+            load_cold_frac: 0.0010,
+            dram_resident_frac: 0.9048,
+            store_run_len: 64.0,
+            footprint_mb: 256,
+            description: "travel reservation system, tree indices",
+            ..base("vacation")
+        },
+        AppDescriptor {
+            load_frac: 0.31,
+            store_frac: 0.0223,
+            load_cold_frac: 0.0013,
+            load_cold_lines: 1 << 20,
+            sync_per_kilo: 4.0,
+            dram_resident_frac: 0.9192,
+            store_run_len: 64.0,
+            footprint_mb: 512,
+            description: "graph kernels over sparse arrays (SSCA#2)",
+            ..base("ssca2")
+        },
+    ]
+}

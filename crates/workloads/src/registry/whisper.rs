@@ -1,0 +1,130 @@
+//! WHISPER persistent-memory application models (7 apps, 8 threads),
+//! with the Table 3 inputs and footprints.
+
+use crate::app::{AppDescriptor, Suite};
+
+fn base(name: &'static str) -> AppDescriptor {
+    AppDescriptor::parallel_base(name, Suite::Whisper)
+}
+
+pub(crate) fn apps() -> Vec<AppDescriptor> {
+    vec![
+    AppDescriptor {
+            // Hash-table updates: scattered writes over a big table.
+            load_frac: 0.28,
+            store_frac: 0.0262,
+            load_cold_frac: 0.0034,
+            load_cold_lines: 1 << 20,
+            store_cold_frac: 0.45,
+            store_cold_lines: 1 << 19,
+            sync_per_kilo: 3.0,
+            dram_resident_frac: 0.7295,
+            store_run_len: 64.0,
+            footprint_mb: 196,
+            input: "8 100000",
+            description: "update in hash-table",
+            ..base("pc")
+        },
+        AppDescriptor {
+            // Red-black tree: high locality (4% L2 miss) but write-heavy
+            // random node updates — the WPQ/bandwidth-sensitivity outlier
+            // (Figures 8, 15, 18).
+            load_frac: 0.30,
+            store_frac: 0.0500,
+            load_cold_frac: 0.0010,
+            load_hot_lines: 6000,
+            store_cold_frac: 0.50,
+            store_cold_lines: 1 << 16,
+            store_hot_lines: 64,
+            sync_per_kilo: 3.0,
+            store_run_len: 52.0,
+            dram_resident_frac: 0.9634,
+            footprint_mb: 166,
+            input: "8 100000",
+            description: "insert/delete nodes in a red-black tree",
+            ..base("rb")
+        },
+        AppDescriptor {
+            // Swap random array entries: scattered reads and writes.
+            load_frac: 0.30,
+            store_frac: 0.0396,
+            load_cold_frac: 0.0015,
+            load_cold_lines: 1 << 20,
+            store_cold_frac: 0.40,
+            store_cold_lines: 1 << 20,
+            sync_per_kilo: 2.0,
+            dram_resident_frac: 0.9160,
+            store_run_len: 64.0,
+            footprint_mb: 264,
+            input: "8 200000",
+            description: "swap random entries of an array",
+            ..base("sps")
+        },
+        AppDescriptor {
+            load_frac: 0.27,
+            store_frac: 0.0297,
+            load_cold_frac: 0.0013,
+            store_cold_frac: 0.25,
+            branch_frac: 0.18,
+            call_frac: 0.12,
+            sync_per_kilo: 4.0,
+            dram_resident_frac: 0.9074,
+            store_run_len: 64.0,
+            footprint_mb: 287,
+            input: "8 100000",
+            description: "update_location transaction (TATP)",
+            ..base("tatp")
+        },
+        AppDescriptor {
+            // §7.8 lists tpcc among the PRF-pressure outliers.
+            load_frac: 0.28,
+            store_frac: 0.0322,
+            alu_def_frac: 0.52,
+            int_regs: 16,
+            load_cold_frac: 0.0014,
+            store_cold_frac: 0.22,
+            branch_frac: 0.18,
+            call_frac: 0.14,
+            sync_per_kilo: 4.0,
+            dram_resident_frac: 0.8287,
+            store_run_len: 64.0,
+            footprint_mb: 110,
+            input: "8 100000",
+            description: "add_new_order transaction (TPC-C)",
+            ..base("tpcc")
+        },
+        AppDescriptor {
+            // Memcached, 20% reads / 80% writes, 64 B keys and 1 KB values.
+            load_frac: 0.22,
+            store_frac: 0.0380,
+            load_cold_frac: 0.0024,
+            store_cold_frac: 0.18,
+            store_cold_lines: 1 << 19,
+            branch_frac: 0.18,
+            call_frac: 0.12,
+            sync_per_kilo: 5.0,
+            store_run_len: 62.0,
+            dram_resident_frac: 0.9808,
+            footprint_mb: 189,
+            input: "-m 1000 -t 8",
+            description: "Memcached with 20% reads and 80% writes",
+            ..base("r20w80")
+        },
+        AppDescriptor {
+            load_frac: 0.28,
+            store_frac: 0.0322,
+            load_cold_frac: 0.0014,
+            store_cold_frac: 0.25,
+            store_cold_lines: 1 << 19,
+            branch_frac: 0.18,
+            call_frac: 0.12,
+            sync_per_kilo: 5.0,
+            dram_resident_frac: 0.9187,
+            store_run_len: 64.0,
+            footprint_mb: 189,
+            input: "-m 1000 -t 8",
+            description: "Memcached with 50% reads and 50% writes",
+            ..base("r50w50")
+        },
+    ]
+}

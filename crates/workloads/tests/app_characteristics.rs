@@ -1,0 +1,168 @@
+//! Conformance tests: every one of the 41 application models generates
+//! traces whose measured characteristics match its descriptor.
+
+use ppa_isa::{SyncKind, UopKind};
+use ppa_workloads::registry;
+
+const LEN: usize = 30_000;
+
+#[test]
+fn instruction_mixes_match_descriptors() {
+    for app in registry::all() {
+        let t = app.generate(LEN, 7);
+        let m = t.mix();
+        let total = m.total as f64;
+        let sf = m.stores as f64 / total;
+        let lf = m.loads as f64 / total;
+        let bf = m.branches as f64 / total;
+        assert!(
+            (sf - app.store_frac).abs() < 0.012,
+            "{}: store fraction {sf:.3} vs {:.3}",
+            app.name,
+            app.store_frac
+        );
+        assert!(
+            (lf - app.load_frac).abs() < 0.015,
+            "{}: load fraction {lf:.3} vs {:.3}",
+            app.name,
+            app.load_frac
+        );
+        assert!(
+            (bf - app.branch_frac).abs() < 0.015,
+            "{}: branch fraction {bf:.3} vs {:.3}",
+            app.name,
+            app.branch_frac
+        );
+    }
+}
+
+#[test]
+fn register_defining_fraction_leaves_the_prf_idle() {
+    // §1: only a minority-to-half of instructions define registers (the
+    // paper reports ~30%; our models sit near 0.45-0.50 across both
+    // classes — see EXPERIMENTS.md deviation 2). What matters for the
+    // mechanism is that well under one register is consumed per
+    // instruction, leaving the PRF underutilised.
+    let mut total_defs = 0u64;
+    let mut total = 0u64;
+    for app in registry::all() {
+        let m = app.generate(10_000, 3).mix();
+        total_defs += m.reg_defs;
+        total += m.total;
+    }
+    let frac = total_defs as f64 / total as f64;
+    assert!(
+        (0.25..0.60).contains(&frac),
+        "aggregate defining fraction {frac:.3} out of range"
+    );
+}
+
+#[test]
+fn sync_rates_match_descriptors() {
+    for app in registry::multi_threaded() {
+        let t = app.generate(50_000, 9);
+        let syncs = t.mix().syncs as f64;
+        let expected = app.sync_per_kilo * 50.0;
+        assert!(
+            (syncs - expected).abs() < expected.mul_add(0.35, 8.0),
+            "{}: {} syncs vs ~{expected:.0}",
+            app.name,
+            syncs
+        );
+    }
+}
+
+#[test]
+fn store_footprints_track_hot_and_cold_sets() {
+    for app in registry::all() {
+        let t = app.generate(20_000, 5);
+        let stores = t.mix().stores;
+        if stores == 0 {
+            continue;
+        }
+        let mut lines: Vec<u64> = t
+            .iter()
+            .filter(|u| u.kind == UopKind::Store)
+            .map(|u| ppa_isa::line_of(u.mem.unwrap().addr))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        // Store runs mean far fewer distinct lines than stores; the hot
+        // set plus sampled cold lines bounds the footprint.
+        assert!(
+            (lines.len() as u64) < stores,
+            "{}: no store-run locality",
+            app.name
+        );
+        let bound = app.store_hot_lines as usize
+            + (stores as f64 * app.store_cold_frac) as usize
+            + 16;
+        assert!(
+            lines.len() <= bound,
+            "{}: {} distinct store lines exceeds bound {bound}",
+            app.name,
+            lines.len()
+        );
+    }
+}
+
+#[test]
+fn lock_discipline_holds_for_every_app() {
+    for app in registry::multi_threaded() {
+        for tid in 0..2 {
+            let t = app.generate_thread(30_000, 1, tid);
+            let mut held = false;
+            for u in &t {
+                match u.kind {
+                    UopKind::Sync(SyncKind::LockAcquire) => {
+                        assert!(!held, "{}: nested acquire", app.name);
+                        held = true;
+                    }
+                    UopKind::Sync(SyncKind::LockRelease) => {
+                        assert!(held, "{}: stray release", app.name);
+                        held = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_store_names_a_data_register_and_a_value_rule_holds() {
+    use std::collections::HashMap;
+    for app in registry::all() {
+        let t = app.generate(15_000, 11);
+        let mut current: HashMap<ppa_isa::ArchReg, u64> = HashMap::new();
+        for u in &t {
+            if let Some(d) = u.dst {
+                current.remove(&d);
+            }
+            if u.kind == UopKind::Store {
+                let data = u
+                    .store_data_reg()
+                    .unwrap_or_else(|| panic!("{}: store without data register", app.name));
+                let v = u.mem.unwrap().value;
+                match current.get(&data) {
+                    Some(&prev) => assert_eq!(
+                        prev, v,
+                        "{}: store value changed without redefinition",
+                        app.name
+                    ),
+                    None => {
+                        current.insert(data, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn footprints_scale_with_trace_length() {
+    let app = registry::by_name("mcf").unwrap();
+    let short = app.generate(2_000, 1).footprint_lines();
+    let long = app.generate(20_000, 1).footprint_lines();
+    assert!(long > short, "longer runs touch more lines");
+}

@@ -1,0 +1,44 @@
+//! Whole-system persistence on a multi-core machine (§6): eight threads of
+//! a SPLASH-3 kernel run under PPA, power fails mid-run, and every core
+//! recovers independently — the CSQs replay in arbitrary order, which is
+//! safe because the program is data-race-free.
+//!
+//! ```text
+//! cargo run --release --example multicore_wsp
+//! ```
+
+use ppa::sim::{inject_failure_multicore, SystemConfig};
+use ppa::workloads::registry;
+
+fn main() {
+    let app = registry::by_name("radix").expect("radix exists");
+    println!("workload: {} — {} ({} threads)", app.name, app.description, app.threads);
+
+    let traces: Vec<_> = (0..app.threads)
+        .map(|tid| app.generate_thread(8_000, 3, tid))
+        .collect();
+    let cfg = SystemConfig::ppa().with_threads(app.threads);
+
+    for fail_cycle in [500u64, 3_000, 9_000] {
+        let out = inject_failure_multicore(&cfg, &traces, fail_cycle);
+        println!("\npower failure at cycle {fail_cycle}:");
+        println!("  committed before failure: {} micro-ops", out.committed_before);
+        println!(
+            "  raw NVM consistent at failure: {}{}",
+            out.consistent_before_recovery,
+            if out.consistent_before_recovery { "" } else { "   <-- the inconsistency" }
+        );
+        println!(
+            "  checkpointed {} bytes across {} cores, replayed {} stores",
+            out.checkpoint_bytes,
+            app.threads,
+            out.replayed_stores
+        );
+        println!("  consistent after recovery: {}", out.consistent_after_recovery);
+        println!("  resumed and completed:     {}", out.completed_after_resume);
+        assert!(out.consistent_after_recovery && out.completed_after_resume);
+    }
+
+    println!("\nevery failure point recovered correctly with per-core replay in");
+    println!("arbitrary order — §6's data-race-freedom argument, demonstrated.");
+}

@@ -1,0 +1,128 @@
+//! Cross-crate crash-consistency tests: the central correctness claim of
+//! the paper, exercised end-to-end through the facade crate.
+
+use ppa::core::{replay_stores, Core, CoreConfig, PersistenceMode};
+use ppa::mem::{MemConfig, MemorySystem};
+use ppa::sim::{inject_failure, SystemConfig};
+use ppa::workloads::registry;
+
+/// Recovery works at every phase of execution, across very different
+/// application behaviours.
+#[test]
+fn recovery_is_correct_across_apps_and_failure_points() {
+    for name in ["bzip2", "lbm", "rb", "lulesh", "genome"] {
+        let app = registry::by_name(name).expect("known app");
+        let trace = app.generate(3_000, 13);
+        for fail_cycle in [3, 170, 900, 2_400, 6_000] {
+            let out = inject_failure(&SystemConfig::ppa(), &trace, fail_cycle);
+            assert!(
+                out.consistent_after_recovery,
+                "{name}: inconsistent after recovery at {fail_cycle}"
+            );
+            assert!(
+                out.completed_after_resume,
+                "{name}: did not complete after resume at {fail_cycle}"
+            );
+        }
+    }
+}
+
+/// The experiment is meaningful: without PPA's replay, some failure point
+/// leaves the NVM inconsistent with committed state.
+#[test]
+fn the_baseline_inconsistency_actually_exists() {
+    let app = registry::by_name("sps").expect("sps exists");
+    let trace = app.generate(4_000, 3);
+    let mut found = false;
+    for i in 1..40 {
+        let out = inject_failure(&SystemConfig::ppa(), &trace, i * 173);
+        found |= !out.consistent_before_recovery;
+        if found {
+            break;
+        }
+    }
+    assert!(found, "no failure point showed the crash inconsistency");
+}
+
+/// §4 footnote 8: stores are idempotent, so replaying twice is harmless.
+#[test]
+fn double_recovery_is_idempotent() {
+    let app = registry::by_name("tatp").expect("tatp exists");
+    let trace = app.generate(3_000, 5);
+    let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+    let mut core = Core::new(CoreConfig::paper_default(PersistenceMode::Ppa), 0);
+    for now in 0..1_500 {
+        core.step(&trace, &mut mem, now);
+        mem.tick(now);
+    }
+    let image = core.jit_checkpoint();
+    mem.power_failure();
+    replay_stores(&image, mem.nvm_image_mut());
+    let first = mem.nvm_image().clone();
+    replay_stores(&image, mem.nvm_image_mut());
+    assert_eq!(*mem.nvm_image(), first);
+    assert!(mem.nvm_image().diff(mem.arch_mem()).is_empty());
+}
+
+/// Power failure during the *recovered* run is also recoverable — crashes
+/// can nest.
+#[test]
+fn nested_failures_recover() {
+    let app = registry::by_name("gcc").expect("gcc exists");
+    let trace = app.generate(4_000, 9);
+    let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
+
+    let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+    let mut core = Core::new(cfg, 0);
+    for now in 0..800 {
+        core.step(&trace, &mut mem, now);
+        mem.tick(now);
+    }
+    // First failure + recovery.
+    let image1 = core.jit_checkpoint();
+    mem.power_failure();
+    replay_stores(&image1, mem.nvm_image_mut());
+    assert!(mem.nvm_image().diff(mem.arch_mem()).is_empty());
+    let mut core = Core::recover(cfg, 0, &image1);
+
+    // Run a bit more, then fail again.
+    for now in 800..1_600 {
+        core.step(&trace, &mut mem, now);
+        mem.tick(now);
+    }
+    let image2 = core.jit_checkpoint();
+    mem.power_failure();
+    replay_stores(&image2, mem.nvm_image_mut());
+    assert!(mem.nvm_image().diff(mem.arch_mem()).is_empty());
+    assert!(image2.committed >= image1.committed, "progress is monotonic");
+
+    // Final resume completes.
+    let mut core = Core::recover(cfg, 0, &image2);
+    let mut now = 1_600;
+    while !core.is_finished() {
+        core.step(&trace, &mut mem, now);
+        mem.tick(now);
+        now += 1;
+        assert!(now < 10_000_000, "deadlock after nested recovery");
+    }
+    assert_eq!(core.committed(), trace.len() as u64);
+    assert!(mem.nvm_image().diff(mem.arch_mem()).is_empty());
+}
+
+/// The checkpoint never exceeds the paper's §7.13 worst case, at any
+/// failure point of any app.
+#[test]
+fn checkpoint_size_bounded_by_paper_worst_case() {
+    for name in ["hmmer", "rb", "lulesh"] {
+        let app = registry::by_name(name).expect("known app");
+        let trace = app.generate(3_000, 21);
+        for fail_cycle in [100, 1_000, 3_000] {
+            let out = inject_failure(&SystemConfig::ppa(), &trace, fail_cycle);
+            assert!(
+                out.checkpoint_bytes <= 1838,
+                "{name}@{fail_cycle}: {} bytes",
+                out.checkpoint_bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end performance-shape tests: the orderings the paper's
+//! evaluation establishes must hold in the reproduction.
+
+use ppa::sim::{Machine, SystemConfig};
+use ppa::stats::geomean;
+use ppa::workloads::registry;
+
+const LEN: usize = 15_000;
+const APPS: &[&str] = &["gcc", "hmmer", "mcf", "x264", "omnetpp", "xz"];
+
+fn cycles(cfg: SystemConfig, app: &str) -> u64 {
+    let app = registry::by_name(app).expect("known app");
+    Machine::new(cfg).run_app(&app, LEN, 1).cycles
+}
+
+/// Figure 8 + Figure 1's ordering: baseline <= PPA < Capri < ReplayCache.
+#[test]
+fn scheme_ordering_matches_the_paper() {
+    let mut ppa_s = Vec::new();
+    let mut cap_s = Vec::new();
+    let mut rc_s = Vec::new();
+    for app in APPS {
+        let base = cycles(SystemConfig::baseline(), app) as f64;
+        ppa_s.push(cycles(SystemConfig::ppa(), app) as f64 / base);
+        cap_s.push(cycles(SystemConfig::capri(), app) as f64 / base);
+        rc_s.push(cycles(SystemConfig::replay_cache(), app) as f64 / base);
+    }
+    let (ppa, cap, rc) = (
+        geomean(ppa_s),
+        geomean(cap_s),
+        geomean(rc_s),
+    );
+    assert!(ppa < 1.10, "PPA should be lightweight, got {ppa:.3}");
+    assert!(ppa < cap, "PPA ({ppa:.3}) must beat Capri ({cap:.3})");
+    assert!(cap < rc, "Capri ({cap:.3}) must beat ReplayCache ({rc:.3})");
+    assert!(rc > 2.0, "ReplayCache must be painfully slow, got {rc:.3}");
+}
+
+/// §7.2: PPA + memory mode beats the ideal PSP for memory-hungry apps.
+#[test]
+fn wsp_with_dram_cache_beats_ideal_psp_on_missy_apps() {
+    for app in ["libquantum", "mcf", "xsbench"] {
+        let ppa = cycles(SystemConfig::ppa(), app);
+        let psp = cycles(SystemConfig::eadr_bbb(), app);
+        assert!(
+            ppa < psp,
+            "{app}: PPA ({ppa}) should beat app-direct PSP ({psp})"
+        );
+    }
+}
+
+/// Figure 9's framing: persistence costs less than what memory mode
+/// already costs relative to a DRAM-only machine.
+#[test]
+fn ppa_premium_over_memory_mode_is_smaller_than_memory_modes_premium_over_dram() {
+    let mut mm = Vec::new();
+    let mut pp = Vec::new();
+    for app in APPS {
+        let dram = cycles(SystemConfig::dram_only(), app) as f64;
+        let base = cycles(SystemConfig::baseline(), app) as f64;
+        let ppa = cycles(SystemConfig::ppa(), app) as f64;
+        mm.push(base / dram);
+        pp.push(ppa / base);
+    }
+    let memory_mode_premium = geomean(mm);
+    let ppa_premium = geomean(pp);
+    assert!(
+        ppa_premium < memory_mode_premium,
+        "PPA's premium ({ppa_premium:.3}) should be below memory mode's ({memory_mode_premium:.3})"
+    );
+}
+
+/// Every WSP scheme must end crash-consistent; the baseline must not.
+#[test]
+fn only_wsp_schemes_end_consistent() {
+    let app = registry::by_name("tpcc").expect("tpcc exists");
+    let base = Machine::new(SystemConfig::baseline()).run_app(&app, LEN, 1);
+    assert!(!base.consistent, "baseline should leave dirty lines behind");
+    for cfg in [
+        SystemConfig::ppa(),
+        SystemConfig::replay_cache(),
+        SystemConfig::capri(),
+    ] {
+        let r = Machine::new(cfg).run_app(&app, LEN, 1);
+        assert!(r.consistent, "{:?} must drain to a consistent NVM", cfg.core.mode);
+    }
+}
+
+/// The Figure 14 claim: a deeper hierarchy does not break PPA.
+#[test]
+fn deep_hierarchy_keeps_ppa_cheap() {
+    let mut slows = Vec::new();
+    for app in APPS {
+        let base = cycles(SystemConfig::baseline().with_deep_hierarchy(), app) as f64;
+        let ppa = cycles(SystemConfig::ppa().with_deep_hierarchy(), app) as f64;
+        slows.push(ppa / base);
+    }
+    let g = geomean(slows);
+    assert!(g < 1.08, "deep-hierarchy PPA slowdown {g:.3} too high");
+}

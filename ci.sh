@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, and the full test suite.
+# Everything runs offline against the vendored toolchain.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo clippy (verify feature)"
+cargo clippy --workspace --all-targets --features ppa-core/verify -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "== cargo test -p ppa-core --features verify -q"
+cargo test -p ppa-core --features verify -q
+
+echo "CI: all gates passed"

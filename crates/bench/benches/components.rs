@@ -1,15 +1,14 @@
-//! Criterion benches for the simulator's building blocks: caches, NVM,
-//! the write buffer, trace generation, and the baseline compiler passes.
+//! Benches for the simulator's building blocks: caches, NVM, the write
+//! buffer, trace generation, and the baseline compiler passes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ppa_bench::harness::bench_function;
 use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
 use ppa_mem::{Cache, CacheConfig, MemConfig, MemorySystem, Nvm, NvmConfig, WriteBuffer};
 use ppa_workloads::registry;
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("l1_hit", |b| {
+fn bench_cache() {
+    bench_function("cache", "l1_hit", |b| {
         let mut cache = Cache::new(CacheConfig::new(64 * 1024, 8, 4));
         cache.access(0x1000, false, 0);
         let mut t = 0u64;
@@ -18,7 +17,7 @@ fn bench_cache(c: &mut Criterion) {
             black_box(cache.access(black_box(0x1000), false, t))
         })
     });
-    g.bench_function("l1_streaming_misses", |b| {
+    bench_function("cache", "l1_streaming_misses", |b| {
         let mut cache = Cache::new(CacheConfig::new(64 * 1024, 8, 4));
         let mut addr = 0u64;
         b.iter(|| {
@@ -26,7 +25,7 @@ fn bench_cache(c: &mut Criterion) {
             black_box(cache.access(black_box(addr), true, addr))
         })
     });
-    g.bench_function("dram_cache_sparse", |b| {
+    bench_function("cache", "dram_cache_sparse", |b| {
         let mut cache = Cache::new(CacheConfig::new(4 << 30, 1, 60));
         let mut addr = 0u64;
         b.iter(|| {
@@ -34,12 +33,10 @@ fn bench_cache(c: &mut Criterion) {
             black_box(cache.access(black_box(addr), false, addr))
         })
     });
-    g.finish();
 }
 
-fn bench_nvm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nvm");
-    g.bench_function("wpq_write", |b| {
+fn bench_nvm() {
+    bench_function("nvm", "wpq_write", |b| {
         let mut nvm = Nvm::new(NvmConfig::paper_default());
         let mut now = 0u64;
         let mut addr = 0u64;
@@ -49,17 +46,15 @@ fn bench_nvm(c: &mut Criterion) {
             black_box(nvm.enqueue_write(addr, now).ok())
         })
     });
-    g.bench_function("write_buffer_coalesce", |b| {
+    bench_function("nvm", "write_buffer_coalesce", |b| {
         let mut wb = WriteBuffer::new(16, true);
         wb.enqueue(0x1000, 0);
         b.iter(|| black_box(wb.enqueue(black_box(0x1000), 1)))
     });
-    g.finish();
 }
 
-fn bench_memory_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory_system");
-    g.bench_function("load_hot", |b| {
+fn bench_memory_system() {
+    bench_function("memory_system", "load_hot", |b| {
         let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
         mem.load(0, 0x4000, 0);
         let mut now = 0u64;
@@ -68,7 +63,7 @@ fn bench_memory_system(c: &mut Criterion) {
             black_box(mem.load(0, black_box(0x4000), now))
         })
     });
-    g.bench_function("store_commit_path", |b| {
+    bench_function("memory_system", "store_commit_path", |b| {
         let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
         let mut now = 0u64;
         b.iter(|| {
@@ -80,14 +75,11 @@ fn bench_memory_system(c: &mut Criterion) {
             black_box(lat)
         })
     });
-    g.finish();
 }
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workloads");
-    g.sample_size(20);
+fn bench_workloads() {
     let app = registry::by_name("mcf").expect("mcf exists");
-    g.bench_function("generate_10k", |b| {
+    bench_function("workloads", "generate_10k", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
@@ -95,20 +87,17 @@ fn bench_workloads(c: &mut Criterion) {
         })
     });
     let raw = app.generate(10_000, 1);
-    g.bench_function("replaycache_pass_10k", |b| {
+    bench_function("workloads", "replaycache_pass_10k", |b| {
         b.iter(|| black_box(ReplayCachePass::new().apply(black_box(&raw))))
     });
-    g.bench_function("capri_pass_10k", |b| {
+    bench_function("workloads", "capri_pass_10k", |b| {
         b.iter(|| black_box(CapriPass::new().apply(black_box(&raw))))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_nvm,
-    bench_memory_system,
-    bench_workloads
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_nvm();
+    bench_memory_system();
+    bench_workloads();
+}

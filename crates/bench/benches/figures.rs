@@ -1,9 +1,9 @@
-//! Criterion benches timing one representative measurement point of each
-//! paper experiment, so `cargo bench` exercises every harness path. The
-//! full tables come from the `repro` binary — these benches answer "how
-//! long does one experimental data point take to simulate".
+//! Benches timing one representative measurement point of each paper
+//! experiment, so `cargo bench` exercises every harness path. The full
+//! tables come from the `repro` binary — these benches answer "how long
+//! does one experimental data point take to simulate".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ppa_bench::harness::bench_function;
 use ppa_mem::NvmConfig;
 use ppa_sim::{inject_failure, Machine, SystemConfig};
 use ppa_workloads::registry;
@@ -16,49 +16,50 @@ fn point(cfg: SystemConfig, app: &str) -> u64 {
     Machine::new(cfg).run_app(&app, LEN, 1).cycles
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-
-    g.bench_function("fig1_replaycache_point", |b| {
+fn main() {
+    bench_function("figures", "fig1_replaycache_point", |b| {
         b.iter(|| black_box(point(SystemConfig::replay_cache(), "gcc")))
     });
-    g.bench_function("fig8_ppa_point", |b| {
+    bench_function("figures", "fig8_ppa_point", |b| {
         b.iter(|| black_box(point(SystemConfig::ppa(), "gcc")))
     });
-    g.bench_function("fig8_capri_point", |b| {
+    bench_function("figures", "fig8_capri_point", |b| {
         b.iter(|| black_box(point(SystemConfig::capri(), "gcc")))
     });
-    g.bench_function("fig9_dram_only_point", |b| {
+    bench_function("figures", "fig9_dram_only_point", |b| {
         b.iter(|| black_box(point(SystemConfig::dram_only(), "lbm")))
     });
-    g.bench_function("fig10_psp_point", |b| {
+    bench_function("figures", "fig10_psp_point", |b| {
         b.iter(|| black_box(point(SystemConfig::eadr_bbb(), "libquantum")))
     });
-    g.bench_function("fig14_deep_hierarchy_point", |b| {
+    bench_function("figures", "fig14_deep_hierarchy_point", |b| {
         b.iter(|| black_box(point(SystemConfig::ppa().with_deep_hierarchy(), "gcc")))
     });
-    g.bench_function("fig15_wpq8_point", |b| {
+    bench_function("figures", "fig15_wpq8_point", |b| {
         let mut cfg = SystemConfig::ppa();
-        cfg.mem = cfg.mem.with_nvm(NvmConfig::paper_default().with_wpq_entries(8));
+        cfg.mem = cfg
+            .mem
+            .with_nvm(NvmConfig::paper_default().with_wpq_entries(8));
         b.iter(|| black_box(point(cfg, "rb")))
     });
-    g.bench_function("fig16_prf80_point", |b| {
+    bench_function("figures", "fig16_prf80_point", |b| {
         let mut cfg = SystemConfig::ppa();
         cfg.core = cfg.core.with_prf(80, 80);
         b.iter(|| black_box(point(cfg, "hmmer")))
     });
-    g.bench_function("fig17_csq10_point", |b| {
+    bench_function("figures", "fig17_csq10_point", |b| {
         let mut cfg = SystemConfig::ppa();
         cfg.core = cfg.core.with_csq(10);
         b.iter(|| black_box(point(cfg, "gcc")))
     });
-    g.bench_function("fig18_bw1_point", |b| {
+    bench_function("figures", "fig18_bw1_point", |b| {
         let mut cfg = SystemConfig::ppa();
-        cfg.mem = cfg.mem.with_nvm(NvmConfig::paper_default().with_write_bandwidth_gbps(1.0));
+        cfg.mem = cfg
+            .mem
+            .with_nvm(NvmConfig::paper_default().with_write_bandwidth_gbps(1.0));
         b.iter(|| black_box(point(cfg, "rb")))
     });
-    g.bench_function("fig19_8threads_point", |b| {
+    bench_function("figures", "fig19_8threads_point", |b| {
         let app = registry::by_name("radix").expect("radix exists");
         b.iter(|| {
             black_box(
@@ -68,13 +69,9 @@ fn bench_figures(c: &mut Criterion) {
             )
         })
     });
-    g.bench_function("ckpt_failure_injection", |b| {
+    bench_function("figures", "ckpt_failure_injection", |b| {
         let app = registry::by_name("tpcc").expect("tpcc exists");
         let trace = app.generate(LEN, 1);
         b.iter(|| black_box(inject_failure(&SystemConfig::ppa(), &trace, 2_000)))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

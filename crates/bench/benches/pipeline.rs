@@ -1,7 +1,7 @@
-//! Criterion benches for the cycle-level core: simulation throughput per
+//! Benches for the cycle-level core: simulation throughput per
 //! persistence scheme, plus the checkpoint/recovery hot path.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ppa_bench::harness::bench_function;
 use ppa_core::{replay_stores, Core, CoreConfig, InOrderCore, PersistenceMode};
 use ppa_mem::{MemConfig, MemorySystem};
 use ppa_sim::{Machine, SystemConfig};
@@ -10,22 +10,19 @@ use std::hint::black_box;
 
 const LEN: usize = 10_000;
 
-fn bench_modes(c: &mut Criterion) {
+fn bench_modes() {
     let app = registry::by_name("sjeng").expect("sjeng exists");
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(LEN as u64));
     for (name, cfg) in [
         ("baseline", SystemConfig::baseline()),
         ("ppa", SystemConfig::ppa()),
         ("replaycache", SystemConfig::replay_cache()),
         ("capri", SystemConfig::capri()),
     ] {
-        g.bench_function(name, |b| {
+        bench_function("pipeline", name, |b| {
             b.iter(|| black_box(Machine::new(cfg).run_app(&app, LEN, 1)))
         });
     }
-    g.bench_function("in_order", |b| {
+    bench_function("pipeline", "in_order", |b| {
         let trace = app.generate(LEN, 1);
         b.iter(|| {
             let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
@@ -33,10 +30,9 @@ fn bench_modes(c: &mut Criterion) {
             black_box(core.run(&trace, &mut mem))
         })
     });
-    g.finish();
 }
 
-fn bench_checkpoint_recovery(c: &mut Criterion) {
+fn bench_checkpoint_recovery() {
     let app = registry::by_name("tpcc").expect("tpcc exists");
     let trace = app.generate(LEN, 1);
     // Run a PPA core part-way to populate the CSQ/MaskReg.
@@ -48,22 +44,22 @@ fn bench_checkpoint_recovery(c: &mut Criterion) {
         mem.tick(now);
     }
 
-    let mut g = c.benchmark_group("recovery");
-    g.bench_function("jit_checkpoint", |b| {
+    bench_function("recovery", "jit_checkpoint", |b| {
         b.iter(|| black_box(core.jit_checkpoint()))
     });
     let image = core.jit_checkpoint();
-    g.bench_function("replay_stores", |b| {
+    bench_function("recovery", "replay_stores", |b| {
         b.iter(|| {
             let mut nvm = ppa_mem::NvmImage::new();
             black_box(replay_stores(black_box(&image), &mut nvm))
         })
     });
-    g.bench_function("core_recover", |b| {
+    bench_function("recovery", "core_recover", |b| {
         b.iter(|| black_box(Core::recover(cfg, 0, black_box(&image))))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_modes, bench_checkpoint_recovery);
-criterion_main!(benches);
+fn main() {
+    bench_modes();
+    bench_checkpoint_recovery();
+}

@@ -172,7 +172,10 @@ pub fn fig11() -> TextTable {
     }
     let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
     t.row(["mean".to_string(), fmt_percent(mean)]);
-    t.row(["paper".to_string(), "+0.21% avg; water-ns 6.1%, water-sp 8.1%".to_string()]);
+    t.row([
+        "paper".to_string(),
+        "+0.21% avg; water-ns 6.1%, water-sp 8.1%".to_string(),
+    ]);
     t
 }
 
@@ -194,8 +197,18 @@ pub fn fig12() -> TextTable {
         ]);
     }
     let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
-    t.row(["mean increase".to_string(), String::new(), String::new(), fmt_percent(mean)]);
-    t.row(["paper".to_string(), String::new(), String::new(), "+0.07% avg".to_string()]);
+    t.row([
+        "mean increase".to_string(),
+        String::new(),
+        String::new(),
+        fmt_percent(mean),
+    ]);
+    t.row([
+        "paper".to_string(),
+        String::new(),
+        String::new(),
+        "+0.07% avg".to_string(),
+    ]);
     t
 }
 
@@ -231,7 +244,12 @@ pub fn fig13() -> TextTable {
         format!("{:.0}", mean(&others)),
         format!("{:.0}", mean(&capri)),
     ]);
-    t.row(["paper".to_string(), "18".to_string(), "301".to_string(), "29".to_string()]);
+    t.row([
+        "paper".to_string(),
+        "18".to_string(),
+        "301".to_string(),
+        "29".to_string(),
+    ]);
     t
 }
 
@@ -312,14 +330,23 @@ pub fn fig16() -> TextTable {
             fmt_slowdown(worst.1),
         ]);
     }
-    t.row(["paper", "1.12 @ 80/80, ~1.02 beyond default", "hmmer/lbm/lu-cg/tpcc ~1.3 @ 80/80", ""]);
+    t.row([
+        "paper",
+        "1.12 @ 80/80, ~1.02 beyond default",
+        "hmmer/lbm/lu-cg/tpcc ~1.3 @ 80/80",
+        "",
+    ]);
     t
 }
 
 /// Figure 17: sensitivity to the CSQ depth.
 pub fn fig17() -> TextTable {
     let sizes = [10usize, 20, 30, 40, 50];
-    let mut t = TextTable::new(["csq entries", "ppa slowdown (gmean)", "csq-full boundaries/10k uops"]);
+    let mut t = TextTable::new([
+        "csq entries",
+        "ppa slowdown (gmean)",
+        "csq-full boundaries/10k uops",
+    ]);
     for n in sizes {
         let mut slows = Vec::new();
         let mut boundaries = 0u64;
@@ -330,7 +357,11 @@ pub fn fig17() -> TextTable {
             let base = run(SystemConfig::baseline(), &app);
             let ppa = run(ppa_cfg, &app);
             slows.push(ppa.cycles as f64 / base.cycles as f64);
-            boundaries += ppa.core_stats.iter().map(|c| c.csq_full_boundaries).sum::<u64>();
+            boundaries += ppa
+                .core_stats
+                .iter()
+                .map(|c| c.csq_full_boundaries)
+                .sum::<u64>();
             uops += ppa.committed;
         }
         t.row([
@@ -339,7 +370,11 @@ pub fn fig17() -> TextTable {
             format!("{:.1}", boundaries as f64 / (uops as f64 / 10_000.0)),
         ]);
     }
-    t.row(["paper".to_string(), "minimal impact 10..50".to_string(), String::new()]);
+    t.row([
+        "paper".to_string(),
+        "minimal impact 10..50".to_string(),
+        String::new(),
+    ]);
     t
 }
 
@@ -381,8 +416,8 @@ pub fn fig19() -> TextTable {
             app.threads = n;
             let base = Machine::new(SystemConfig::baseline().with_threads(n))
                 .run_app_parallel(&app, len, SEED);
-            let ppa = Machine::new(SystemConfig::ppa().with_threads(n))
-                .run_app_parallel(&app, len, SEED);
+            let ppa =
+                Machine::new(SystemConfig::ppa().with_threads(n)).run_app_parallel(&app, len, SEED);
             slows.push(ppa.cycles as f64 / base.cycles as f64);
         }
         t.row([n.to_string(), fmt_slowdown(geomean(slows.iter().copied()))]);
@@ -412,10 +447,7 @@ pub fn table2() -> TextTable {
     let mut t = TextTable::new(["component", "configuration"]);
     t.row([
         "processor".to_string(),
-        format!(
-            "{}-core {}-wide x86_64 OoO at 2GHz",
-            8, cfg.core.width
-        ),
+        format!("{}-core {}-wide x86_64 OoO at 2GHz", 8, cfg.core.width),
     ]);
     t.row([
         "ROB/IQ/SQ/LQ/IntPRF/FpPRF".to_string(),
@@ -442,7 +474,11 @@ pub fn table2() -> TextTable {
         "L2".to_string(),
         format!(
             "{} {}MB, {}-way, {} cycles",
-            if cfg.mem.l2_shared { "shared" } else { "private" },
+            if cfg.mem.l2_shared {
+                "shared"
+            } else {
+                "private"
+            },
             cfg.mem.l2.size_bytes >> 20,
             cfg.mem.l2.ways,
             cfg.mem.l2.hit_latency
@@ -494,7 +530,11 @@ pub fn table3() -> TextTable {
 /// Table 4: hardware overheads of PPA's structures (CACTI at 22 nm).
 pub fn table4() -> TextTable {
     let mut t = TextTable::new(["structure", "area (um^2)", "latency (ns)", "dynamic (pJ)"]);
-    for e in [ppa_energy::LCPC, ppa_energy::MASK_REG_384, ppa_energy::CSQ_40] {
+    for e in [
+        ppa_energy::LCPC,
+        ppa_energy::MASK_REG_384,
+        ppa_energy::CSQ_40,
+    ] {
         t.row([
             e.name.to_string(),
             format!("{:.2}", e.area_um2),
@@ -648,10 +688,19 @@ pub fn ckpt() -> TextTable {
 /// dynamic region formation (vs Capri-length and paper-length static
 /// regions).
 pub fn ablation() -> TextTable {
-    let apps: Vec<AppDescriptor> = ["gcc", "hmmer", "libquantum", "lbm", "rb", "water-ns", "sps", "tpcc"]
-        .iter()
-        .map(|n| registry::by_name(n).expect("known app"))
-        .collect();
+    let apps: Vec<AppDescriptor> = [
+        "gcc",
+        "hmmer",
+        "libquantum",
+        "lbm",
+        "rb",
+        "water-ns",
+        "sps",
+        "tpcc",
+    ]
+    .iter()
+    .map(|n| registry::by_name(n).expect("known app"))
+    .collect();
 
     let mut variants: Vec<(&str, SystemConfig)> = Vec::new();
     variants.push(("ppa (full design)", SystemConfig::ppa()));
@@ -716,7 +765,12 @@ pub fn mc() -> TextTable {
             (out.consistent_after_recovery && out.completed_after_resume).to_string(),
         ]);
     }
-    t.row(["paper".to_string(), String::new(), "\"naturally supports multiple MCs\"".to_string(), "true".to_string()]);
+    t.row([
+        "paper".to_string(),
+        String::new(),
+        "\"naturally supports multiple MCs\"".to_string(),
+        "true".to_string(),
+    ]);
     t
 }
 
@@ -725,7 +779,13 @@ pub fn mc() -> TextTable {
 pub fn inorder() -> TextTable {
     use ppa_core::InOrderCore;
     use ppa_mem::MemorySystem;
-    let mut t = TextTable::new(["app", "in-order cycles", "ooo ppa cycles", "ooo speedup", "in-order consistent"]);
+    let mut t = TextTable::new([
+        "app",
+        "in-order cycles",
+        "ooo ppa cycles",
+        "ooo speedup",
+        "in-order consistent",
+    ]);
     for name in ["gcc", "mcf", "hmmer", "rb"] {
         let app = registry::by_name(name).expect("known app");
         let trace = app.generate(10_000, SEED);
@@ -805,7 +865,11 @@ pub fn cxl() -> TextTable {
         t.row([name.to_string(), fmt_slowdown(sn), fmt_slowdown(sf)]);
     }
     push_gmean(&mut t, "gmean", &[&near_s, &far_s]);
-    t.row(["paper (intro)", "", "\"suitable for CXL-based far persistent memory\""]);
+    t.row([
+        "paper (intro)",
+        "",
+        "\"suitable for CXL-based far persistent memory\"",
+    ]);
     t
 }
 
@@ -814,15 +878,19 @@ pub fn cxl() -> TextTable {
 /// longest-region variant the paper evaluates.
 pub fn ehs() -> TextTable {
     use ppa_isa::transform::ReplayCachePass;
-    let mut t = TextTable::new(["app", "replaycache (paper config)", "replaycache + energy splitting"]);
+    let mut t = TextTable::new([
+        "app",
+        "replaycache (paper config)",
+        "replaycache + energy splitting",
+    ]);
     let mut plain_s = Vec::new();
     let mut split_s = Vec::new();
     for name in ["gcc", "hmmer", "x264", "omnetpp"] {
         let app = registry::by_name(name).expect("known app");
         let raw = app.generate(len_for(&app), SEED);
         let base = Machine::new(SystemConfig::baseline()).run(&raw);
-        let plain = Machine::new(SystemConfig::replay_cache())
-            .run(&ReplayCachePass::new().apply(&raw));
+        let plain =
+            Machine::new(SystemConfig::replay_cache()).run(&ReplayCachePass::new().apply(&raw));
         let split = Machine::new(SystemConfig::replay_cache())
             .run(&ReplayCachePass::new().with_energy_splitting(12).apply(&raw));
         let sp = plain.cycles as f64 / base.cycles as f64;
@@ -832,7 +900,11 @@ pub fn ehs() -> TextTable {
         t.row([name.to_string(), fmt_slowdown(sp), fmt_slowdown(ss)]);
     }
     push_gmean(&mut t, "gmean", &[&plain_s, &split_s]);
-    t.row(["paper".to_string(), "~5x (splitting disabled)".to_string(), "worse (12-inst EHS regions)".to_string()]);
+    t.row([
+        "paper".to_string(),
+        "~5x (splitting disabled)".to_string(),
+        "worse (12-inst EHS regions)".to_string(),
+    ]);
     t
 }
 
@@ -880,10 +952,9 @@ mod tests {
     fn experiment_registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
         for expected in [
-            "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig16", "fig17", "fig18", "fig19", "table1", "table2", "table3",
-            "table4", "table5", "table6", "ckpt", "ablation", "mc", "inorder", "os",
-            "cxl", "ehs",
+            "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18", "fig19", "table1", "table2", "table3", "table4", "table5",
+            "table6", "ckpt", "ablation", "mc", "inorder", "os", "cxl", "ehs",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }

@@ -1,0 +1,80 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The bench files under `benches/` use `harness = false` and drive this
+//! module directly: each bench calibrates an iteration count against a
+//! ~200 ms measurement budget, runs three timed rounds, and reports the
+//! best round as nanoseconds per iteration:
+//!
+//! ```text
+//! pipeline/ppa                      1234567 ns/iter  (162 iters)
+//! ```
+//!
+//! Set `PPA_BENCH_ITERS` to pin the iteration count (useful for quick
+//! smoke runs: `PPA_BENCH_ITERS=1 cargo bench -p ppa-bench`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, preventing the result from being
+    /// optimized away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn pinned_iters() -> Option<u64> {
+    std::env::var("PPA_BENCH_ITERS").ok()?.parse().ok()
+}
+
+fn run_round(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Runs one named benchmark and prints its best-of-three ns/iter.
+pub fn bench_function(group: &str, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Calibration: one untimed iteration sizes the measurement rounds.
+    let once = run_round(&mut f, 1).max(Duration::from_nanos(1));
+    let iters = pinned_iters().unwrap_or_else(|| {
+        let budget = Duration::from_millis(200);
+        (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64
+    });
+    let best = (0..3)
+        .map(|_| run_round(&mut f, iters))
+        .min()
+        .expect("three rounds ran");
+    let ns_per_iter = best.as_nanos() as f64 / iters as f64;
+    println!("{group}/{name:<32} {ns_per_iter:>14.0} ns/iter  ({iters} iters)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_the_closure() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

@@ -3,8 +3,8 @@
 //! Every figure and table of the paper's evaluation section has a
 //! regeneration function in [`experiments`]; the `repro` binary dispatches
 //! to them (`cargo run -p ppa-bench --release --bin repro -- fig8`), and
-//! the Criterion benches in `benches/` time the simulator's building
-//! blocks.
+//! the benches in `benches/` time the simulator's building blocks with
+//! the in-tree [`harness`] (no external bench framework).
 //!
 //! Experiment sizes default to traces that finish a full `repro all` in a
 //! few minutes; set `PPA_REPRO_LEN` to scale them (micro-ops per
@@ -12,6 +12,7 @@
 //! third of the length each).
 
 pub mod experiments;
+pub mod harness;
 
 /// Default per-trace micro-op count for single-threaded applications.
 pub const DEFAULT_LEN: usize = 40_000;

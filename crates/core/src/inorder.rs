@@ -260,7 +260,11 @@ mod tests {
         // Simulate a failure before drain by pushing an entry directly
         // through a fresh run that we checkpoint immediately after a store:
         let img = InOrderCheckpoint {
-            csq: vec![ValueCsqEntry { addr: 0x40, value: 7, size: 8 }],
+            csq: vec![ValueCsqEntry {
+                addr: 0x40,
+                value: 7,
+                size: 8,
+            }],
             lcpc: 0x1000,
             committed: 1,
         };

@@ -18,7 +18,11 @@
 //!   and the **recovery protocol** ([`replay_stores`], [`Core::recover`])
 //!   of §4.5–4.6;
 //! * an **in-order variant** ([`InOrderCore`]) with a value-carrying CSQ,
-//!   as sketched in §6.
+//!   as sketched in §6;
+//! * a **verification layer** ([`verify`]) — pluggable cycle-level
+//!   invariant checks (store integrity, rename consistency, CSQ ordering,
+//!   free-list health) hooked into [`Core::step`] behind the `verify`
+//!   cargo feature, so release simulation pays nothing.
 //!
 //! The same pipeline also executes the paper's software baselines
 //! (ReplayCache and Capri) by honouring trace-embedded persist barriers —
@@ -60,6 +64,7 @@ pub mod ppa;
 mod prf;
 mod rename;
 mod stats;
+pub mod verify;
 
 pub use config::{CoreConfig, PersistenceMode};
 pub use events::{EventLog, PipelineEvent};

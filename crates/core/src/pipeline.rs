@@ -6,6 +6,9 @@ use crate::ppa::mask::MaskReg;
 use crate::prf::{PhysReg, Prf};
 use crate::rename::RenameTable;
 use crate::stats::{CoreStats, RegionEndCause};
+use crate::verify::{CoreView, FaultKind, RobSlot};
+#[cfg(feature = "verify")]
+use crate::verify::{Validator, Violation};
 use ppa_isa::{ArchReg, MemRef, Trace, UopKind};
 use ppa_mem::MemorySystem;
 use std::collections::VecDeque;
@@ -102,6 +105,15 @@ pub struct Core {
     finished_at: Option<u64>,
     stats: CoreStats,
     event_log: Option<EventLog>,
+    /// Attached cycle-level checks (the `verify` feature's hook).
+    #[cfg(feature = "verify")]
+    validators: Vec<Box<dyn Validator>>,
+    /// Violations the attached validators have reported so far.
+    #[cfg(feature = "verify")]
+    violations: Vec<Violation>,
+    /// Deliberately injected bugs (mutation self-tests).
+    #[cfg(feature = "verify")]
+    faults: Vec<FaultKind>,
 }
 
 impl Core {
@@ -144,6 +156,12 @@ impl Core {
             finished_at: None,
             stats,
             event_log: None,
+            #[cfg(feature = "verify")]
+            validators: Vec::new(),
+            #[cfg(feature = "verify")]
+            violations: Vec::new(),
+            #[cfg(feature = "verify")]
+            faults: Vec::new(),
             cfg,
         }
     }
@@ -222,6 +240,9 @@ impl Core {
 
     fn end_region(&mut self, cause: RegionEndCause, now: u64) {
         let reclaimed = self.deferred_frees.len();
+        if self.fault_active(FaultKind::LeakDeferredFrees) {
+            self.deferred_frees.clear();
+        }
         for p in std::mem::take(&mut self.deferred_frees) {
             self.prf.free(p);
         }
@@ -239,26 +260,26 @@ impl Core {
         self.region_insts = 0;
         self.region_stores = 0;
         #[cfg(debug_assertions)]
-        self.check_invariants();
+        self.check_invariants(now);
     }
 
-    /// Renaming invariants, checked at region boundaries in debug builds:
-    /// every RAT/CRT mapping targets an allocated register, no physical
-    /// register backs two architectural ones, and masked registers are
-    /// allocated.
+    /// Region-boundary sanity check in debug builds, expressed through the
+    /// structured snapshot checks of [`crate::verify`] (the old scattered
+    /// asserts, now named invariants). Skipped when validators or faults
+    /// are attached — structured reporting owns detection then, and a
+    /// panic here would pre-empt the violation record the mutation
+    /// self-tests assert on.
     #[cfg(debug_assertions)]
-    fn check_invariants(&self) {
-        let mut seen = std::collections::HashSet::new();
-        for (a, p) in self.rat.iter() {
-            assert!(self.prf.is_allocated(p), "RAT maps {a} to free {p}");
-            assert!(seen.insert(p), "{p} mapped twice in RAT");
+    fn check_invariants(&self, now: u64) {
+        #[cfg(feature = "verify")]
+        if !self.validators.is_empty() || !self.faults.is_empty() {
+            return;
         }
-        for (a, p) in self.crt.iter() {
-            assert!(self.prf.is_allocated(p), "CRT maps {a} to free {p}");
-        }
-        for p in self.mask.masked_regs() {
-            assert!(self.prf.is_allocated(p), "masked {p} is free");
-        }
+        let violations = crate::verify::check_snapshot(&self.verify_view(now));
+        assert!(
+            violations.is_empty(),
+            "invariant violations at a region boundary: {violations:#?}"
+        );
     }
 
     fn rob_entry_mut(&mut self, seq: u64) -> &mut RobEntry {
@@ -286,6 +307,9 @@ impl Core {
         self.commit(mem, now);
         self.issue(mem, now);
         self.rename(trace, mem, now);
+
+        #[cfg(feature = "verify")]
+        self.run_validators(now);
 
         if self.fetch_idx >= trace.len() && self.rob.is_empty() {
             if self.drained(mem, now) {
@@ -363,11 +387,10 @@ impl Core {
                     }
                 }
                 UopKind::PersistBarrier => match self.cfg.mode {
-                    PersistenceMode::ReplayCache
-                        if mem.persist_outstanding(self.id) > 0 => {
-                            self.stats.barrier_commit_stall_cycles += 1;
-                            break;
-                        }
+                    PersistenceMode::ReplayCache if mem.persist_outstanding(self.id) > 0 => {
+                        self.stats.barrier_commit_stall_cycles += 1;
+                        break;
+                    }
                     PersistenceMode::Capri => {
                         // The redo buffer is battery-backed: the barrier
                         // waits for room for the next region's worst-case
@@ -399,7 +422,10 @@ impl Core {
             if let Some(d) = entry.dst {
                 self.crt.set(d.arch, d.phys);
                 if let Some(prev) = d.prev {
-                    if self.cfg.mode == PersistenceMode::Ppa && self.mask.is_masked(prev) {
+                    if self.cfg.mode == PersistenceMode::Ppa
+                        && self.mask.is_masked(prev)
+                        && !self.fault_active(FaultKind::EagerFreeMasked)
+                    {
                         self.deferred_frees.push(prev);
                     } else {
                         self.prf.free(prev);
@@ -420,14 +446,18 @@ impl Core {
                     match self.cfg.mode {
                         PersistenceMode::Ppa => {
                             let data = store_data.expect("PPA stores carry a data register");
-                            self.csq
-                                .push(CsqEntry {
-                                    src: data,
-                                    addr: m.addr,
-                                    size: m.size,
-                                })
-                                .expect("CSQ rotation guarantees room");
-                            self.mask.mask(data);
+                            if !self.fault_active(FaultKind::SkipCsqEntry) {
+                                self.csq
+                                    .push(CsqEntry {
+                                        src: data,
+                                        addr: m.addr,
+                                        size: m.size,
+                                    })
+                                    .expect("CSQ rotation guarantees room");
+                            }
+                            if !self.fault_active(FaultKind::SkipMaskPin) {
+                                self.mask.mask(data);
+                            }
                             self.log(PipelineEvent::StoreTracked {
                                 cycle: now,
                                 addr: m.addr,
@@ -555,7 +585,9 @@ impl Core {
         let mut blocked_no_reg = false;
         let mut blocked_sq = false;
         while renamed < self.cfg.width {
-            let Some(u) = trace.get(self.fetch_idx) else { break };
+            let Some(u) = trace.get(self.fetch_idx) else {
+                break;
+            };
             if self.rob.len() >= self.cfg.rob_entries || self.iq.len() >= self.cfg.iq_entries {
                 break;
             }
@@ -735,8 +767,113 @@ impl Core {
             finished_at: None,
             stats,
             event_log: None,
+            #[cfg(feature = "verify")]
+            validators: Vec::new(),
+            #[cfg(feature = "verify")]
+            violations: Vec::new(),
+            #[cfg(feature = "verify")]
+            faults: Vec::new(),
             cfg,
         }
+    }
+
+    /// A read-only snapshot of the core's microarchitectural state for
+    /// the verification layer (`crate::verify`).
+    pub fn verify_view(&self, now: u64) -> CoreView<'_> {
+        CoreView {
+            cycle: now,
+            cfg: &self.cfg,
+            id: self.id,
+            prf: &self.prf,
+            rat: &self.rat,
+            crt: &self.crt,
+            mask: &self.mask,
+            csq: &self.csq,
+            deferred: &self.deferred_frees,
+            rob: self
+                .rob
+                .iter()
+                .map(|e| RobSlot {
+                    seq: e.seq,
+                    kind: e.kind,
+                    dst: e.dst.map(|d| d.phys),
+                    prev: e.dst.and_then(|d| d.prev),
+                    srcs: e.srcs,
+                    store_data: e.store_data,
+                    issued: e.issued,
+                })
+                .collect(),
+            iq: &self.iq,
+            lq_pending: self.lq_pending,
+            sq_pending: self.sq_pending,
+            region_stores: self.region_stores,
+            regions_completed: self.stats.regions,
+        }
+    }
+
+    /// Whether a deliberately injected fault is armed.
+    fn fault_active(&self, _fault: FaultKind) -> bool {
+        #[cfg(feature = "verify")]
+        {
+            self.faults.contains(&_fault)
+        }
+        #[cfg(not(feature = "verify"))]
+        {
+            false
+        }
+    }
+
+    #[cfg(feature = "verify")]
+    fn run_validators(&mut self, now: u64) {
+        if self.validators.is_empty() {
+            return;
+        }
+        // Detach the validator list so the checks can borrow `self`
+        // immutably through the view.
+        let mut validators = std::mem::take(&mut self.validators);
+        let mut violations = std::mem::take(&mut self.violations);
+        {
+            let view = self.verify_view(now);
+            for v in validators.iter_mut() {
+                v.check(&view, &mut violations);
+            }
+        }
+        self.validators = validators;
+        self.violations = violations;
+    }
+}
+
+/// Verification hooks, available with the `verify` cargo feature. The
+/// per-cycle validator pass only runs when at least one validator is
+/// attached, so even verify-enabled builds pay nothing by default.
+#[cfg(feature = "verify")]
+impl Core {
+    /// Attaches one cycle-level check.
+    pub fn attach_validator(&mut self, v: Box<dyn Validator>) {
+        self.validators.push(v);
+    }
+
+    /// Attaches the full built-in suite ([`crate::verify::default_validators`]).
+    pub fn attach_default_validators(&mut self) {
+        for v in crate::verify::default_validators() {
+            self.validators.push(v);
+        }
+    }
+
+    /// Violations reported so far by attached validators.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Drains the recorded violations.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Arms a deliberately injected bug. The mutation self-tests use this
+    /// to prove the checker detects real implementation errors.
+    pub fn inject_fault(&mut self, fault: FaultKind) {
+        self.faults.push(fault);
     }
 }
 
@@ -848,7 +985,10 @@ mod tests {
         let mut c = Core::new(cfg, 0);
         let mut m = mem();
         c.run(&trace, &mut m);
-        assert!(c.stats().region_ends_prf > 0, "PRF exhaustion must split regions");
+        assert!(
+            c.stats().region_ends_prf > 0,
+            "PRF exhaustion must split regions"
+        );
         assert!(c.stats().regions > 1);
     }
 
@@ -1052,9 +1192,11 @@ mod tests {
         let tracked: Vec<_> = events
             .iter()
             .filter_map(|e| match e {
-                crate::events::PipelineEvent::StoreTracked { addr, csq_occupancy, .. } => {
-                    Some((*addr, *csq_occupancy))
-                }
+                crate::events::PipelineEvent::StoreTracked {
+                    addr,
+                    csq_occupancy,
+                    ..
+                } => Some((*addr, *csq_occupancy)),
                 _ => None,
             })
             .collect();

@@ -85,8 +85,16 @@ mod tests {
         let p1 = PhysReg::new(RegClass::Int, 1);
         let image = image_with(
             vec![
-                CsqEntry { src: p0, addr: 0x40, size: 8 },
-                CsqEntry { src: p1, addr: 0x40, size: 8 }, // same word, younger wins
+                CsqEntry {
+                    src: p0,
+                    addr: 0x40,
+                    size: 8,
+                },
+                CsqEntry {
+                    src: p1,
+                    addr: 0x40,
+                    size: 8,
+                }, // same word, younger wins
             ],
             vec![(p0, 1), (p1, 2)],
         );
@@ -99,7 +107,14 @@ mod tests {
     #[test]
     fn replay_is_idempotent() {
         let p = PhysReg::new(RegClass::Fp, 7);
-        let image = image_with(vec![CsqEntry { src: p, addr: 0x80, size: 8 }], vec![(p, 5)]);
+        let image = image_with(
+            vec![CsqEntry {
+                src: p,
+                addr: 0x80,
+                size: 8,
+            }],
+            vec![(p, 5)],
+        );
         let mut nvm = NvmImage::new();
         replay_stores(&image, &mut nvm);
         let first = nvm.clone();
@@ -122,7 +137,14 @@ mod tests {
     #[should_panic(expected = "missing value")]
     fn missing_register_value_panics() {
         let p = PhysReg::new(RegClass::Int, 0);
-        let image = image_with(vec![CsqEntry { src: p, addr: 0, size: 8 }], vec![]);
+        let image = image_with(
+            vec![CsqEntry {
+                src: p,
+                addr: 0,
+                size: 8,
+            }],
+            vec![],
+        );
         replay_stores(&image, &mut NvmImage::new());
     }
 }

@@ -147,10 +147,7 @@ impl Prf {
     /// double-free would corrupt renaming invariants.
     pub fn free(&mut self, reg: PhysReg) {
         let bank = self.bank_mut(reg.class());
-        debug_assert!(
-            bank.allocated[reg.index() as usize],
-            "double free of {reg}"
-        );
+        debug_assert!(bank.allocated[reg.index() as usize], "double free of {reg}");
         bank.allocated[reg.index() as usize] = false;
         bank.free.push(reg.index());
     }
@@ -213,6 +210,15 @@ impl Prf {
     /// Iterator over every register of a class.
     pub fn regs(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
         (0..self.size(class) as u16).map(move |i| PhysReg::new(class, i))
+    }
+
+    /// Iterator over the class's free list, in stack order. Exposed for
+    /// the verification layer's duplicate/overlap checks.
+    pub fn free_regs(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
+        self.bank(class)
+            .free
+            .iter()
+            .map(move |&i| PhysReg::new(class, i))
     }
 }
 

@@ -1,0 +1,781 @@
+//! Cycle-level invariant checking for the PPA core.
+//!
+//! PPA's correctness argument rests on microarchitectural invariants —
+//! store integrity (a committed store's data register stays pinned by
+//! MaskReg until its region persists), rename-table consistency, CSQ
+//! FIFO ordering, free-list integrity — that the simulator used to
+//! spot-check with scattered `assert!`s. This module turns those into
+//! *structured, named* checks: a [`Validator`] is a pluggable check that
+//! inspects a read-only [`CoreView`] of the pipeline each cycle and
+//! reports [`Violation`]s instead of panicking.
+//!
+//! The per-cycle hook in [`crate::Core::step`] only exists when the
+//! `verify` cargo feature is enabled, so release simulation pays nothing.
+//! The checks themselves are always compiled (they are plain functions
+//! over a snapshot) and back the debug-build region-boundary assertions.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_core::verify::{default_validators, InvariantKind};
+//!
+//! let names: Vec<_> = default_validators().iter().map(|v| v.name()).collect();
+//! assert!(names.contains(&"free-list"));
+//! assert_eq!(InvariantKind::PrfLeak.name(), "prf-leak");
+//! ```
+
+use crate::config::{CoreConfig, PersistenceMode};
+use crate::ppa::csq::{Csq, CsqEntry};
+use crate::ppa::mask::MaskReg;
+use crate::prf::{PhysReg, Prf};
+use crate::rename::RenameTable;
+use ppa_isa::{RegClass, UopKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A deliberately injected bug, used by the mutation self-tests to prove
+/// the checker catches real implementation errors. Faults are armed with
+/// `Core::inject_fault` (available with the `verify` feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Commit a store without pinning its data register in MaskReg —
+    /// breaks store integrity (§3.3): the register can be freed and
+    /// recycled while the CSQ still references it.
+    SkipMaskPin,
+    /// Reclaim a redefined architectural mapping eagerly even when
+    /// MaskReg has it pinned, instead of deferring to the region boundary.
+    EagerFreeMasked,
+    /// Commit a store without recording it in the CSQ — recovery would
+    /// silently lose the store.
+    SkipCsqEntry,
+    /// Drop the deferred free list at region boundaries instead of
+    /// returning it to the free list — a permanent physical-register leak.
+    LeakDeferredFrees,
+}
+
+/// The invariant classes the built-in validators check. Every violation
+/// names one of these, so a detection is machine-readable (the mutation
+/// self-tests assert on the kind, not on message text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// The same physical register appears twice in a free list.
+    FreeListDuplicate,
+    /// A register is simultaneously on the free list and allocated.
+    FreeListAllocatedOverlap,
+    /// The RAT maps an architectural register to a free physical register.
+    RatDanglingMapping,
+    /// Two architectural registers share one physical register in the RAT.
+    RatDuplicateMapping,
+    /// The CRT maps an architectural register to a free physical register.
+    CrtDanglingMapping,
+    /// Two architectural registers share one physical register in the CRT.
+    CrtDuplicateMapping,
+    /// A MaskReg-pinned register is not allocated (store integrity broken:
+    /// the register could be recycled before its region persists).
+    MaskedRegisterFree,
+    /// A masked register is the destination of an in-flight micro-op — it
+    /// reached the free list and was recycled, so the pending store data
+    /// is being overwritten before its region persists.
+    MaskedRegisterReallocated,
+    /// A masked register is not the data source of any CSQ entry — the
+    /// mask must be exactly the committed-store-source set (§4.4).
+    MaskedNotStoreSource,
+    /// A CSQ entry's data register is not masked — it could be freed
+    /// before the region persists.
+    CsqSourceUnmasked,
+    /// A CSQ entry's data register is not allocated at all.
+    CsqSourceFreed,
+    /// A deferred-free register is not masked (only masked redefinitions
+    /// may be deferred).
+    DeferredFreeUnmasked,
+    /// MaskReg or CSQ populated outside `PersistenceMode::Ppa`.
+    PpaStateOutsidePpaMode,
+    /// CSQ occupancy exceeds its configured capacity.
+    CsqOverCapacity,
+    /// A CSQ entry carries an invalid store size.
+    CsqEntryInvalidSize,
+    /// Entries already in the CSQ changed or reordered (the CSQ must be
+    /// append-only within a region — commit order is replay order).
+    CsqReordered,
+    /// The CSQ lost entries without a region boundary.
+    CsqShrankWithinRegion,
+    /// CSQ occupancy disagrees with the number of stores committed in the
+    /// current region.
+    CsqStoreCountMismatch,
+    /// ROB sequence numbers are not consecutive (age order broken).
+    RobSequenceGap,
+    /// An issue-queue entry references a micro-op that is not in the ROB
+    /// or has already issued.
+    IssueQueueOrphan,
+    /// The load-queue pending count disagrees with the ROB's unissued
+    /// loads.
+    LoadQueueCountMismatch,
+    /// The store-queue pending count disagrees with the ROB's uncommitted
+    /// stores.
+    StoreQueueCountMismatch,
+    /// An allocated physical register is unreachable from any rename
+    /// table, ROB entry, MaskReg bit, or deferred-free list — it leaked.
+    PrfLeak,
+}
+
+impl InvariantKind {
+    /// Stable, kebab-case name for reports and CLIs.
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::FreeListDuplicate => "free-list-duplicate",
+            InvariantKind::FreeListAllocatedOverlap => "free-list-allocated-overlap",
+            InvariantKind::RatDanglingMapping => "rat-dangling-mapping",
+            InvariantKind::RatDuplicateMapping => "rat-duplicate-mapping",
+            InvariantKind::CrtDanglingMapping => "crt-dangling-mapping",
+            InvariantKind::CrtDuplicateMapping => "crt-duplicate-mapping",
+            InvariantKind::MaskedRegisterFree => "masked-register-free",
+            InvariantKind::MaskedRegisterReallocated => "masked-register-reallocated",
+            InvariantKind::MaskedNotStoreSource => "masked-not-store-source",
+            InvariantKind::CsqSourceUnmasked => "csq-source-unmasked",
+            InvariantKind::CsqSourceFreed => "csq-source-freed",
+            InvariantKind::DeferredFreeUnmasked => "deferred-free-unmasked",
+            InvariantKind::PpaStateOutsidePpaMode => "ppa-state-outside-ppa-mode",
+            InvariantKind::CsqOverCapacity => "csq-over-capacity",
+            InvariantKind::CsqEntryInvalidSize => "csq-entry-invalid-size",
+            InvariantKind::CsqReordered => "csq-reordered",
+            InvariantKind::CsqShrankWithinRegion => "csq-shrank-within-region",
+            InvariantKind::CsqStoreCountMismatch => "csq-store-count-mismatch",
+            InvariantKind::RobSequenceGap => "rob-sequence-gap",
+            InvariantKind::IssueQueueOrphan => "issue-queue-orphan",
+            InvariantKind::LoadQueueCountMismatch => "load-queue-count-mismatch",
+            InvariantKind::StoreQueueCountMismatch => "store-queue-count-mismatch",
+            InvariantKind::PrfLeak => "prf-leak",
+        }
+    }
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One detected invariant violation: which named invariant broke, which
+/// validator saw it, where, and a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant that was broken.
+    pub kind: InvariantKind,
+    /// Name of the validator that reported it.
+    pub check: &'static str,
+    /// Cycle of the observation.
+    pub cycle: u64,
+    /// Core the violation occurred on.
+    pub core: usize,
+    /// Free-form context (register names, counts).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] core {} cycle {}: {} ({})",
+            self.kind, self.core, self.cycle, self.detail, self.check
+        )
+    }
+}
+
+/// A snapshot of one in-flight ROB entry, as exposed to validators.
+#[derive(Debug, Clone, Copy)]
+pub struct RobSlot {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Micro-op kind.
+    pub kind: UopKind,
+    /// Destination physical register, if the op defines one.
+    pub dst: Option<PhysReg>,
+    /// The destination's previous mapping (freed or deferred at commit).
+    pub prev: Option<PhysReg>,
+    /// Renamed source registers.
+    pub srcs: [Option<PhysReg>; 3],
+    /// For stores: the physical register holding the data.
+    pub store_data: Option<PhysReg>,
+    /// Whether the op has issued.
+    pub issued: bool,
+}
+
+/// Read-only view of a core's microarchitectural state, handed to each
+/// [`Validator`] once per cycle. Constructed by `Core::verify_view`.
+pub struct CoreView<'a> {
+    /// Cycle of the snapshot.
+    pub cycle: u64,
+    pub(crate) cfg: &'a CoreConfig,
+    pub(crate) id: usize,
+    pub(crate) prf: &'a Prf,
+    pub(crate) rat: &'a RenameTable,
+    pub(crate) crt: &'a RenameTable,
+    pub(crate) mask: &'a MaskReg,
+    pub(crate) csq: &'a Csq,
+    pub(crate) deferred: &'a [PhysReg],
+    pub(crate) rob: Vec<RobSlot>,
+    pub(crate) iq: &'a [u64],
+    pub(crate) lq_pending: usize,
+    pub(crate) sq_pending: usize,
+    pub(crate) region_stores: u64,
+    pub(crate) regions_completed: u64,
+}
+
+impl CoreView<'_> {
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        self.cfg
+    }
+
+    /// The core's identifier.
+    pub fn core_id(&self) -> usize {
+        self.id
+    }
+
+    /// The physical register file.
+    pub fn prf(&self) -> &Prf {
+        self.prf
+    }
+
+    /// The speculative register alias table.
+    pub fn rat(&self) -> &RenameTable {
+        self.rat
+    }
+
+    /// The commit rename table.
+    pub fn crt(&self) -> &RenameTable {
+        self.crt
+    }
+
+    /// The store-operands mask register.
+    pub fn mask(&self) -> &MaskReg {
+        self.mask
+    }
+
+    /// The committed store queue.
+    pub fn csq(&self) -> &Csq {
+        self.csq
+    }
+
+    /// Registers awaiting reclamation at the next region boundary.
+    pub fn deferred_frees(&self) -> &[PhysReg] {
+        self.deferred
+    }
+
+    /// In-flight ROB entries, oldest first.
+    pub fn rob(&self) -> &[RobSlot] {
+        &self.rob
+    }
+
+    /// Sequence numbers of dispatched-but-unissued micro-ops.
+    pub fn iq(&self) -> &[u64] {
+        self.iq
+    }
+
+    /// Renamed loads that have not issued.
+    pub fn lq_pending(&self) -> usize {
+        self.lq_pending
+    }
+
+    /// Renamed stores/clwbs that have not committed.
+    pub fn sq_pending(&self) -> usize {
+        self.sq_pending
+    }
+
+    /// Stores committed in the current region.
+    pub fn region_stores(&self) -> u64 {
+        self.region_stores
+    }
+
+    /// Regions completed so far (changes exactly at region boundaries).
+    pub fn regions_completed(&self) -> u64 {
+        self.regions_completed
+    }
+
+    fn violation(&self, kind: InvariantKind, check: &'static str, detail: String) -> Violation {
+        Violation {
+            kind,
+            check,
+            cycle: self.cycle,
+            core: self.id,
+            detail,
+        }
+    }
+}
+
+/// A pluggable cycle-level check. Implementations may keep state between
+/// cycles (e.g. the CSQ FIFO check snapshots the previous contents).
+pub trait Validator: fmt::Debug {
+    /// Stable name, shown in reports.
+    fn name(&self) -> &'static str;
+
+    /// Inspects one cycle's state, appending any violations to `out`.
+    fn check(&mut self, view: &CoreView<'_>, out: &mut Vec<Violation>);
+}
+
+/// Free-list integrity: no duplicates, no overlap with allocated state.
+#[derive(Debug, Default)]
+pub struct FreeListCheck;
+
+impl Validator for FreeListCheck {
+    fn name(&self) -> &'static str {
+        "free-list"
+    }
+
+    fn check(&mut self, view: &CoreView<'_>, out: &mut Vec<Violation>) {
+        for class in [RegClass::Int, RegClass::Fp] {
+            let mut seen = HashSet::new();
+            for reg in view.prf().free_regs(class) {
+                if !seen.insert(reg) {
+                    out.push(view.violation(
+                        InvariantKind::FreeListDuplicate,
+                        self.name(),
+                        format!("{reg} appears twice in the free list"),
+                    ));
+                }
+                if view.prf().is_allocated(reg) {
+                    out.push(view.violation(
+                        InvariantKind::FreeListAllocatedOverlap,
+                        self.name(),
+                        format!("{reg} is free-listed while allocated"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// RAT/CRT consistency: mappings target allocated registers, and no
+/// physical register backs two architectural ones.
+#[derive(Debug, Default)]
+pub struct RenameCheck;
+
+impl Validator for RenameCheck {
+    fn name(&self) -> &'static str {
+        "rename"
+    }
+
+    fn check(&mut self, view: &CoreView<'_>, out: &mut Vec<Violation>) {
+        let tables = [
+            (
+                view.rat(),
+                "RAT",
+                InvariantKind::RatDanglingMapping,
+                InvariantKind::RatDuplicateMapping,
+            ),
+            (
+                view.crt(),
+                "CRT",
+                InvariantKind::CrtDanglingMapping,
+                InvariantKind::CrtDuplicateMapping,
+            ),
+        ];
+        for (table, label, dangling, duplicate) in tables {
+            let mut seen = HashSet::new();
+            for (arch, phys) in table.iter() {
+                if !view.prf().is_allocated(phys) {
+                    out.push(view.violation(
+                        dangling,
+                        self.name(),
+                        format!("{label} maps {arch} to free {phys}"),
+                    ));
+                }
+                if !seen.insert(phys) {
+                    out.push(view.violation(
+                        duplicate,
+                        self.name(),
+                        format!("{phys} mapped twice in the {label}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Store integrity (§3.3/§4.4): MaskReg is exactly the set of CSQ data
+/// sources, every pinned register is allocated, and deferred frees are
+/// pinned. Outside PPA mode, MaskReg and CSQ must stay empty.
+#[derive(Debug, Default)]
+pub struct MaskRegCheck;
+
+impl Validator for MaskRegCheck {
+    fn name(&self) -> &'static str {
+        "maskreg"
+    }
+
+    fn check(&mut self, view: &CoreView<'_>, out: &mut Vec<Violation>) {
+        if view.config().mode != PersistenceMode::Ppa {
+            if !view.mask().is_empty() || !view.csq().is_empty() {
+                out.push(view.violation(
+                    InvariantKind::PpaStateOutsidePpaMode,
+                    self.name(),
+                    format!(
+                        "mode {:?} has {} masked regs and {} CSQ entries",
+                        view.config().mode,
+                        view.mask().masked_count(),
+                        view.csq().len()
+                    ),
+                ));
+            }
+            return;
+        }
+        let csq_sources: HashSet<PhysReg> = view.csq().iter().map(|e| e.src).collect();
+        for slot in view.rob() {
+            if let Some(dst) = slot.dst {
+                if view.mask().is_masked(dst) {
+                    out.push(view.violation(
+                        InvariantKind::MaskedRegisterReallocated,
+                        self.name(),
+                        format!(
+                            "masked {dst} recycled as the destination of seq {}",
+                            slot.seq
+                        ),
+                    ));
+                }
+            }
+        }
+        for reg in view.mask().masked_regs() {
+            if !view.prf().is_allocated(reg) {
+                out.push(view.violation(
+                    InvariantKind::MaskedRegisterFree,
+                    self.name(),
+                    format!("masked {reg} is on the free list"),
+                ));
+            }
+            if !csq_sources.contains(&reg) {
+                out.push(view.violation(
+                    InvariantKind::MaskedNotStoreSource,
+                    self.name(),
+                    format!("masked {reg} feeds no CSQ entry"),
+                ));
+            }
+        }
+        for entry in view.csq().iter() {
+            if !view.mask().is_masked(entry.src) {
+                out.push(view.violation(
+                    InvariantKind::CsqSourceUnmasked,
+                    self.name(),
+                    format!(
+                        "CSQ entry @{:#x} source {} is unmasked",
+                        entry.addr, entry.src
+                    ),
+                ));
+            }
+            if !view.prf().is_allocated(entry.src) {
+                out.push(view.violation(
+                    InvariantKind::CsqSourceFreed,
+                    self.name(),
+                    format!("CSQ entry @{:#x} source {} is freed", entry.addr, entry.src),
+                ));
+            }
+        }
+        for &reg in view.deferred_frees() {
+            if !view.mask().is_masked(reg) {
+                out.push(view.violation(
+                    InvariantKind::DeferredFreeUnmasked,
+                    self.name(),
+                    format!("deferred free {reg} is not masked"),
+                ));
+            }
+        }
+    }
+}
+
+/// CSQ region ordering: occupancy within capacity, valid entry sizes,
+/// append-only FIFO behaviour within a region, and agreement with the
+/// region's committed-store count. Stateful — it compares each cycle's
+/// contents with the previous cycle's.
+#[derive(Debug, Default)]
+pub struct CsqOrderCheck {
+    snapshot: Vec<CsqEntry>,
+    /// Value of the regions-completed counter at the last observation;
+    /// a change means a boundary cleared the CSQ.
+    last_regions: Option<u64>,
+    /// Entries carried into the current region by recovery (the restored
+    /// CSQ predates any store the resumed region commits).
+    carried: usize,
+}
+
+impl Validator for CsqOrderCheck {
+    fn name(&self) -> &'static str {
+        "csq-order"
+    }
+
+    fn check(&mut self, view: &CoreView<'_>, out: &mut Vec<Violation>) {
+        if view.config().mode != PersistenceMode::Ppa {
+            return;
+        }
+        let csq = view.csq();
+        if csq.len() > csq.capacity() {
+            out.push(view.violation(
+                InvariantKind::CsqOverCapacity,
+                self.name(),
+                format!("{} entries in a {}-entry CSQ", csq.len(), csq.capacity()),
+            ));
+        }
+        for entry in csq.iter() {
+            if !matches!(entry.size, 1 | 2 | 4 | 8) {
+                out.push(view.violation(
+                    InvariantKind::CsqEntryInvalidSize,
+                    self.name(),
+                    format!("entry @{:#x} has size {}", entry.addr, entry.size),
+                ));
+            }
+        }
+
+        let current: Vec<CsqEntry> = csq.iter().copied().collect();
+        let same_region = self.last_regions == Some(view.regions_completed());
+        if same_region {
+            if current.len() < self.snapshot.len() {
+                out.push(view.violation(
+                    InvariantKind::CsqShrankWithinRegion,
+                    self.name(),
+                    format!(
+                        "CSQ went from {} to {} entries with no boundary",
+                        self.snapshot.len(),
+                        current.len()
+                    ),
+                ));
+            } else if current[..self.snapshot.len()] != self.snapshot[..] {
+                out.push(view.violation(
+                    InvariantKind::CsqReordered,
+                    self.name(),
+                    "existing CSQ entries changed; the queue must be append-only".to_string(),
+                ));
+            }
+        } else {
+            // A boundary cleared the queue; anything present now was
+            // appended by this region (or restored by recovery on the
+            // very first observation).
+            self.carried = if self.last_regions.is_none() {
+                current.len().saturating_sub(view.region_stores() as usize)
+            } else {
+                0
+            };
+            self.last_regions = Some(view.regions_completed());
+        }
+        let expected = self.carried + view.region_stores() as usize;
+        if current.len() != expected {
+            out.push(view.violation(
+                InvariantKind::CsqStoreCountMismatch,
+                self.name(),
+                format!(
+                    "{} CSQ entries but {} stores committed this region (+{} carried)",
+                    current.len(),
+                    view.region_stores(),
+                    self.carried
+                ),
+            ));
+        }
+        self.snapshot = current;
+    }
+}
+
+/// ROB/LSQ age consistency: sequence numbers are consecutive (commit
+/// order is age order), issue-queue entries reference live unissued ops,
+/// and the load/store-queue pending counters match the ROB's contents.
+#[derive(Debug, Default)]
+pub struct RobAgeCheck;
+
+impl Validator for RobAgeCheck {
+    fn name(&self) -> &'static str {
+        "rob-age"
+    }
+
+    fn check(&mut self, view: &CoreView<'_>, out: &mut Vec<Violation>) {
+        let rob = view.rob();
+        for pair in rob.windows(2) {
+            if pair[1].seq != pair[0].seq + 1 {
+                out.push(view.violation(
+                    InvariantKind::RobSequenceGap,
+                    self.name(),
+                    format!("seq {} followed by {}", pair[0].seq, pair[1].seq),
+                ));
+            }
+        }
+        let front = rob.first().map(|e| e.seq);
+        for &seq in view.iq() {
+            let slot = front
+                .filter(|&f| seq >= f)
+                .and_then(|f| rob.get((seq - f) as usize));
+            match slot {
+                Some(s) if !s.issued => {}
+                _ => out.push(view.violation(
+                    InvariantKind::IssueQueueOrphan,
+                    self.name(),
+                    format!("IQ references seq {seq} which is absent or already issued"),
+                )),
+            }
+        }
+        let unissued_loads = rob
+            .iter()
+            .filter(|e| e.kind.needs_lq_entry() && !e.issued)
+            .count();
+        if unissued_loads != view.lq_pending() {
+            out.push(view.violation(
+                InvariantKind::LoadQueueCountMismatch,
+                self.name(),
+                format!(
+                    "lq_pending {} but {} unissued loads in the ROB",
+                    view.lq_pending(),
+                    unissued_loads
+                ),
+            ));
+        }
+        let pending_stores = rob.iter().filter(|e| e.kind.needs_sq_entry()).count();
+        if pending_stores != view.sq_pending() {
+            out.push(view.violation(
+                InvariantKind::StoreQueueCountMismatch,
+                self.name(),
+                format!(
+                    "sq_pending {} but {} uncommitted stores/clwbs in the ROB",
+                    view.sq_pending(),
+                    pending_stores
+                ),
+            ));
+        }
+    }
+}
+
+/// PRF leak / double-free detection: every allocated register must be
+/// reachable from the RAT, the CRT, an in-flight ROB entry, MaskReg, or
+/// the deferred-free list. (The double-free direction is covered by
+/// [`FreeListCheck`]'s overlap detection.)
+#[derive(Debug, Default)]
+pub struct PrfLeakCheck;
+
+impl Validator for PrfLeakCheck {
+    fn name(&self) -> &'static str {
+        "prf-leak"
+    }
+
+    fn check(&mut self, view: &CoreView<'_>, out: &mut Vec<Violation>) {
+        let mut reachable: HashSet<PhysReg> = HashSet::new();
+        reachable.extend(view.rat().iter().map(|(_, p)| p));
+        reachable.extend(view.crt().iter().map(|(_, p)| p));
+        reachable.extend(view.mask().masked_regs());
+        reachable.extend(view.deferred_frees().iter().copied());
+        for slot in view.rob() {
+            reachable.extend(slot.dst);
+            reachable.extend(slot.prev);
+            reachable.extend(slot.store_data);
+            reachable.extend(slot.srcs.iter().flatten());
+        }
+        for class in [RegClass::Int, RegClass::Fp] {
+            for reg in view.prf().regs(class) {
+                if view.prf().is_allocated(reg) && !reachable.contains(&reg) {
+                    out.push(view.violation(
+                        InvariantKind::PrfLeak,
+                        self.name(),
+                        format!("{reg} is allocated but unreachable"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The full built-in validator suite.
+pub fn default_validators() -> Vec<Box<dyn Validator>> {
+    vec![
+        Box::new(FreeListCheck),
+        Box::new(RenameCheck),
+        Box::new(MaskRegCheck),
+        Box::new(CsqOrderCheck::default()),
+        Box::new(RobAgeCheck),
+        Box::new(PrfLeakCheck),
+    ]
+}
+
+/// Runs the stateless checks once over a snapshot. This is what the
+/// debug-build region-boundary assertion in the pipeline uses — the old
+/// ad-hoc asserts, expressed as named invariants.
+pub fn check_snapshot(view: &CoreView<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    FreeListCheck.check(view, &mut out);
+    RenameCheck.check(view, &mut out);
+    MaskRegCheck.check(view, &mut out);
+    RobAgeCheck.check(view, &mut out);
+    PrfLeakCheck.check(view, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, PersistenceMode};
+    use crate::pipeline::Core;
+    use ppa_isa::{ArchReg, TraceBuilder};
+    use ppa_mem::{MemConfig, MemorySystem};
+
+    fn run_clean_core() -> (Core, MemorySystem) {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..40u64 {
+            let r = ArchReg::int((i % 6) as u8);
+            b.alu(r, &[r]);
+            b.store(r, 0x1000 + i * 8, i + 1);
+        }
+        let trace = b.build();
+        let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+        let mut core = Core::new(CoreConfig::paper_default(PersistenceMode::Ppa), 0);
+        for now in 0..300 {
+            core.step(&trace, &mut mem, now);
+            mem.tick(now);
+        }
+        (core, mem)
+    }
+
+    #[test]
+    fn clean_execution_passes_all_snapshot_checks() {
+        let (core, _mem) = run_clean_core();
+        let view = core.verify_view(300);
+        let violations = check_snapshot(&view);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation {
+            kind: InvariantKind::PrfLeak,
+            check: "prf-leak",
+            cycle: 7,
+            core: 1,
+            detail: "pi5 is allocated but unreachable".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("prf-leak"));
+        assert!(s.contains("cycle 7"));
+        assert!(s.contains("pi5"));
+    }
+
+    #[test]
+    fn kinds_have_unique_names() {
+        let kinds = [
+            InvariantKind::FreeListDuplicate,
+            InvariantKind::FreeListAllocatedOverlap,
+            InvariantKind::RatDanglingMapping,
+            InvariantKind::RatDuplicateMapping,
+            InvariantKind::CrtDanglingMapping,
+            InvariantKind::CrtDuplicateMapping,
+            InvariantKind::MaskedRegisterFree,
+            InvariantKind::MaskedRegisterReallocated,
+            InvariantKind::MaskedNotStoreSource,
+            InvariantKind::CsqSourceUnmasked,
+            InvariantKind::CsqSourceFreed,
+            InvariantKind::DeferredFreeUnmasked,
+            InvariantKind::PpaStateOutsidePpaMode,
+            InvariantKind::CsqOverCapacity,
+            InvariantKind::CsqEntryInvalidSize,
+            InvariantKind::CsqReordered,
+            InvariantKind::CsqShrankWithinRegion,
+            InvariantKind::CsqStoreCountMismatch,
+            InvariantKind::RobSequenceGap,
+            InvariantKind::IssueQueueOrphan,
+            InvariantKind::LoadQueueCountMismatch,
+            InvariantKind::StoreQueueCountMismatch,
+            InvariantKind::PrfLeak,
+        ];
+        let names: HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -23,9 +23,15 @@ fn ipc_approaches_the_pipeline_width_on_independent_alus() {
     for i in 0..4_000u64 {
         b.alu(ArchReg::int((i % 8) as u8), &[ArchReg::int(8)]);
     }
-    let (c, _) = run(CoreConfig::paper_default(PersistenceMode::Baseline), &b.build());
+    let (c, _) = run(
+        CoreConfig::paper_default(PersistenceMode::Baseline),
+        &b.build(),
+    );
     let ipc = c.stats().ipc();
-    assert!(ipc > 3.0, "independent ALUs should near width 4, got {ipc:.2}");
+    assert!(
+        ipc > 3.0,
+        "independent ALUs should near width 4, got {ipc:.2}"
+    );
 }
 
 /// A serial dependency chain caps IPC at ~1.
@@ -36,9 +42,15 @@ fn dependency_chains_serialise() {
     for _ in 0..2_000 {
         b.alu(r, &[r]);
     }
-    let (c, _) = run(CoreConfig::paper_default(PersistenceMode::Baseline), &b.build());
+    let (c, _) = run(
+        CoreConfig::paper_default(PersistenceMode::Baseline),
+        &b.build(),
+    );
     let ipc = c.stats().ipc();
-    assert!(ipc < 1.2, "a serial chain cannot exceed 1 IPC, got {ipc:.2}");
+    assert!(
+        ipc < 1.2,
+        "a serial chain cannot exceed 1 IPC, got {ipc:.2}"
+    );
 }
 
 /// Narrower pipelines are slower on parallel work.
@@ -161,7 +173,11 @@ fn recovered_free_list_excludes_checkpointed_registers() {
         crt.push((a, PhysReg::new(a.class(), a.index() as u16)));
     }
     let image = ppa_core::CheckpointImage {
-        csq: vec![CsqEntry { src: p_data, addr: 0x40, size: 8 }],
+        csq: vec![CsqEntry {
+            src: p_data,
+            addr: 0x40,
+            size: 8,
+        }],
         crt,
         masked: vec![p_data],
         prf_values: {

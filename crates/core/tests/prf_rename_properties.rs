@@ -1,0 +1,145 @@
+//! Property-style tests for the rename machinery: free-list/RAT
+//! round-trips against a reference model, and MaskReg set/clear under
+//! region retirement. Driven by seeded [`ppa_prng::Prng`] loops.
+
+use ppa_core::{MaskReg, PhysReg, Prf, RenameTable};
+use ppa_isa::{ArchReg, RegClass};
+use ppa_prng::Prng;
+use std::collections::HashSet;
+
+const INT: usize = 48;
+const FP: usize = 48;
+
+/// Random allocate/free interleavings preserve the free-list accounting:
+/// no register is handed out twice, `free_count` mirrors a reference
+/// model, and exhaustion happens exactly when the model says so.
+#[test]
+fn free_list_round_trips_match_a_reference_model() {
+    let mut rng = Prng::seed_from_u64(0x9f11_0001);
+    for _case in 0..50 {
+        let mut prf = Prf::new(INT, FP);
+        let mut live: Vec<PhysReg> = Vec::new();
+        let class = if rng.random_bool(0.5) {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        };
+        let size = prf.size(class);
+        for step in 0..400 {
+            if rng.random_bool(0.6) {
+                match prf.allocate(class, step as u64) {
+                    Some(r) => {
+                        assert!(
+                            !live.contains(&r),
+                            "register {r} allocated twice (case live set: {live:?})"
+                        );
+                        assert!(prf.is_allocated(r));
+                        live.push(r);
+                    }
+                    None => assert_eq!(
+                        live.len(),
+                        size,
+                        "allocation failed with free registers remaining"
+                    ),
+                }
+            } else if !live.is_empty() {
+                let idx = rng.random_below(live.len() as u64) as usize;
+                let r = live.swap_remove(idx);
+                prf.free(r);
+                assert!(!prf.is_allocated(r));
+            }
+            assert_eq!(prf.free_count(class), size - live.len());
+        }
+        // Freeing everything restores the full free list and every
+        // register becomes allocatable again exactly once.
+        for r in live.drain(..) {
+            prf.free(r);
+        }
+        assert_eq!(prf.free_count(class), size);
+        let mut seen = HashSet::new();
+        while let Some(r) = prf.allocate(class, 0) {
+            assert!(seen.insert(r), "round-trip re-issued {r}");
+        }
+        assert_eq!(seen.len(), size);
+    }
+}
+
+/// Rename → commit → reclaim round-trips: the RAT always points at
+/// allocated registers, `maps_to` agrees with the table contents, and
+/// reclaiming every previous mapping returns the PRF to its starting
+/// occupancy (no leak, no double-free).
+#[test]
+fn rat_round_trip_reclaims_every_previous_mapping() {
+    let mut rng = Prng::seed_from_u64(0x9f11_0002);
+    for _case in 0..50 {
+        let mut prf = Prf::new(INT, FP);
+        let mut rat = RenameTable::new();
+        // Architectural baseline: every int arch reg starts mapped.
+        for a in 0..ppa_isa::NUM_INT_ARCH_REGS {
+            let r = prf.allocate(RegClass::Int, 0).expect("PRF larger than ARF");
+            rat.set(ArchReg::int(a as u8), r);
+        }
+        let baseline_free = prf.free_count(RegClass::Int);
+        // A burst of renames, reclaiming each displaced mapping as the
+        // in-order commit of the redefining instruction would.
+        for step in 0..200u64 {
+            let arch = ArchReg::int(rng.random_below(ppa_isa::NUM_INT_ARCH_REGS as u64) as u8);
+            let Some(fresh) = prf.allocate(RegClass::Int, step) else {
+                break;
+            };
+            let prev = rat.set(arch, fresh).expect("arch regs stay mapped");
+            assert!(prf.is_allocated(fresh));
+            assert!(rat.maps_to(fresh));
+            assert!(!rat.maps_to(prev), "displaced mapping still visible");
+            prf.free(prev);
+            assert_eq!(
+                prf.free_count(RegClass::Int),
+                baseline_free,
+                "rename+reclaim must be occupancy-neutral"
+            );
+        }
+        // Every RAT entry must point at a live register.
+        for (_, phys) in rat.iter() {
+            if phys.class() == RegClass::Int {
+                assert!(prf.is_allocated(phys));
+            }
+        }
+    }
+}
+
+/// MaskReg set/clear under region retirement: masked registers survive
+/// until the region boundary clears the mask; clears are complete; and
+/// the mask never reports a register it was not given.
+#[test]
+fn maskreg_set_clear_tracks_region_retirement() {
+    let mut rng = Prng::seed_from_u64(0x9f11_0003);
+    for _case in 0..50 {
+        let mut prf = Prf::new(INT, FP);
+        let mut mask = MaskReg::new(INT, FP);
+        let mut model: HashSet<PhysReg> = HashSet::new();
+        for _region in 0..8 {
+            // During a region: stores commit, pinning their data regs.
+            let pins = rng.random_range(1usize..12);
+            for step in 0..pins {
+                if let Some(r) = prf.allocate(RegClass::Int, step as u64) {
+                    mask.mask(r);
+                    model.insert(r);
+                }
+            }
+            assert_eq!(mask.masked_count(), model.len());
+            for &r in &model {
+                assert!(mask.is_masked(r), "{r} lost its pin mid-region");
+            }
+            let masked: HashSet<PhysReg> = mask.masked_regs().collect();
+            assert_eq!(masked, model);
+            // Region retires: deferred frees run, then the mask clears.
+            for r in model.drain() {
+                prf.free(r);
+            }
+            mask.clear();
+            assert_eq!(mask.masked_count(), 0);
+            assert!(mask.masked_regs().next().is_none());
+        }
+        assert_eq!(prf.free_count(RegClass::Int), INT);
+    }
+}

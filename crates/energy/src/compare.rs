@@ -157,14 +157,21 @@ mod tests {
     use super::*;
 
     fn budget(s: WspScheme) -> SchemeBudget {
-        scheme_budgets().into_iter().find(|b| b.scheme == s).unwrap()
+        scheme_budgets()
+            .into_iter()
+            .find(|b| b.scheme == s)
+            .unwrap()
     }
 
     #[test]
     fn capri_energy_near_paper_0_6_mj() {
         let c = budget(WspScheme::Capri);
         // 54 KB × 11.839 nJ/B ≈ 0.65 mJ; the paper rounds to 0.6 mJ.
-        assert!((c.energy_uj / 1000.0 - 0.65).abs() < 0.06, "got {}", c.energy_uj);
+        assert!(
+            (c.energy_uj / 1000.0 - 0.65).abs() < 0.06,
+            "got {}",
+            c.energy_uj
+        );
     }
 
     #[test]
@@ -180,7 +187,11 @@ mod tests {
     #[test]
     fn lightpc_supercap_near_paper_527_mm3() {
         let l = budget(WspScheme::LightPc);
-        assert!((l.supercap_mm3 - 527.8).abs() < 10.0, "got {}", l.supercap_mm3);
+        assert!(
+            (l.supercap_mm3 - 527.8).abs() < 10.0,
+            "got {}",
+            l.supercap_mm3
+        );
         // Ratio to core: paper quotes 44.5.
         assert!((l.supercap_core_ratio() - 44.5).abs() < 1.0);
     }

@@ -54,7 +54,10 @@ pub fn disasm_uop(u: &Uop) -> String {
         UopKind::Nop => s.push_str("nop"),
         kind => {
             // ALU forms: `op dst, src1[, src2]`.
-            let dst = u.dst.map(|d| d.to_string()).unwrap_or_else(|| "flags".into());
+            let dst = u
+                .dst
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "flags".into());
             let _ = write!(s, "{kind} {dst}");
             if !srcs.is_empty() {
                 let _ = write!(s, ", {}", srcs.join(", "));
@@ -155,7 +158,10 @@ mod tests {
             disasm_uop(&Uop::new(0, UopKind::Sync(SyncKind::LockAcquire))),
             "lock acquire"
         );
-        assert_eq!(disasm_uop(&Uop::new(0, UopKind::Branch(BranchKind::Call))), "call");
+        assert_eq!(
+            disasm_uop(&Uop::new(0, UopKind::Branch(BranchKind::Call))),
+            "call"
+        );
     }
 
     #[test]

@@ -199,7 +199,10 @@ mod tests {
             b.nop();
         }
         let out = CapriPass::new().apply(&b.build());
-        let n = out.iter().filter(|u| u.kind == UopKind::PersistBarrier).count();
+        let n = out
+            .iter()
+            .filter(|u| u.kind == UopKind::PersistBarrier)
+            .count();
         assert!(n >= 3, "expected epoch barriers, got {n}");
     }
 

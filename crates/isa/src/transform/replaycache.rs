@@ -117,11 +117,11 @@ impl TracePass for ReplayCachePass {
         let mut region_insts = 0usize;
 
         let end_region = |out: &mut Vec<Uop>,
-                              protected: &mut HashSet<crate::reg::ArchReg>,
-                              spare_int: &mut usize,
-                              spare_fp: &mut usize,
-                              region_has_store: &mut bool,
-                              pc: u64| {
+                          protected: &mut HashSet<crate::reg::ArchReg>,
+                          spare_int: &mut usize,
+                          spare_fp: &mut usize,
+                          region_has_store: &mut bool,
+                          pc: u64| {
             // A barrier is only useful if the region performed stores; empty
             // regions merge into their successor (the compiler would not
             // emit a barrier there).
@@ -289,7 +289,10 @@ mod tests {
         // barrier is the trailing one.
         let n_barriers = count_kind(&out, |k| matches!(k, UopKind::PersistBarrier));
         assert_eq!(n_barriers, 1);
-        assert_eq!(*out.as_slice().last().map(|u| &u.kind).unwrap(), UopKind::PersistBarrier);
+        assert_eq!(
+            *out.as_slice().last().map(|u| &u.kind).unwrap(),
+            UopKind::PersistBarrier
+        );
     }
 
     #[test]
@@ -320,7 +323,10 @@ mod tests {
             b.alu(ArchReg::int(2), &[ArchReg::int(3)]);
         }
         let out = ReplayCachePass::new().apply(&b.build());
-        assert_eq!(count_kind(&out, |k| matches!(k, UopKind::PersistBarrier)), 0);
+        assert_eq!(
+            count_kind(&out, |k| matches!(k, UopKind::PersistBarrier)),
+            0
+        );
     }
 
     #[test]

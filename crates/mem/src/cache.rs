@@ -20,7 +20,10 @@ impl CacheConfig {
     /// Panics if the geometry is degenerate (zero size/ways, or a capacity
     /// that is not a multiple of `ways * line_size`).
     pub fn new(size_bytes: u64, ways: u32, hit_latency: u64) -> Self {
-        assert!(size_bytes > 0 && ways > 0, "cache must have capacity and ways");
+        assert!(
+            size_bytes > 0 && ways > 0,
+            "cache must have capacity and ways"
+        );
         assert!(
             size_bytes.is_multiple_of(ways as u64 * CACHE_LINE_BYTES),
             "capacity must be a whole number of sets"
@@ -142,7 +145,10 @@ impl Cache {
         let (set_idx, tag) = self.index_tag(addr);
         let num_sets = self.cfg.num_sets();
         let ways = self.cfg.ways as usize;
-        let set = self.sets.entry(set_idx).or_insert_with(|| Vec::with_capacity(ways));
+        let set = self
+            .sets
+            .entry(set_idx)
+            .or_insert_with(|| Vec::with_capacity(ways));
 
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             line.last_used = stamp;

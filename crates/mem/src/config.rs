@@ -203,8 +203,7 @@ mod tests {
 
     #[test]
     fn with_nvm_swaps_device() {
-        let c = MemConfig::memory_mode()
-            .with_nvm(NvmConfig::paper_default().with_wpq_entries(8));
+        let c = MemConfig::memory_mode().with_nvm(NvmConfig::paper_default().with_wpq_entries(8));
         assert_eq!(c.nvm().unwrap().wpq_entries, 8);
     }
 

@@ -132,6 +132,11 @@ impl NvmImage {
         self.words.is_empty()
     }
 
+    /// Iterator over `(word_address, value)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
+
     /// Compares the image against architectural memory, returning the word
     /// addresses whose values differ or are missing — i.e. the crash
     /// inconsistencies a recovery must repair. An empty result means the

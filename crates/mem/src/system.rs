@@ -72,10 +72,12 @@ impl MemorySystem {
             l1d: (0..num_cores).map(|_| Cache::new(cfg.l1d)).collect(),
             l2: (0..l2_count).map(|_| Cache::new(cfg.l2)).collect(),
             l3: cfg.l3.map(Cache::new),
-            dram: cfg.dram_cache.map(|d| {
-                Cache::new(crate::CacheConfig::new(d.size_bytes, 1, d.hit_latency))
-            }),
-            nvm: cfg.nvm().map(|n| MultiChannelNvm::new(*n, cfg.memory_controllers)),
+            dram: cfg
+                .dram_cache
+                .map(|d| Cache::new(crate::CacheConfig::new(d.size_bytes, 1, d.hit_latency))),
+            nvm: cfg
+                .nvm()
+                .map(|n| MultiChannelNvm::new(*n, cfg.memory_controllers)),
             wb: (0..num_cores)
                 .map(|_| WriteBuffer::new(cfg.write_buffer_entries, cfg.persist_coalescing))
                 .collect(),

@@ -202,10 +202,24 @@ mod tests {
         wb.enqueue(0, 0);
         wb.enqueue(64, 0);
         let mut issued = Vec::new();
-        wb.tick(0, |l, now| { issued.push(l); Ok(now) }, |_| {});
+        wb.tick(
+            0,
+            |l, now| {
+                issued.push(l);
+                Ok(now)
+            },
+            |_| {},
+        );
         assert_eq!(issued, vec![0]);
         assert_eq!(wb.outstanding(), 1);
-        wb.tick(1, |l, now| { issued.push(l); Ok(now) }, |_| {});
+        wb.tick(
+            1,
+            |l, now| {
+                issued.push(l);
+                Ok(now)
+            },
+            |_| {},
+        );
         assert_eq!(issued, vec![0, 64]);
         assert_eq!(wb.outstanding(), 0);
     }
@@ -237,9 +251,23 @@ mod tests {
         let mut wb = WriteBuffer::new(4, true);
         wb.enqueue_delayed(0, 0, 100);
         let mut issued = 0;
-        wb.tick(50, |_, now| { issued += 1; Ok(now) }, |_| {});
+        wb.tick(
+            50,
+            |_, now| {
+                issued += 1;
+                Ok(now)
+            },
+            |_| {},
+        );
         assert_eq!(issued, 0, "not ready yet");
-        wb.tick(100, |_, now| { issued += 1; Ok(now) }, |_| {});
+        wb.tick(
+            100,
+            |_, now| {
+                issued += 1;
+                Ok(now)
+            },
+            |_| {},
+        );
         assert_eq!(issued, 1);
         assert_eq!(wb.outstanding(), 0);
     }
@@ -252,7 +280,14 @@ mod tests {
         wb.enqueue_delayed(0, 0, 100);
         wb.enqueue(64, 0);
         let mut issued = Vec::new();
-        wb.tick(10, |l, now| { issued.push(l); Ok(now) }, |_| {});
+        wb.tick(
+            10,
+            |l, now| {
+                issued.push(l);
+                Ok(now)
+            },
+            |_| {},
+        );
         assert!(issued.is_empty());
     }
 

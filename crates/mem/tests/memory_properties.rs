@@ -1,10 +1,11 @@
-//! Property-based tests over the memory system's invariants.
+//! Property-style tests over the memory system's invariants, driven by
+//! seeded [`ppa_prng::Prng`] loops (offline, reproducible).
 
 use ppa_mem::{MemConfig, MemorySystem};
-use proptest::prelude::*;
+use ppa_prng::Prng;
 
 /// A random memory operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Load(u64),
     Store(u64, u64),
@@ -12,33 +13,34 @@ enum Op {
     Tick,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..64).prop_map(|l| Op::Load(l * 64)),
-        ((0u64..64), any::<u64>()).prop_map(|(l, v)| Op::Store(l * 64, v)),
-        (0u64..64).prop_map(|l| Op::Persist(l * 64)),
-        Just(Op::Tick),
-    ]
+fn random_op(rng: &mut Prng) -> Op {
+    match rng.random_below(4) {
+        0 => Op::Load(rng.random_below(64) * 64),
+        1 => Op::Store(rng.random_below(64) * 64, rng.random_range(0u64..u64::MAX)),
+        2 => Op::Persist(rng.random_below(64) * 64),
+        _ => Op::Tick,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
-
-    /// Whatever the operation sequence, draining the write buffers always
-    /// terminates and brings the persistence counter to zero, and the NVM
-    /// image never contradicts architectural memory (it may lag, never
-    /// lead with a wrong value for a committed word... unless the word was
-    /// overwritten after persisting — in which case it is stale, which the
-    /// diff reports, never silently wrong).
-    #[test]
-    fn wb_drains_and_nvm_image_only_holds_committed_snapshots(
-        ops in prop::collection::vec(op_strategy(), 1..200),
-    ) {
+/// Whatever the operation sequence, draining the write buffers always
+/// terminates and brings the persistence counter to zero, and the NVM
+/// image never contradicts architectural memory (it may lag, never
+/// lead with a wrong value for a committed word... unless the word was
+/// overwritten after persisting — in which case it is stale, which the
+/// diff reports, never silently wrong).
+#[test]
+fn wb_drains_and_nvm_image_only_holds_committed_snapshots() {
+    let mut rng = Prng::seed_from_u64(0x3e30_0001);
+    for _case in 0..32 {
+        let n_ops = 1 + rng.random_below(199) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
         let mut now = 0u64;
         for op in &ops {
             match *op {
-                Op::Load(a) => { mem.load(0, a, now); }
+                Op::Load(a) => {
+                    mem.load(0, a, now);
+                }
                 Op::Store(a, v) => {
                     mem.store_merge(0, a, now);
                     mem.commit_store_value(a, v);
@@ -62,7 +64,7 @@ proptest! {
             mem.tick(now);
             now += 1;
             guard += 1;
-            prop_assert!(guard < 1_000_000, "write buffer failed to drain");
+            assert!(guard < 1_000_000, "write buffer failed to drain");
         }
         // Every persisted word matches some committed value; in this
         // single-writer test the final arch value is the only commit per
@@ -73,33 +75,41 @@ proptest! {
                 // Staleness is possible only if the word was stored again
                 // after its last persist; the diff must flag exactly those.
                 if found != v {
-                    prop_assert!(mem.nvm_image().diff(mem.arch_mem()).contains(&addr));
+                    assert!(mem.nvm_image().diff(mem.arch_mem()).contains(&addr));
                 }
             }
         }
     }
+}
 
-    /// Cache walks never change functional state: loads are free of
-    /// side effects on architectural memory and the NVM image only grows
-    /// through write-backs.
-    #[test]
-    fn loads_have_no_functional_side_effects(
-        addrs in prop::collection::vec(0u64..1_000_000, 1..100),
-    ) {
+/// Cache walks never change functional state: loads are free of
+/// side effects on architectural memory and the NVM image only grows
+/// through write-backs.
+#[test]
+fn loads_have_no_functional_side_effects() {
+    let mut rng = Prng::seed_from_u64(0x3e30_0002);
+    for _case in 0..32 {
+        let n = 1 + rng.random_below(99) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.random_below(1_000_000)).collect();
         let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
         mem.commit_store_value(0x40, 7);
         for (i, &a) in addrs.iter().enumerate() {
             mem.load(0, a * 8, i as u64);
         }
-        prop_assert_eq!(mem.arch_mem().len(), 1);
-        prop_assert_eq!(mem.functional_read(0x40), 7);
+        assert_eq!(mem.arch_mem().len(), 1);
+        assert_eq!(mem.functional_read(0x40), 7);
     }
+}
 
-    /// Power failure wipes volatile state but never the NVM image.
-    #[test]
-    fn power_failure_preserves_the_persistence_domain(
-        stores in prop::collection::vec((0u64..32, any::<u64>()), 1..50),
-    ) {
+/// Power failure wipes volatile state but never the NVM image.
+#[test]
+fn power_failure_preserves_the_persistence_domain() {
+    let mut rng = Prng::seed_from_u64(0x3e30_0003);
+    for _case in 0..32 {
+        let n = 1 + rng.random_below(49) as usize;
+        let stores: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.random_below(32), rng.random_range(0u64..u64::MAX)))
+            .collect();
         let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
         let mut now = 0;
         for &(l, v) in &stores {
@@ -119,7 +129,7 @@ proptest! {
         }
         let image_before = mem.nvm_image().clone();
         mem.power_failure();
-        prop_assert_eq!(mem.nvm_image(), &image_before);
-        prop_assert_eq!(mem.persist_outstanding(0), 0);
+        assert_eq!(mem.nvm_image(), &image_before);
+        assert_eq!(mem.persist_outstanding(0), 0);
     }
 }

@@ -1,0 +1,245 @@
+//! A small, deterministic pseudo-random number generator for the PPA
+//! simulator.
+//!
+//! The workload generators, the randomized property tests, and the
+//! crash-consistency oracle all need reproducible random streams. This
+//! crate provides one: xoshiro256** seeded through SplitMix64, the
+//! textbook construction (Blackman & Vigna). It is not cryptographic and
+//! does not try to be — determinism across platforms and zero external
+//! dependencies are the only requirements (the build runs with no
+//! registry access, so `rand` is not an option).
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_prng::Prng;
+//!
+//! let mut a = Prng::seed_from_u64(7);
+//! let mut b = Prng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.random_range(0..10u32);
+//! assert!(x < 10);
+//! let f = a.random_f64();
+//! assert!((0.0..1.0).contains(&f));
+//! ```
+
+use std::ops::Range;
+
+/// xoshiro256** generator with SplitMix64 seeding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Prng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Prng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform value in `[0, bound)` via Lemire's multiply-shift
+    /// rejection; `bound` of zero returns zero.
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Rejection sampling on the low product keeps the distribution
+        // exactly uniform; the loop terminates quickly for any bound.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let hi = ((u128::from(x) * u128::from(bound)) >> 64) as u64;
+            let lo = x.wrapping_mul(bound);
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// A uniform value in `range` (half-open, like `rand`'s
+    /// `random_range`). An empty range returns `range.start`.
+    pub fn random_range<T: RangeInt>(&mut self, range: Range<T>) -> T {
+        let start = range.start.into_u64();
+        let end = range.end.into_u64();
+        if end <= start {
+            return range.start;
+        }
+        T::from_u64(start + self.random_below(end - start))
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.random_below(slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// Integer types [`Prng::random_range`] can produce. The trait is an
+/// implementation detail; all unsigned primitive widths up to `u64` are
+/// covered.
+pub trait RangeInt: Copy {
+    /// Widens to `u64`.
+    fn into_u64(self) -> u64;
+    /// Narrows from `u64`; the value is guaranteed to fit by construction.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn into_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = Prng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f = rng.random_f64();
+            assert!((0.0..1.0).contains(&f), "{f} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut rng = Prng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_respects_bounds_and_hits_all_values() {
+        let mut rng = Prng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..7u8);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
+    }
+
+    #[test]
+    fn range_with_nonzero_start() {
+        let mut rng = Prng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = rng.random_range(10..20u64);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_range_returns_start() {
+        let mut rng = Prng::seed_from_u64(5);
+        assert_eq!(rng.random_range(3..3u32), 3);
+        assert_eq!(rng.random_below(0), 0);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Prng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+        assert_ne!(
+            v, sorted,
+            "a 32-element shuffle is almost surely not identity"
+        );
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = Prng::seed_from_u64(13);
+        let items = [1, 2, 3];
+        assert!(rng.choose::<u32>(&[]).is_none());
+        for _ in 0..100 {
+            assert!(items.contains(rng.choose(&items).unwrap()));
+        }
+    }
+}

@@ -33,10 +33,18 @@ fn measure(app: &AppDescriptor, len: usize) -> (f64, f64, f64) {
     // Applications run with their paper thread count (8 for the parallel
     // suites), sharing the WPQ and write bandwidth as in the evaluation.
     let len = if app.threads > 1 { len / 3 } else { len };
-    let base = Machine::new(SystemConfig::baseline()).run_app_parallel(app, len, 1).cycles as f64;
-    let ppa = Machine::new(SystemConfig::ppa()).run_app_parallel(app, len, 1).cycles as f64;
-    let psp = Machine::new(SystemConfig::eadr_bbb()).run_app_parallel(app, len, 1).cycles as f64;
-    let dram = Machine::new(SystemConfig::dram_only()).run_app_parallel(app, len, 1).cycles as f64;
+    let base = Machine::new(SystemConfig::baseline())
+        .run_app_parallel(app, len, 1)
+        .cycles as f64;
+    let ppa = Machine::new(SystemConfig::ppa())
+        .run_app_parallel(app, len, 1)
+        .cycles as f64;
+    let psp = Machine::new(SystemConfig::eadr_bbb())
+        .run_app_parallel(app, len, 1)
+        .cycles as f64;
+    let dram = Machine::new(SystemConfig::dram_only())
+        .run_app_parallel(app, len, 1)
+        .cycles as f64;
     (psp / base, base / dram, ppa / base)
 }
 
@@ -74,7 +82,12 @@ fn main() {
             app.dram_resident_frac,
             app.store_run_len,
             app.store_frac,
-            t.psp, psp_m, t.bd, bd_m, t.ppa, ppa_m
+            t.psp,
+            psp_m,
+            t.bd,
+            bd_m,
+            t.ppa,
+            ppa_m
         );
     }
 }

@@ -64,9 +64,7 @@ pub fn inject_failure_multicore(
     assert!(!traces.is_empty(), "need at least one trace");
 
     let mut mem = MemorySystem::new(cfg.mem, traces.len());
-    let mut cores: Vec<Core> = (0..traces.len())
-        .map(|i| Core::new(cfg.core, i))
-        .collect();
+    let mut cores: Vec<Core> = (0..traces.len()).map(|i| Core::new(cfg.core, i)).collect();
 
     // Phase 1: run until the power failure.
     for now in 0..fail_cycle {

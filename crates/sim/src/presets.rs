@@ -136,7 +136,10 @@ mod tests {
 
     #[test]
     fn presets_pair_modes_with_memories() {
-        assert_eq!(SystemConfig::baseline().core.mode, PersistenceMode::Baseline);
+        assert_eq!(
+            SystemConfig::baseline().core.mode,
+            PersistenceMode::Baseline
+        );
         assert_eq!(SystemConfig::ppa().core.mode, PersistenceMode::Ppa);
         assert!(SystemConfig::eadr_bbb().mem.dram_cache.is_none());
         assert!(SystemConfig::eadr_bbb().mem.nvm().is_some());

@@ -90,7 +90,10 @@ impl Cdf {
     ///
     /// Panics if `q` is outside `[0, 1)` or the CDF is empty.
     pub fn value_available_for(&self, q: f64) -> u64 {
-        assert!((0.0..1.0).contains(&q), "fraction must be in [0, 1), got {q}");
+        assert!(
+            (0.0..1.0).contains(&q),
+            "fraction must be in [0, 1), got {q}"
+        );
         self.quantile(1.0 - q)
     }
 

@@ -52,7 +52,10 @@ pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0u64;
     for v in values {
-        assert!(v > 0.0, "geomean requires strictly positive values, got {v}");
+        assert!(
+            v > 0.0,
+            "geomean requires strictly positive values, got {v}"
+        );
         log_sum += v.ln();
         n += 1;
     }

@@ -171,7 +171,9 @@ mod tests {
     #[test]
     fn std_dev_matches_hand_computation() {
         // Population std-dev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.std_dev() - 2.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,144 @@
+//! The oracle's golden memory model: an independent, in-order functional
+//! execution of a trace's committed stores.
+//!
+//! The pipeline's own architectural memory ([`ppa_mem::ArchMem`]) is
+//! maintained by the very code under test, so the crash-consistency
+//! oracle cannot diff against it alone. This model re-derives the
+//! expected memory image straight from the trace — commit order is
+//! program order, so the expected value of every word after `n` committed
+//! micro-ops is simply the last of the first `n` stores to touch it.
+
+use ppa_isa::Trace;
+use ppa_mem::NvmImage;
+use std::collections::BTreeMap;
+
+/// Expected word-granular memory contents after an in-order execution of
+/// a trace prefix. Word addressing matches `ArchMem` (8-byte words).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GoldenMemory {
+    words: BTreeMap<u64, u64>,
+}
+
+/// One disagreement between the golden model and an observed image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenMismatch {
+    /// Word address of the disagreement.
+    pub addr: u64,
+    /// Value the golden execution expects, if the word was ever stored.
+    pub expected: Option<u64>,
+    /// Value observed in the image, if present.
+    pub observed: Option<u64>,
+}
+
+impl GoldenMemory {
+    /// Replays the stores among the first `committed` micro-ops of
+    /// `trace`, in program order.
+    pub fn from_trace_prefix(trace: &Trace, committed: u64) -> Self {
+        let mut words = BTreeMap::new();
+        for u in trace.iter().take(committed as usize) {
+            if u.kind.is_store() {
+                let m = u.mem.expect("stores carry a memory reference");
+                words.insert(m.addr & !7, m.value);
+            }
+        }
+        GoldenMemory { words }
+    }
+
+    /// Replays every store of the trace (the post-resume expectation).
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_trace_prefix(trace, trace.len() as u64)
+    }
+
+    /// Number of distinct words the golden execution wrote.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the golden execution wrote nothing.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The expected value of the word containing `addr`.
+    pub fn read(&self, addr: u64) -> Option<u64> {
+        self.words.get(&(addr & !7)).copied()
+    }
+
+    /// Iterator over `(word_address, expected_value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// Diffs the golden expectation against a persisted NVM image, in
+    /// both directions: every golden word must be present with the exact
+    /// value, and every nonzero NVM word must be explained by a golden
+    /// store (zero NVM words can be line-granularity fill and are
+    /// ignored).
+    pub fn diff_nvm(&self, nvm: &NvmImage) -> Vec<GoldenMismatch> {
+        let mut out = Vec::new();
+        for (addr, expected) in self.iter() {
+            let observed = nvm.read(addr);
+            if observed != Some(expected) {
+                out.push(GoldenMismatch {
+                    addr,
+                    expected: Some(expected),
+                    observed,
+                });
+            }
+        }
+        for (addr, observed) in nvm.iter() {
+            if observed != 0 && self.read(addr).is_none() {
+                out.push(GoldenMismatch {
+                    addr,
+                    expected: None,
+                    observed: Some(observed),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_isa::{ArchReg, TraceBuilder};
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new("t");
+        b.alu(ArchReg::int(0), &[]);
+        b.store(ArchReg::int(0), 0x100, 1);
+        b.store(ArchReg::int(0), 0x108, 2);
+        b.store(ArchReg::int(0), 0x100, 3); // overwrite
+        b.build()
+    }
+
+    #[test]
+    fn prefix_respects_commit_order() {
+        let t = trace();
+        let after_two = GoldenMemory::from_trace_prefix(&t, 3);
+        assert_eq!(after_two.read(0x100), Some(1));
+        assert_eq!(after_two.read(0x108), Some(2));
+        let full = GoldenMemory::from_trace(&t);
+        assert_eq!(full.read(0x100), Some(3), "last store wins");
+        assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn diff_nvm_flags_missing_wrong_and_unexplained_words() {
+        let t = trace();
+        let golden = GoldenMemory::from_trace(&t);
+        let mut nvm = NvmImage::new();
+        nvm.write_word(0x100, 3);
+        // 0x108 missing; 0x200 unexplained.
+        nvm.write_word(0x200, 99);
+        let diff = golden.diff_nvm(&nvm);
+        assert_eq!(diff.len(), 2);
+        assert!(diff.iter().any(|m| m.addr == 0x108 && m.observed.is_none()));
+        assert!(diff.iter().any(|m| m.addr == 0x200 && m.expected.is_none()));
+
+        nvm.write_word(0x108, 2);
+        nvm.write_word(0x200, 0);
+        assert!(golden.diff_nvm(&nvm).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! `ppa-verify`: verification tooling for the PPA model.
+//!
+//! Three layers of assurance, from cycle-granular to end-to-end:
+//!
+//! 1. **Cycle-level invariant checking** ([`runner`]) — drives every
+//!    workload of the evaluation through the PPA core with the pluggable
+//!    [`ppa_core::verify`] validators attached, asserting MaskReg, CSQ,
+//!    free-list, rename-table, and ROB/LSQ invariants every cycle.
+//! 2. **Trace persistency linting** ([`lint`]) — a static analysis over
+//!    uop traces that checks the output of the Capri and ReplayCache
+//!    software transforms (and raw PPA traces) for missing, redundant, or
+//!    misordered persist barriers and clwbs, with uop positions.
+//! 3. **Crash-consistency oracle** ([`oracle`]) — injects power failures
+//!    at randomized cycles, takes the §4.5 JIT checkpoint, runs the §4.6
+//!    store replay, and diffs recovered NVM state against an independent
+//!    golden in-order execution ([`golden`]).
+//!
+//! The checker itself is validated by **mutation self-tests**
+//! ([`mutation`]): deliberately broken MaskReg/CSQ logic must be caught
+//! as named violations.
+//!
+//! All of it is driven by the `ppa-verify` binary:
+//!
+//! ```text
+//! ppa-verify all            # everything below, in order
+//! ppa-verify check          # cycle-level invariants, all 41 workloads
+//! ppa-verify lint           # persistency lint of transform outputs
+//! ppa-verify oracle         # randomized crash-consistency injections
+//! ppa-verify mutate         # mutation self-tests of the checker
+//! ```
+
+pub mod golden;
+pub mod lint;
+pub mod mutation;
+pub mod oracle;
+pub mod runner;
+
+pub use golden::{GoldenMemory, GoldenMismatch};
+pub use lint::{lint_trace, Diagnostic, LintProfile, LintRule, Severity};
+pub use mutation::{MutationCase, MutationReport};
+pub use oracle::{OracleOutcome, CHECKPOINT_BUDGET_BYTES};
+pub use runner::CheckReport;

@@ -1,0 +1,240 @@
+//! The `ppa-verify` command-line driver.
+//!
+//! ```text
+//! ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N]
+//! ```
+//!
+//! Exit code 0 means every selected verification passed; 1 means at
+//! least one violation, lint error, oracle failure, or undetected
+//! mutation.
+
+use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
+use ppa_verify::lint::{LintProfile, Severity};
+use ppa_verify::{lint_trace, mutation, oracle, runner};
+use ppa_workloads::registry;
+use std::process::ExitCode;
+
+struct Options {
+    len: usize,
+    seed: u64,
+    points: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            len: 2_000,
+            seed: 1,
+            points: 3,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N]");
+    eprintln!();
+    eprintln!("  check   run cycle-level invariant checks on all workloads (PPA mode)");
+    eprintln!("  lint    lint raw + transformed traces for persistency-barrier defects");
+    eprintln!("  oracle  inject randomized power failures and diff recovery vs golden");
+    eprintln!("  mutate  self-test: injected hardware bugs must be caught by name");
+    eprintln!("  all     everything above, in order");
+    eprintln!();
+    eprintln!("  --len N     uops per workload trace (default 2000)");
+    eprintln!("  --seed N    base RNG seed (default 1)");
+    eprintln!("  --points N  failure injections per workload for `oracle` (default 3)");
+    std::process::exit(2)
+}
+
+fn parse_args() -> (String, Options) {
+    let mut args = std::env::args().skip(1);
+    let cmd = match args.next() {
+        Some(c) => c,
+        None => usage(),
+    };
+    let mut opts = Options::default();
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--len" => opts.len = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--points" => opts.points = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    (cmd, opts)
+}
+
+/// `ppa-verify check`: cycle-level invariants over every workload.
+fn cmd_check(opts: &Options) -> bool {
+    println!(
+        "== check: cycle-level invariants, {} workloads, len={} seed={}",
+        registry::all().len(),
+        opts.len,
+        opts.seed
+    );
+    let mut ok = true;
+    for report in runner::check_all(opts.len, opts.seed) {
+        if report.is_clean() {
+            println!(
+                "  ok   {:<16} threads={} cycles={}",
+                report.app, report.threads, report.cycles
+            );
+        } else {
+            ok = false;
+            let status = if report.finished { "FAIL" } else { "HANG" };
+            println!(
+                "  {} {:<16} threads={} cycles={} violations={}",
+                status,
+                report.app,
+                report.threads,
+                report.cycles,
+                report.violations.len()
+            );
+            for v in report.violations.iter().take(10) {
+                println!("       {v}");
+            }
+        }
+    }
+    ok
+}
+
+/// `ppa-verify lint`: raw and transformed traces against their profiles.
+fn cmd_lint(opts: &Options) -> bool {
+    println!(
+        "== lint: persistency linter, raw + replaycache + capri, len={} seed={}",
+        opts.len, opts.seed
+    );
+    let rc = ReplayCachePass::new();
+    let capri = CapriPass::new();
+    let mut ok = true;
+    for app in registry::all() {
+        let raw = app.generate(opts.len, opts.seed);
+        let checks = [
+            ("raw", lint_trace(&raw, &LintProfile::Raw)),
+            (
+                "replaycache",
+                lint_trace(&rc.apply(&raw), &LintProfile::replaycache_default()),
+            ),
+            (
+                "capri",
+                lint_trace(&capri.apply(&raw), &LintProfile::capri_default()),
+            ),
+        ];
+        for (label, diags) in checks {
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            if errors == 0 {
+                println!(
+                    "  ok   {:<16} {:<12} ({} warnings)",
+                    app.name,
+                    label,
+                    diags.len()
+                );
+            } else {
+                ok = false;
+                println!("  FAIL {:<16} {:<12} {} errors", app.name, label, errors);
+                for d in diags.iter().take(10) {
+                    println!("       {d}");
+                }
+            }
+        }
+    }
+    ok
+}
+
+/// `ppa-verify oracle`: randomized crash injections across all workloads.
+fn cmd_oracle(opts: &Options) -> bool {
+    println!(
+        "== oracle: {} injections x {} workloads, len={} seed={}",
+        opts.points,
+        registry::all().len(),
+        opts.len,
+        opts.seed
+    );
+    let outcomes = oracle::run_suite(opts.len, opts.seed, opts.points);
+    let mut ok = true;
+    let mut exercised = 0usize;
+    for o in &outcomes {
+        if o.replayed > 0 || !o.consistent_before_replay {
+            exercised += 1;
+        }
+        if !o.passed() {
+            ok = false;
+            println!(
+                "  FAIL {:<16} fail_cycle={} committed={} replayed={} ckpt={}B resumed={}",
+                o.app,
+                o.fail_cycle,
+                o.committed,
+                o.replayed,
+                o.checkpoint_bytes,
+                o.resumed_to_completion
+            );
+            for m in o.recovery_mismatches.iter().take(5) {
+                println!("       recovery: {m:?}");
+            }
+            for m in o.final_mismatches.iter().take(5) {
+                println!("       final:    {m:?}");
+            }
+        }
+    }
+    println!(
+        "  {} / {} points passed; {} exercised non-trivial recovery",
+        outcomes.iter().filter(|o| o.passed()).count(),
+        outcomes.len(),
+        exercised
+    );
+    ok
+}
+
+/// `ppa-verify mutate`: the checker must catch every injected bug.
+fn cmd_mutate(_opts: &Options) -> bool {
+    println!("== mutate: checker self-test via injected hardware bugs");
+    let mut ok = true;
+    for report in mutation::run_all(20_000) {
+        let fired = report.fired_kinds();
+        if report.detected() {
+            println!(
+                "  ok   {:?} detected ({} violations): {:?}",
+                report.case.fault,
+                report.violations.len(),
+                fired
+            );
+        } else {
+            ok = false;
+            println!(
+                "  FAIL {:?} NOT detected; kinds that fired: {:?}",
+                report.case.fault, fired
+            );
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let (cmd, opts) = parse_args();
+    let ok = match cmd.as_str() {
+        "check" => cmd_check(&opts),
+        "lint" => cmd_lint(&opts),
+        "oracle" => cmd_oracle(&opts),
+        "mutate" => cmd_mutate(&opts),
+        "all" => {
+            // Run every stage even after a failure, so one report shows
+            // the full picture.
+            let c = cmd_check(&opts);
+            let l = cmd_lint(&opts);
+            let o = cmd_oracle(&opts);
+            let m = cmd_mutate(&opts);
+            c && l && o && m
+        }
+        _ => usage(),
+    };
+    if ok {
+        println!("ppa-verify: all selected checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("ppa-verify: FAILURES detected");
+        ExitCode::FAILURE
+    }
+}

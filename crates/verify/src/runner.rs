@@ -1,0 +1,115 @@
+//! Drives workloads through the core with cycle-level validators
+//! attached.
+//!
+//! This is the harness behind `ppa-verify check`: for every workload it
+//! builds a PPA-mode core (one per thread for the parallel suites),
+//! attaches [`ppa_core::verify::default_validators`], and steps the
+//! machine to completion, collecting every [`Violation`] the checks
+//! report. A correct pipeline produces none on all 41 workloads.
+
+use ppa_core::verify::Violation;
+use ppa_core::{Core, CoreConfig, PersistenceMode};
+use ppa_isa::Trace;
+use ppa_mem::{MemConfig, MemorySystem};
+use ppa_workloads::{registry, AppDescriptor};
+
+/// Result of checking one workload.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Workload name.
+    pub app: &'static str,
+    /// Threads (cores) simulated.
+    pub threads: usize,
+    /// Total cycles until every core finished.
+    pub cycles: u64,
+    /// Violations reported by the attached validators, across all cores.
+    pub violations: Vec<Violation>,
+    /// Whether every core drained within the cycle budget. A `false`
+    /// here is itself a failure (pipeline deadlock).
+    pub finished: bool,
+}
+
+impl CheckReport {
+    /// Whether the workload ran to completion with zero violations.
+    pub fn is_clean(&self) -> bool {
+        self.finished && self.violations.is_empty()
+    }
+}
+
+/// Steps a set of cores (with validators already attached) to
+/// completion over a shared memory system, with a deadlock bound.
+fn run_cores(cores: &mut [Core], traces: &[Trace], mem: &mut MemorySystem) -> (u64, bool) {
+    let uops: usize = traces.iter().map(Trace::len).sum();
+    let limit = 1_000_000 + uops as u64 * 1_000;
+    let mut now = 0;
+    while cores.iter().any(|c| !c.is_finished()) {
+        for (core, trace) in cores.iter_mut().zip(traces) {
+            core.step(trace, mem, now);
+        }
+        mem.tick(now);
+        now += 1;
+        if now >= limit {
+            return (now, false);
+        }
+    }
+    (now, true)
+}
+
+/// Runs one workload in `PersistenceMode::Ppa` with the default
+/// validator suite attached to every core.
+pub fn check_app(app: &AppDescriptor, len: usize, seed: u64) -> CheckReport {
+    let traces: Vec<Trace> = (0..app.threads)
+        .map(|tid| app.generate_thread(len, seed, tid))
+        .collect();
+    let mut mem = MemorySystem::new(MemConfig::memory_mode(), app.threads);
+    let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
+    let mut cores: Vec<Core> = (0..app.threads)
+        .map(|id| {
+            let mut c = Core::new(cfg, id);
+            c.attach_default_validators();
+            c
+        })
+        .collect();
+    let (cycles, finished) = run_cores(&mut cores, &traces, &mut mem);
+    let violations = cores.iter_mut().flat_map(Core::take_violations).collect();
+    CheckReport {
+        app: app.name,
+        threads: app.threads,
+        cycles,
+        violations,
+        finished,
+    }
+}
+
+/// Runs [`check_app`] over all 41 workloads of the evaluation.
+pub fn check_all(len: usize, seed: u64) -> Vec<CheckReport> {
+    registry::all()
+        .iter()
+        .map(|app| check_app(app, len, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_threaded_app_is_clean() {
+        let app = registry::by_name("mcf").expect("mcf exists");
+        let report = check_app(&app, 1_500, 7);
+        assert!(report.finished, "mcf must drain");
+        assert_eq!(report.violations, vec![], "mcf must run violation-free");
+    }
+
+    #[test]
+    fn parallel_app_is_clean_on_every_core() {
+        let app = registry::multi_threaded()
+            .into_iter()
+            .next()
+            .expect("parallel suites exist");
+        let report = check_app(&app, 600, 11);
+        assert!(report.finished);
+        assert_eq!(report.violations, vec![]);
+        assert!(report.threads > 1);
+    }
+}

@@ -236,7 +236,11 @@ impl AppDescriptor {
             "{}: fractions must be within [0, 1]",
             self.name
         );
-        assert!(self.threads >= 1, "{}: needs at least one thread", self.name);
+        assert!(
+            self.threads >= 1,
+            "{}: needs at least one thread",
+            self.name
+        );
         assert!(
             self.store_run_len >= 1.0,
             "{}: store runs must average at least one store",

@@ -1,7 +1,6 @@
 use crate::app::AppDescriptor;
 use ppa_isa::{ArchReg, BranchKind, MemRef, RegClass, SyncKind, Trace, Uop, UopKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ppa_prng::Prng;
 
 /// Read-only region shared by all threads (load traffic).
 pub const LOAD_BASE: u64 = 0x0001_0000_0000;
@@ -38,7 +37,7 @@ pub const KERNEL_BURST_LEN: u32 = 48;
 #[derive(Debug)]
 pub struct TraceGenerator<'a> {
     app: &'a AppDescriptor,
-    rng: StdRng,
+    rng: Prng,
     tid: usize,
     int_cursor: u8,
     fp_cursor: u8,
@@ -71,7 +70,7 @@ impl<'a> TraceGenerator<'a> {
         }
         TraceGenerator {
             app,
-            rng: StdRng::seed_from_u64(hash),
+            rng: Prng::seed_from_u64(hash),
             tid,
             int_cursor: 0,
             fp_cursor: 0,
@@ -107,7 +106,7 @@ impl<'a> TraceGenerator<'a> {
     /// A value-carrying source: mostly recent pool registers (dataflow),
     /// sometimes the stable register.
     fn random_reg(&mut self, class: RegClass) -> ArchReg {
-        if self.rng.random::<f64>() < 0.6 {
+        if self.rng.random_f64() < 0.6 {
             return self.stable_reg(class);
         }
         match class {
@@ -138,7 +137,7 @@ impl<'a> TraceGenerator<'a> {
     /// An address-generation source: almost always a stable base register,
     /// so loads expose memory-level parallelism.
     fn addr_reg(&mut self) -> ArchReg {
-        if self.rng.random::<f64>() < 0.9 {
+        if self.rng.random_f64() < 0.9 {
             ArchReg::int(0)
         } else {
             ArchReg::int(self.rng.random_range(0..self.app.int_regs))
@@ -161,7 +160,7 @@ impl<'a> TraceGenerator<'a> {
     }
 
     fn load_addr(&mut self) -> u64 {
-        if self.rng.random::<f64>() < self.app.load_cold_frac {
+        if self.rng.random_f64() < self.app.load_cold_frac {
             LOAD_BASE + self.rng.random_range(0..self.app.load_cold_lines.max(1)) * 64
         } else {
             LOAD_BASE + self.rng.random_range(0..self.app.load_hot_lines.max(1)) * 64
@@ -174,9 +173,9 @@ impl<'a> TraceGenerator<'a> {
         // line.
         let switch = 1.0 / self.app.store_run_len;
         let line = match self.cur_store_line {
-            Some(line) if self.rng.random::<f64>() >= switch => line,
+            Some(line) if self.rng.random_f64() >= switch => line,
             _ => {
-                let idx = if self.rng.random::<f64>() < self.app.store_cold_frac {
+                let idx = if self.rng.random_f64() < self.app.store_cold_frac {
                     // Past the hot region so cold stores never alias hot
                     // ones.
                     self.app.store_hot_lines
@@ -193,7 +192,7 @@ impl<'a> TraceGenerator<'a> {
     }
 
     fn gen_store(&mut self, pc: u64) -> Uop {
-        let fp_data = self.rng.random::<f64>() < self.app.fp_frac;
+        let fp_data = self.rng.random_f64() < self.app.fp_frac;
         let class = if fp_data { RegClass::Fp } else { RegClass::Int };
         let data = match class {
             RegClass::Int => ArchReg::int(self.rng.random_range(0..self.app.int_regs)),
@@ -211,8 +210,12 @@ impl<'a> TraceGenerator<'a> {
     }
 
     fn gen_load(&mut self, pc: u64) -> Uop {
-        let fp = self.rng.random::<f64>() < self.app.fp_frac;
-        let dst = if fp { self.next_fp_def() } else { self.next_int_def() };
+        let fp = self.rng.random_f64() < self.app.fp_frac;
+        let dst = if fp {
+            self.next_fp_def()
+        } else {
+            self.next_int_def()
+        };
         self.define(dst);
         let addr_reg = self.addr_reg();
         let addr = self.load_addr();
@@ -223,7 +226,7 @@ impl<'a> TraceGenerator<'a> {
     }
 
     fn gen_branch(&mut self, pc: u64) -> Uop {
-        let r = self.rng.random::<f64>();
+        let r = self.rng.random_f64();
         let kind = if self.call_depth > 0 && r < self.app.call_frac / 2.0 {
             self.call_depth -= 1;
             BranchKind::Ret
@@ -255,7 +258,7 @@ impl<'a> TraceGenerator<'a> {
     }
 
     fn gen_compute(&mut self, pc: u64) -> Uop {
-        let fp = self.rng.random::<f64>() < self.app.fp_frac;
+        let fp = self.rng.random_f64() < self.app.fp_frac;
         let class = if fp { RegClass::Fp } else { RegClass::Int };
         let kind = match (fp, self.rng.random_range(0..100u32)) {
             (false, 0..=89) => UopKind::IntAlu,
@@ -267,12 +270,16 @@ impl<'a> TraceGenerator<'a> {
         };
         let s1 = self.random_reg(class);
         let mut u = Uop::new(pc, kind).with_srcs(&[s1]);
-        if self.rng.random::<f64>() < 0.6 {
+        if self.rng.random_f64() < 0.6 {
             let s2 = self.random_reg(class);
             u = u.with_srcs(&[s2]);
         }
-        if self.rng.random::<f64>() < self.app.alu_def_frac {
-            let dst = if fp { self.next_fp_def() } else { self.next_int_def() };
+        if self.rng.random_f64() < self.app.alu_def_frac {
+            let dst = if fp {
+                self.next_fp_def()
+            } else {
+                self.next_int_def()
+            };
             self.define(dst);
             u = u.with_dst(dst);
         }
@@ -340,8 +347,9 @@ impl<'a> TraceGenerator<'a> {
                 if self.since_kernel == 0 {
                     // Stagger the first kernel entry per thread — timer
                     // ticks are not synchronised across CPUs.
-                    self.since_kernel =
-                        self.rng.random_range(0..self.app.context_switch_every.max(1));
+                    self.since_kernel = self
+                        .rng
+                        .random_range(0..self.app.context_switch_every.max(1));
                 }
                 self.since_kernel += 1;
                 if self.since_kernel >= self.app.context_switch_every {
@@ -351,11 +359,11 @@ impl<'a> TraceGenerator<'a> {
                     continue;
                 }
             }
-            let mut r = self.rng.random::<f64>();
+            let mut r = self.rng.random_f64();
             let uop = if r < sync_p {
                 self.gen_sync(pc)
             } else {
-                r = self.rng.random::<f64>();
+                r = self.rng.random_f64();
                 if r < self.app.store_frac {
                     self.gen_store(pc)
                 } else if r < self.app.store_frac + self.app.load_frac {
@@ -508,9 +516,7 @@ mod tests {
         // kernel region.
         let kernel_stores = t
             .iter()
-            .filter(|u| {
-                u.kind == UopKind::Store && u.mem.unwrap().addr >= super::KERNEL_BASE
-            })
+            .filter(|u| u.kind == UopKind::Store && u.mem.unwrap().addr >= super::KERNEL_BASE)
             .count();
         assert!(kernel_stores > 0, "kernel bursts must store per-CPU state");
         // ~10_000 / (500 + 48) bursts expected.

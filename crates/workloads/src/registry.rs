@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn spec_is_single_threaded_parallel_suites_are_not() {
-        for a in by_suite(Suite::Cpu2006).iter().chain(&by_suite(Suite::Cpu2017)) {
+        for a in by_suite(Suite::Cpu2006)
+            .iter()
+            .chain(&by_suite(Suite::Cpu2017))
+        {
             assert_eq!(a.threads, 1, "{}", a.name);
         }
         for a in multi_threaded() {
@@ -123,7 +126,10 @@ mod tests {
         // rb has high locality (4% L2 miss) but heavy write traffic.
         let rb = by_name("rb").unwrap();
         assert!(rb.load_cold_frac <= 0.01);
-        assert!(rb.store_cold_frac >= 0.3, "rb scatters writes across the tree");
+        assert!(
+            rb.store_cold_frac >= 0.3,
+            "rb scatters writes across the tree"
+        );
         // libquantum tops the Figure 10 PSP comparison (2.4x): by far the
         // largest unprefetchable below-L2 load traffic.
         assert!(by_name("libquantum").unwrap().load_cold_frac >= 0.02);

@@ -8,7 +8,7 @@ fn base(name: &'static str) -> AppDescriptor {
 
 pub(crate) fn apps() -> Vec<AppDescriptor> {
     vec![
-    AppDescriptor {
+        AppDescriptor {
             fp_frac: 0.35,
             fp_regs: 20,
             load_frac: 0.28,

@@ -13,7 +13,7 @@ fn base(name: &'static str) -> AppDescriptor {
 
 pub(crate) fn apps() -> Vec<AppDescriptor> {
     vec![
-    AppDescriptor {
+        AppDescriptor {
             load_frac: 0.28,
             load_cold_frac: 0.0014,
             branch_frac: 0.18,

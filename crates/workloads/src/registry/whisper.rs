@@ -9,7 +9,7 @@ fn base(name: &'static str) -> AppDescriptor {
 
 pub(crate) fn apps() -> Vec<AppDescriptor> {
     vec![
-    AppDescriptor {
+        AppDescriptor {
             // Hash-table updates: scattered writes over a big table.
             load_frac: 0.28,
             store_frac: 0.0262,

@@ -94,9 +94,8 @@ fn store_footprints_track_hot_and_cold_sets() {
             "{}: no store-run locality",
             app.name
         );
-        let bound = app.store_hot_lines as usize
-            + (stores as f64 * app.store_cold_frac) as usize
-            + 16;
+        let bound =
+            app.store_hot_lines as usize + (stores as f64 * app.store_cold_frac) as usize + 16;
         assert!(
             lines.len() <= bound,
             "{}: {} distinct store lines exceeds bound {bound}",

@@ -28,11 +28,18 @@ fn main() {
     let committed = core.committed();
     let dirty = mem.nvm_image().diff(mem.arch_mem());
     println!("\n-- power failure at cycle {fail_cycle} --");
-    println!("committed so far: {committed} micro-ops (LCPC = {:#x})", core.lcpc());
+    println!(
+        "committed so far: {committed} micro-ops (LCPC = {:#x})",
+        core.lcpc()
+    );
     println!(
         "NVM words inconsistent with committed state: {} {}",
         dirty.len(),
-        if dirty.is_empty() { "(lucky instant: everything had just persisted)" } else { "<-- data a naive system would lose" }
+        if dirty.is_empty() {
+            "(lucky instant: everything had just persisted)"
+        } else {
+            "<-- data a naive system would lose"
+        }
     );
 
     // Phase 2: JIT checkpointing (§4.5) — MaskReg, CRT, CSQ, LCPC, and the
@@ -40,7 +47,10 @@ fn main() {
     let image = core.jit_checkpoint();
     let bytes = image.checkpoint_bytes(core.config().total_prf());
     println!("\n-- JIT checkpoint --");
-    println!("CSQ entries (committed stores of the region): {}", image.csq.len());
+    println!(
+        "CSQ entries (committed stores of the region): {}",
+        image.csq.len()
+    );
     println!("masked physical registers: {}", image.masked.len());
     println!("checkpoint size: {bytes} bytes (paper worst case: 1838)");
     let e = ppa::energy::checkpoint_energy_uj(bytes);
@@ -51,7 +61,10 @@ fn main() {
     // Phase 3: recovery (§4.6) — restore, replay, verify.
     println!("\n-- recovery --");
     let report = replay_stores(&image, mem.nvm_image_mut());
-    println!("replayed {} committed stores from the CSQ", report.replayed_stores);
+    println!(
+        "replayed {} committed stores from the CSQ",
+        report.replayed_stores
+    );
     let diff = mem.nvm_image().diff(mem.arch_mem());
     println!(
         "NVM vs committed state after replay: {} mismatches",

@@ -12,7 +12,10 @@ use ppa::workloads::registry;
 
 fn main() {
     let app = registry::by_name("radix").expect("radix exists");
-    println!("workload: {} — {} ({} threads)", app.name, app.description, app.threads);
+    println!(
+        "workload: {} — {} ({} threads)",
+        app.name, app.description, app.threads
+    );
 
     let traces: Vec<_> = (0..app.threads)
         .map(|tid| app.generate_thread(8_000, 3, tid))
@@ -22,20 +25,31 @@ fn main() {
     for fail_cycle in [500u64, 3_000, 9_000] {
         let out = inject_failure_multicore(&cfg, &traces, fail_cycle);
         println!("\npower failure at cycle {fail_cycle}:");
-        println!("  committed before failure: {} micro-ops", out.committed_before);
+        println!(
+            "  committed before failure: {} micro-ops",
+            out.committed_before
+        );
         println!(
             "  raw NVM consistent at failure: {}{}",
             out.consistent_before_recovery,
-            if out.consistent_before_recovery { "" } else { "   <-- the inconsistency" }
+            if out.consistent_before_recovery {
+                ""
+            } else {
+                "   <-- the inconsistency"
+            }
         );
         println!(
             "  checkpointed {} bytes across {} cores, replayed {} stores",
-            out.checkpoint_bytes,
-            app.threads,
-            out.replayed_stores
+            out.checkpoint_bytes, app.threads, out.replayed_stores
         );
-        println!("  consistent after recovery: {}", out.consistent_after_recovery);
-        println!("  resumed and completed:     {}", out.completed_after_resume);
+        println!(
+            "  consistent after recovery: {}",
+            out.consistent_after_recovery
+        );
+        println!(
+            "  resumed and completed:     {}",
+            out.completed_after_resume
+        );
         assert!(out.consistent_after_recovery && out.completed_after_resume);
     }
 

@@ -33,7 +33,10 @@ fn main() {
     let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
     core.run(&trace, &mut mem);
 
-    println!("core: {}-entry int PRF, {}-entry CSQ, PPA mode\n", cfg.int_prf, cfg.csq_entries);
+    println!(
+        "core: {}-entry int PRF, {}-entry CSQ, PPA mode\n",
+        cfg.int_prf, cfg.csq_entries
+    );
     let mut commits = 0u64;
     for ev in core.event_log().expect("log enabled").events() {
         match *ev {

@@ -24,7 +24,10 @@ fn main() {
     };
 
     println!("{} ({}): {}", app.name, app.suite, app.description);
-    println!("simulating {len} micro-ops per thread, {} thread(s)\n", app.threads);
+    println!(
+        "simulating {len} micro-ops per thread, {} thread(s)\n",
+        app.threads
+    );
 
     let base = Machine::new(SystemConfig::baseline()).run_app_parallel(&app, len, 1);
     let ppa = Machine::new(SystemConfig::ppa()).run_app_parallel(&app, len, 1);

@@ -1,47 +1,51 @@
-//! Property-based tests (proptest) over the crash-consistency invariants:
-//! any application, any failure cycle, any seed — recovery must restore
+//! Property-style tests over the crash-consistency invariants: any
+//! application, any failure cycle, any seed — recovery must restore
 //! exactly the committed state and the program must complete.
+//!
+//! Inputs are drawn from seeded [`ppa_prng::Prng`] loops for offline,
+//! reproducible randomness.
 
 use ppa::core::{Core, CoreConfig, PersistenceMode};
 use ppa::mem::{MemConfig, MemorySystem};
 use ppa::sim::{inject_failure, SystemConfig};
 use ppa::workloads::registry;
-use proptest::prelude::*;
+use ppa_prng::Prng;
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    /// The headline invariant: replaying the checkpointed CSQ makes the
-    /// NVM image equal architectural memory at the last commit point, and
-    /// the resumed machine finishes the program consistently.
-    #[test]
-    fn recovery_restores_consistency(
-        app_idx in 0usize..41,
-        seed in 0u64..1_000,
-        fail_cycle in 0u64..5_000,
-    ) {
-        let app = registry::all()[app_idx];
+/// The headline invariant: replaying the checkpointed CSQ makes the
+/// NVM image equal architectural memory at the last commit point, and
+/// the resumed machine finishes the program consistently.
+#[test]
+fn recovery_restores_consistency() {
+    let mut rng = Prng::seed_from_u64(0x4ec0_0001);
+    for _ in 0..24 {
+        let app = registry::all()[rng.random_below(41) as usize];
+        let seed = rng.random_below(1_000);
+        let fail_cycle = rng.random_below(5_000);
         let trace = app.generate(1_500, seed);
         let out = inject_failure(&SystemConfig::ppa(), &trace, fail_cycle);
-        prop_assert!(out.consistent_after_recovery,
-            "{}@{} seed {}: inconsistent after recovery", app.name, fail_cycle, seed);
-        prop_assert!(out.completed_after_resume,
-            "{}@{} seed {}: did not complete", app.name, fail_cycle, seed);
-        prop_assert!(out.checkpoint_bytes <= 1838);
+        assert!(
+            out.consistent_after_recovery,
+            "{}@{} seed {}: inconsistent after recovery",
+            app.name, fail_cycle, seed
+        );
+        assert!(
+            out.completed_after_resume,
+            "{}@{} seed {}: did not complete",
+            app.name, fail_cycle, seed
+        );
+        assert!(out.checkpoint_bytes <= 1838);
     }
+}
 
-    /// Recovery resumes exactly at the commit index the checkpoint
-    /// recorded — no committed instruction re-executes architecturally,
-    /// none is skipped.
-    #[test]
-    fn resume_point_is_exact(
-        app_idx in 0usize..41,
-        fail_cycle in 1u64..3_000,
-    ) {
-        let app = registry::all()[app_idx];
+/// Recovery resumes exactly at the commit index the checkpoint
+/// recorded — no committed instruction re-executes architecturally,
+/// none is skipped.
+#[test]
+fn resume_point_is_exact() {
+    let mut rng = Prng::seed_from_u64(0x4ec0_0002);
+    for _ in 0..24 {
+        let app = registry::all()[rng.random_below(41) as usize];
+        let fail_cycle = 1 + rng.random_below(3_000);
         let trace = app.generate(1_200, 77);
         let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
         let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
@@ -52,34 +56,36 @@ proptest! {
         }
         let committed = core.committed();
         let image = core.jit_checkpoint();
-        prop_assert_eq!(image.committed, committed);
+        assert_eq!(image.committed, committed);
         let recovered = Core::recover(cfg, 0, &image);
-        prop_assert_eq!(recovered.committed(), committed);
-        prop_assert_eq!(recovered.lcpc(), core.lcpc());
+        assert_eq!(recovered.committed(), committed);
+        assert_eq!(recovered.lcpc(), core.lcpc());
     }
+}
 
-    /// Simulation is a pure function of (app, len, seed, config).
-    #[test]
-    fn simulation_is_deterministic(
-        app_idx in 0usize..41,
-        seed in 0u64..100,
-    ) {
-        let app = registry::all()[app_idx];
+/// Simulation is a pure function of (app, len, seed, config).
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Prng::seed_from_u64(0x4ec0_0003);
+    for _ in 0..24 {
+        let app = registry::all()[rng.random_below(41) as usize];
+        let seed = rng.random_below(100);
         let m = ppa::sim::Machine::new(SystemConfig::ppa());
         let r1 = m.run_app(&app, 1_000, seed);
         let r2 = m.run_app(&app, 1_000, seed);
-        prop_assert_eq!(r1.cycles, r2.cycles);
-        prop_assert_eq!(r1.committed, r2.committed);
+        assert_eq!(r1.cycles, r2.cycles, "{} seed {}", app.name, seed);
+        assert_eq!(r1.committed, r2.committed, "{} seed {}", app.name, seed);
     }
+}
 
-    /// Every scheme commits the same architectural values — persistence
-    /// support must never change program semantics.
-    #[test]
-    fn schemes_agree_on_architectural_memory(
-        app_idx in 0usize..41,
-        seed in 0u64..50,
-    ) {
-        let app = registry::all()[app_idx];
+/// Every scheme commits the same architectural values — persistence
+/// support must never change program semantics.
+#[test]
+fn schemes_agree_on_architectural_memory() {
+    let mut rng = Prng::seed_from_u64(0x4ec0_0004);
+    for _ in 0..24 {
+        let app = registry::all()[rng.random_below(41) as usize];
+        let seed = rng.random_below(50);
         let raw = app.generate(800, seed);
         let mut images = Vec::new();
         for cfg in [
@@ -98,7 +104,7 @@ proptest! {
             images.push(words);
         }
         for w in &images[1..] {
-            prop_assert_eq!(w, &images[0]);
+            assert_eq!(w, &images[0], "{} seed {}", app.name, seed);
         }
     }
 }

@@ -1,71 +1,88 @@
-//! Property-based tests over PPA's dynamic region formation and the
+//! Property-style tests over PPA's dynamic region formation and the
 //! software baselines' compiler-formed regions.
+//!
+//! Each test draws its inputs from a seeded [`ppa_prng::Prng`] loop —
+//! deterministic, offline, and reproducible from the printed case on
+//! failure.
 
 use ppa::isa::transform::{region_lengths, CapriPass, ReplayCachePass, TracePass};
 use ppa::isa::UopKind;
 use ppa::sim::{Machine, SystemConfig};
 use ppa::workloads::registry;
-use proptest::prelude::*;
+use ppa_prng::Prng;
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 20,
-        .. ProptestConfig::default()
-    })]
-
-    /// A PPA region can never hold more stores than the CSQ (the full CSQ
-    /// is an implicit boundary, §4.2).
-    #[test]
-    fn region_stores_bounded_by_csq(
-        app_idx in 0usize..41,
-        csq in 4usize..64,
-    ) {
-        let app = registry::all()[app_idx];
+/// A PPA region can never hold more stores than the CSQ (the full CSQ
+/// is an implicit boundary, §4.2).
+#[test]
+fn region_stores_bounded_by_csq() {
+    let mut rng = Prng::seed_from_u64(0x5e91_0001);
+    for _ in 0..20 {
+        let app = registry::all()[rng.random_below(41) as usize];
+        let csq = rng.random_range(4usize..64);
         let mut cfg = SystemConfig::ppa();
         cfg.core = cfg.core.with_csq(csq);
         let r = Machine::new(cfg).run_app(&app, 1_500, 3);
-        prop_assert!(r.region_stores().max() <= csq as f64,
+        assert!(
+            r.region_stores().max() <= csq as f64,
             "{}: {} stores in one region with a {}-entry CSQ",
-            app.name, r.region_stores().max(), csq);
+            app.name,
+            r.region_stores().max(),
+            csq
+        );
     }
+}
 
-    /// Dynamic regions are at least an instruction long and contain their
-    /// stores.
-    #[test]
-    fn region_accounting_is_sane(app_idx in 0usize..41) {
-        let app = registry::all()[app_idx];
+/// Dynamic regions are at least an instruction long and contain their
+/// stores.
+#[test]
+fn region_accounting_is_sane() {
+    let mut rng = Prng::seed_from_u64(0x5e91_0002);
+    for _ in 0..20 {
+        let app = registry::all()[rng.random_below(41) as usize];
         let r = Machine::new(SystemConfig::ppa()).run_app(&app, 2_000, 9);
         if r.region_insts().count() > 0 {
-            prop_assert!(r.region_insts().min() >= 1.0);
-            prop_assert!(r.region_stores().mean() <= r.region_insts().mean());
+            assert!(r.region_insts().min() >= 1.0, "{}", app.name);
+            assert!(
+                r.region_stores().mean() <= r.region_insts().mean(),
+                "{}",
+                app.name
+            );
         }
     }
+}
 
-    /// The central Figure 13 contrast: hardware-formed regions are an
-    /// order of magnitude longer than Capri's compiler-formed regions.
-    #[test]
-    fn ppa_regions_dwarf_capri_regions(app_idx in 0usize..41) {
-        let app = registry::all()[app_idx];
+/// The central Figure 13 contrast: hardware-formed regions are an
+/// order of magnitude longer than Capri's compiler-formed regions.
+#[test]
+fn ppa_regions_dwarf_capri_regions() {
+    let mut rng = Prng::seed_from_u64(0x5e91_0003);
+    for _ in 0..20 {
+        let app = registry::all()[rng.random_below(41) as usize];
         let r = Machine::new(SystemConfig::ppa()).run_app(&app, 4_000, 5);
         let raw = app.generate(4_000, 5);
         let capri = CapriPass::new().apply(&raw);
         let lens = region_lengths(&capri);
         let capri_avg = lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64;
         if r.region_insts().count() > 0 {
-            prop_assert!(r.region_insts().mean() > 2.0 * capri_avg,
+            assert!(
+                r.region_insts().mean() > 2.0 * capri_avg,
                 "{}: PPA {:.0} vs Capri {:.0}",
-                app.name, r.region_insts().mean(), capri_avg);
+                app.name,
+                r.region_insts().mean(),
+                capri_avg
+            );
         }
     }
+}
 
-    /// ReplayCache's pass preserves the program (same non-inserted ops in
-    /// order) and follows every store with a clwb to the same line.
-    #[test]
-    fn replaycache_pass_preserves_program(
-        app_idx in 0usize..41,
-        seed in 0u64..100,
-    ) {
-        let app = registry::all()[app_idx];
+/// ReplayCache's pass preserves the program (same non-inserted ops in
+/// order) and follows every store with a clwb to the same line.
+#[test]
+fn replaycache_pass_preserves_program() {
+    let mut rng = Prng::seed_from_u64(0x5e91_0004);
+    for _ in 0..20 {
+        let app = registry::all()[rng.random_below(41) as usize];
+        let seed = rng.random_below(100);
         let raw = app.generate(600, seed);
         let out = ReplayCachePass::new().apply(&raw);
         let filtered: Vec<_> = out
@@ -73,34 +90,39 @@ proptest! {
             .filter(|u| !matches!(u.kind, UopKind::Clwb | UopKind::PersistBarrier))
             .copied()
             .collect();
-        prop_assert_eq!(filtered.len(), raw.len());
+        assert_eq!(filtered.len(), raw.len(), "{} seed {seed}", app.name);
         for (a, b) in filtered.iter().zip(raw.iter()) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "{} seed {seed}", app.name);
         }
         // Every store is immediately followed by a clwb to its line.
         for (i, u) in out.iter().enumerate() {
             if u.kind == UopKind::Store {
                 let next = out.get(i + 1).expect("store is never last");
-                prop_assert_eq!(next.kind, UopKind::Clwb);
-                prop_assert_eq!(
+                assert_eq!(next.kind, UopKind::Clwb);
+                assert_eq!(
                     ppa::isa::line_of(next.mem.unwrap().addr),
                     ppa::isa::line_of(u.mem.unwrap().addr)
                 );
             }
         }
     }
+}
 
-    /// Capri's pass bounds every region by its static instruction limit.
-    #[test]
-    fn capri_pass_respects_bounds(
-        app_idx in 0usize..41,
-        bound in 8usize..64,
-    ) {
-        let app = registry::all()[app_idx];
+/// Capri's pass bounds every region by its static instruction limit.
+#[test]
+fn capri_pass_respects_bounds() {
+    let mut rng = Prng::seed_from_u64(0x5e91_0005);
+    for _ in 0..20 {
+        let app = registry::all()[rng.random_below(41) as usize];
+        let bound = rng.random_range(8usize..64);
         let raw = app.generate(800, 11);
         let out = CapriPass::new().with_max_insts(bound).apply(&raw);
         for len in region_lengths(&out) {
-            prop_assert!(len <= bound, "region {len} exceeds bound {bound}");
+            assert!(
+                len <= bound,
+                "{}: region {len} exceeds bound {bound}",
+                app.name
+            );
         }
     }
 }

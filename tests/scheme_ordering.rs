@@ -25,11 +25,7 @@ fn scheme_ordering_matches_the_paper() {
         cap_s.push(cycles(SystemConfig::capri(), app) as f64 / base);
         rc_s.push(cycles(SystemConfig::replay_cache(), app) as f64 / base);
     }
-    let (ppa, cap, rc) = (
-        geomean(ppa_s),
-        geomean(cap_s),
-        geomean(rc_s),
-    );
+    let (ppa, cap, rc) = (geomean(ppa_s), geomean(cap_s), geomean(rc_s));
     assert!(ppa < 1.10, "PPA should be lightweight, got {ppa:.3}");
     assert!(ppa < cap, "PPA ({ppa:.3}) must beat Capri ({cap:.3})");
     assert!(cap < rc, "Capri ({cap:.3}) must beat ReplayCache ({rc:.3})");
@@ -82,7 +78,11 @@ fn only_wsp_schemes_end_consistent() {
         SystemConfig::capri(),
     ] {
         let r = Machine::new(cfg).run_app(&app, LEN, 1);
-        assert!(r.consistent, "{:?} must drain to a consistent NVM", cfg.core.mode);
+        assert!(
+            r.consistent,
+            "{:?} must drain to a consistent NVM",
+            cfg.core.mode
+        );
     }
 }
 

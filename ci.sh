@@ -13,13 +13,27 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo clippy (verify feature)"
 cargo clippy --workspace --all-targets --features ppa-core/verify -- -D warnings
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
 echo "== cargo test -p ppa-core --features verify -q"
 cargo test -p ppa-core --features verify -q
+
+# The pool on both feature graphs: standalone (default features) and
+# alongside ppa-verify, whose dependency tree switches on ppa-core/verify.
+echo "== cargo test -p ppa-pool -q"
+cargo test -p ppa-pool -q
+
+echo "== cargo test -p ppa-pool -p ppa-verify -q"
+cargo test -p ppa-pool -p ppa-verify -q
+
+# Parallel smoke run: auto-sized pool, reduced trace length, a mix of
+# simulation-heavy and static experiments. Timings land on stderr.
+echo "== PPA_JOBS=0 repro smoke (fig11 table4 ckpt)"
+time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
+    cargo run -q -p ppa-bench --release --bin repro -- fig11 table4 ckpt > /dev/null
 
 echo "CI: all gates passed"

@@ -2,15 +2,33 @@
 //!
 //! ```text
 //! cargo run -p ppa-bench --release --bin repro -- fig8
-//! cargo run -p ppa-bench --release --bin repro -- all
+//! cargo run -p ppa-bench --release --bin repro -- --jobs 8 all
+//! PPA_JOBS=8 cargo run -p ppa-bench --release --bin repro -- all
 //! PPA_REPRO_LEN=100000 cargo run -p ppa-bench --release --bin repro -- fig16
 //! ```
+//!
+//! Parallelism (`--jobs N` / `PPA_JOBS=N`; `0` = one worker per CPU)
+//! fans per-app simulation out across the shared work-stealing pool and,
+//! for `all`, runs whole experiments concurrently. Tables always print
+//! to stdout in paper order and are byte-identical at any job count;
+//! wall-clock timings go to stderr so stdout stays deterministic.
 
 use ppa_bench::experiments;
+use ppa_stats::fmt_duration;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment>|all|list");
+    eprintln!("usage: repro [--jobs N] <experiment>... | all | list");
+    eprintln!();
+    eprintln!("options:");
+    eprintln!("  --jobs N   worker threads for per-app fan-out (0 = auto,");
+    eprintln!("             default 1 = serial); PPA_JOBS=N is equivalent");
+    eprintln!();
+    eprintln!("environment:");
+    eprintln!("  PPA_JOBS=N        same as --jobs (the flag wins)");
+    eprintln!("  PPA_REPRO_LEN=N   per-app trace length (default 40000)");
+    eprintln!("  PPA_POOL_STATS=1  print pool counters to stderr on exit");
+    eprintln!();
     eprintln!("experiments:");
     for (id, _) in experiments::all_experiments() {
         eprintln!("  {id}");
@@ -19,32 +37,67 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| usage());
-    let experiments = experiments::all_experiments();
-    match arg.as_str() {
-        "list" => {
-            for (id, _) in experiments {
-                println!("{id}");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                ppa_pool::set_jobs(n);
             }
+            "--help" | "-h" => usage(),
+            _ => ids.push(arg),
         }
-        "all" => {
-            let t0 = Instant::now();
-            for (id, f) in experiments {
-                let t = Instant::now();
-                println!("=== {id} ===");
-                println!("{}", f());
-                println!("({:.1}s)\n", t.elapsed().as_secs_f64());
-            }
-            println!("total: {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if ids.is_empty() {
+        usage();
+    }
+
+    let registry = experiments::all_experiments();
+    if ids.iter().any(|id| id == "list") {
+        for (id, _) in registry {
+            println!("{id}");
         }
-        id => match experiments.into_iter().find(|(n, _)| *n == id) {
-            Some((_, f)) => {
-                let t = Instant::now();
-                println!("=== {id} ===");
-                println!("{}", f());
-                println!("({:.1}s)", t.elapsed().as_secs_f64());
-            }
-            None => usage(),
-        },
+        return;
+    }
+
+    let selected: Vec<(&'static str, experiments::Experiment)> = if ids.iter().any(|id| id == "all")
+    {
+        registry
+    } else {
+        ids.iter()
+            .map(|id| {
+                registry
+                    .iter()
+                    .find(|(n, _)| n == id)
+                    .copied()
+                    .unwrap_or_else(|| usage())
+            })
+            .collect()
+    };
+
+    // Run every selected experiment through the pool (serial unless jobs
+    // were requested), buffering each rendered table so stdout comes out
+    // in paper order regardless of completion order.
+    let t0 = Instant::now();
+    let rendered = ppa_pool::par_map_ordered(selected, |(id, f)| {
+        let t = Instant::now();
+        let table = f().to_string();
+        (id, table, t.elapsed())
+    });
+    for (id, table, took) in rendered {
+        println!("=== {id} ===");
+        println!("{table}");
+        eprintln!("{id}: {}", fmt_duration(took));
+    }
+    eprintln!("total: {}", fmt_duration(t0.elapsed()));
+
+    if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {
+        if let Some(stats) = ppa_pool::global_stats() {
+            eprintln!("{}", stats.table());
+        }
     }
 }

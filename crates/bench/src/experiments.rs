@@ -4,6 +4,11 @@
 //! Each function runs the relevant simulations and returns the formatted
 //! [`TextTable`] the `repro` binary prints; headline aggregates are
 //! appended as table rows so the output is self-contained.
+//!
+//! Per-app simulations fan out across the shared [`ppa_pool`] worker
+//! pool (`PPA_JOBS`/`--jobs`; serial by default). Every fan-out is an
+//! order-preserving map whose results are folded into the table
+//! serially, so the rendered output is byte-identical at any job count.
 
 use crate::{experiment_len, SEED};
 use ppa_core::{CoreConfig, PersistenceMode};
@@ -25,6 +30,21 @@ fn run(cfg: SystemConfig, app: &AppDescriptor) -> SimReport {
     Machine::new(cfg).run_app_parallel(app, len_for(app), SEED)
 }
 
+/// Order-preserving parallel map over applications: `f` runs on the
+/// shared pool (serial when `PPA_JOBS` is 1 or unset) and each result is
+/// returned alongside its descriptor, in input order, for serial folding
+/// into the table. A panicking simulation panics here with its message,
+/// exactly as the serial loop would.
+fn par_apps<T: Send>(
+    apps: Vec<AppDescriptor>,
+    f: impl Fn(&AppDescriptor) -> T + Sync,
+) -> Vec<(AppDescriptor, T)> {
+    ppa_pool::par_map_ordered(apps, |app| {
+        let value = f(&app);
+        (app, value)
+    })
+}
+
 fn push_gmean(table: &mut TextTable, label: &str, cols: &[&[f64]]) {
     let mut row = vec![label.to_string()];
     for c in cols {
@@ -37,10 +57,11 @@ fn push_gmean(table: &mut TextTable, label: &str, cols: &[&[f64]]) {
 pub fn fig1() -> TextTable {
     let mut t = TextTable::new(["app", "suite", "replaycache-slowdown"]);
     let mut slows = Vec::new();
-    for app in registry::all() {
-        let base = run(SystemConfig::baseline(), &app);
-        let rc = run(SystemConfig::replay_cache(), &app);
-        let s = rc.cycles as f64 / base.cycles as f64;
+    for (app, s) in par_apps(registry::all(), |app| {
+        let base = run(SystemConfig::baseline(), app);
+        let rc = run(SystemConfig::replay_cache(), app);
+        rc.cycles as f64 / base.cycles as f64
+    }) {
         slows.push(s);
         t.row([app.name.to_string(), app.suite.to_string(), fmt_slowdown(s)]);
     }
@@ -65,8 +86,9 @@ pub fn fig5() -> TextTable {
     for suite in Suite::ALL {
         let mut int_cdf = Cdf::with_max_value(cfg.int_prf as u64);
         let mut fp_cdf = Cdf::with_max_value(cfg.fp_prf as u64);
-        for app in registry::by_suite(suite) {
-            let r = run(SystemConfig::baseline(), &app);
+        for (_, r) in par_apps(registry::by_suite(suite), |app| {
+            run(SystemConfig::baseline(), app)
+        }) {
             for c in &r.core_stats {
                 int_cdf.merge(&c.free_int_cdf);
                 fp_cdf.merge(&c.free_fp_cdf);
@@ -99,12 +121,15 @@ pub fn fig8() -> TextTable {
     let mut t = TextTable::new(["app", "suite", "ppa", "capri"]);
     let mut ppa_s = Vec::new();
     let mut cap_s = Vec::new();
-    for app in registry::all() {
-        let base = run(SystemConfig::baseline(), &app);
-        let ppa = run(SystemConfig::ppa(), &app);
-        let cap = run(SystemConfig::capri(), &app);
-        let sp = ppa.cycles as f64 / base.cycles as f64;
-        let sc = cap.cycles as f64 / base.cycles as f64;
+    for (app, (sp, sc)) in par_apps(registry::all(), |app| {
+        let base = run(SystemConfig::baseline(), app);
+        let ppa = run(SystemConfig::ppa(), app);
+        let cap = run(SystemConfig::capri(), app);
+        (
+            ppa.cycles as f64 / base.cycles as f64,
+            cap.cycles as f64 / base.cycles as f64,
+        )
+    }) {
         ppa_s.push(sp);
         cap_s.push(sc);
         t.row([
@@ -124,12 +149,15 @@ pub fn fig9() -> TextTable {
     let mut t = TextTable::new(["app", "memory-mode/dram", "ppa/dram"]);
     let mut base_s = Vec::new();
     let mut ppa_s = Vec::new();
-    for app in registry::all() {
-        let dram = run(SystemConfig::dram_only(), &app);
-        let base = run(SystemConfig::baseline(), &app);
-        let ppa = run(SystemConfig::ppa(), &app);
-        let sb = base.cycles as f64 / dram.cycles as f64;
-        let sp = ppa.cycles as f64 / dram.cycles as f64;
+    for (app, (sb, sp)) in par_apps(registry::all(), |app| {
+        let dram = run(SystemConfig::dram_only(), app);
+        let base = run(SystemConfig::baseline(), app);
+        let ppa = run(SystemConfig::ppa(), app);
+        (
+            base.cycles as f64 / dram.cycles as f64,
+            ppa.cycles as f64 / dram.cycles as f64,
+        )
+    }) {
         base_s.push(sb);
         ppa_s.push(sp);
         t.row([app.name.to_string(), fmt_slowdown(sb), fmt_slowdown(sp)]);
@@ -145,12 +173,15 @@ pub fn fig10() -> TextTable {
     let mut t = TextTable::new(["app", "ppa", "eadr/bbb"]);
     let mut ppa_s = Vec::new();
     let mut psp_s = Vec::new();
-    for app in registry::memory_intensive() {
-        let base = run(SystemConfig::baseline(), &app);
-        let ppa = run(SystemConfig::ppa(), &app);
-        let psp = run(SystemConfig::eadr_bbb(), &app);
-        let sp = ppa.cycles as f64 / base.cycles as f64;
-        let se = psp.cycles as f64 / base.cycles as f64;
+    for (app, (sp, se)) in par_apps(registry::memory_intensive(), |app| {
+        let base = run(SystemConfig::baseline(), app);
+        let ppa = run(SystemConfig::ppa(), app);
+        let psp = run(SystemConfig::eadr_bbb(), app);
+        (
+            ppa.cycles as f64 / base.cycles as f64,
+            psp.cycles as f64 / base.cycles as f64,
+        )
+    }) {
         ppa_s.push(sp);
         psp_s.push(se);
         t.row([app.name.to_string(), fmt_slowdown(sp), fmt_slowdown(se)]);
@@ -164,9 +195,9 @@ pub fn fig10() -> TextTable {
 pub fn fig11() -> TextTable {
     let mut t = TextTable::new(["app", "region-end stall"]);
     let mut fracs = Vec::new();
-    for app in registry::all() {
-        let ppa = run(SystemConfig::ppa(), &app);
-        let f = ppa.region_end_stall_fraction();
+    for (app, f) in par_apps(registry::all(), |app| {
+        run(SystemConfig::ppa(), app).region_end_stall_fraction()
+    }) {
         fracs.push(f);
         t.row([app.name.to_string(), fmt_percent(f)]);
     }
@@ -183,11 +214,14 @@ pub fn fig11() -> TextTable {
 pub fn fig12() -> TextTable {
     let mut t = TextTable::new(["app", "baseline", "ppa", "increase"]);
     let mut deltas = Vec::new();
-    for app in registry::all() {
-        let base = run(SystemConfig::baseline(), &app);
-        let ppa = run(SystemConfig::ppa(), &app);
-        let fb = base.rename_noreg_stall_fraction();
-        let fp = ppa.rename_noreg_stall_fraction();
+    for (app, (fb, fp)) in par_apps(registry::all(), |app| {
+        let base = run(SystemConfig::baseline(), app);
+        let ppa = run(SystemConfig::ppa(), app);
+        (
+            base.rename_noreg_stall_fraction(),
+            ppa.rename_noreg_stall_fraction(),
+        )
+    }) {
         deltas.push((fp - fb).max(0.0));
         t.row([
             app.name.to_string(),
@@ -219,14 +253,16 @@ pub fn fig13() -> TextTable {
     let mut stores = Vec::new();
     let mut others = Vec::new();
     let mut capri = Vec::new();
-    for app in registry::all() {
-        let ppa = run(SystemConfig::ppa(), &app);
+    for (app, (st, all, cap)) in par_apps(registry::all(), |app| {
+        let ppa = run(SystemConfig::ppa(), app);
         let st = ppa.region_stores().mean();
         let all = ppa.region_insts().mean();
-        let raw = app.generate(len_for(&app).min(20_000), SEED);
+        let raw = app.generate(len_for(app).min(20_000), SEED);
         let capri_trace = CapriPass::new().apply(&raw);
         let lens = region_lengths(&capri_trace);
         let cap = lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64;
+        (st, all, cap)
+    }) {
         stores.push(st);
         others.push(all - st);
         capri.push(cap);
@@ -257,10 +293,11 @@ pub fn fig13() -> TextTable {
 pub fn fig14() -> TextTable {
     let mut t = TextTable::new(["app", "ppa (deep hierarchy)"]);
     let mut slows = Vec::new();
-    for app in registry::all() {
-        let base = run(SystemConfig::baseline().with_deep_hierarchy(), &app);
-        let ppa = run(SystemConfig::ppa().with_deep_hierarchy(), &app);
-        let s = ppa.cycles as f64 / base.cycles as f64;
+    for (app, s) in par_apps(registry::all(), |app| {
+        let base = run(SystemConfig::baseline().with_deep_hierarchy(), app);
+        let ppa = run(SystemConfig::ppa().with_deep_hierarchy(), app);
+        ppa.cycles as f64 / base.cycles as f64
+    }) {
         slows.push(s);
         t.row([app.name.to_string(), fmt_slowdown(s)]);
     }
@@ -274,17 +311,23 @@ pub fn fig15() -> TextTable {
     let sizes = [8usize, 16, 24];
     let mut t = TextTable::new(["app", "wpq-8", "wpq-16 (default)", "wpq-24"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for app in registry::memory_intensive() {
+    for (app, slows) in par_apps(registry::memory_intensive(), |app| {
+        sizes
+            .iter()
+            .map(|&n| {
+                let nvm = NvmConfig::paper_default().with_wpq_entries(n);
+                let mut base_cfg = SystemConfig::baseline();
+                base_cfg.mem = base_cfg.mem.with_nvm(nvm);
+                let mut ppa_cfg = SystemConfig::ppa();
+                ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
+                let base = run(base_cfg, app);
+                let ppa = run(ppa_cfg, app);
+                ppa.cycles as f64 / base.cycles as f64
+            })
+            .collect::<Vec<f64>>()
+    }) {
         let mut row = vec![app.name.to_string()];
-        for (i, &n) in sizes.iter().enumerate() {
-            let nvm = NvmConfig::paper_default().with_wpq_entries(n);
-            let mut base_cfg = SystemConfig::baseline();
-            base_cfg.mem = base_cfg.mem.with_nvm(nvm);
-            let mut ppa_cfg = SystemConfig::ppa();
-            ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
-            let base = run(base_cfg, &app);
-            let ppa = run(ppa_cfg, &app);
-            let s = ppa.cycles as f64 / base.cycles as f64;
+        for (i, s) in slows.into_iter().enumerate() {
             cols[i].push(s);
             row.push(fmt_slowdown(s));
         }
@@ -310,14 +353,15 @@ pub fn fig16() -> TextTable {
     for (int_prf, fp_prf, label) in sizes {
         let mut slows = Vec::new();
         let mut worst = ("-", 0.0f64);
-        for app in registry::all() {
+        for (app, s) in par_apps(registry::all(), |app| {
             let mut base_cfg = SystemConfig::baseline();
             base_cfg.core = base_cfg.core.with_prf(int_prf, fp_prf);
             let mut ppa_cfg = SystemConfig::ppa();
             ppa_cfg.core = ppa_cfg.core.with_prf(int_prf, fp_prf);
-            let base = run(base_cfg, &app);
-            let ppa = run(ppa_cfg, &app);
-            let s = ppa.cycles as f64 / base.cycles as f64;
+            let base = run(base_cfg, app);
+            let ppa = run(ppa_cfg, app);
+            ppa.cycles as f64 / base.cycles as f64
+        }) {
             if s > worst.1 {
                 worst = (app.name, s);
             }
@@ -351,18 +395,21 @@ pub fn fig17() -> TextTable {
         let mut slows = Vec::new();
         let mut boundaries = 0u64;
         let mut uops = 0u64;
-        for app in registry::all() {
+        for (_, (s, b, u)) in par_apps(registry::all(), |app| {
             let mut ppa_cfg = SystemConfig::ppa();
             ppa_cfg.core = ppa_cfg.core.with_csq(n);
-            let base = run(SystemConfig::baseline(), &app);
-            let ppa = run(ppa_cfg, &app);
-            slows.push(ppa.cycles as f64 / base.cycles as f64);
-            boundaries += ppa
+            let base = run(SystemConfig::baseline(), app);
+            let ppa = run(ppa_cfg, app);
+            let b = ppa
                 .core_stats
                 .iter()
                 .map(|c| c.csq_full_boundaries)
                 .sum::<u64>();
-            uops += ppa.committed;
+            (ppa.cycles as f64 / base.cycles as f64, b, ppa.committed)
+        }) {
+            slows.push(s);
+            boundaries += b;
+            uops += u;
         }
         t.row([
             format!("{n}{}", if n == 40 { " (default)" } else { "" }),
@@ -383,17 +430,22 @@ pub fn fig18() -> TextTable {
     let bws = [1.0f64, 2.3, 4.0, 6.0];
     let mut t = TextTable::new(["app", "1GB/s", "2.3GB/s (default)", "4GB/s", "6GB/s"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); bws.len()];
-    for app in registry::memory_intensive() {
+    for (app, slows) in par_apps(registry::memory_intensive(), |app| {
+        bws.iter()
+            .map(|&bw| {
+                let nvm = NvmConfig::paper_default().with_write_bandwidth_gbps(bw);
+                let mut base_cfg = SystemConfig::baseline();
+                base_cfg.mem = base_cfg.mem.with_nvm(nvm);
+                let mut ppa_cfg = SystemConfig::ppa();
+                ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
+                let base = run(base_cfg, app);
+                let ppa = run(ppa_cfg, app);
+                ppa.cycles as f64 / base.cycles as f64
+            })
+            .collect::<Vec<f64>>()
+    }) {
         let mut row = vec![app.name.to_string()];
-        for (i, &bw) in bws.iter().enumerate() {
-            let nvm = NvmConfig::paper_default().with_write_bandwidth_gbps(bw);
-            let mut base_cfg = SystemConfig::baseline();
-            base_cfg.mem = base_cfg.mem.with_nvm(nvm);
-            let mut ppa_cfg = SystemConfig::ppa();
-            ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
-            let base = run(base_cfg, &app);
-            let ppa = run(ppa_cfg, &app);
-            let s = ppa.cycles as f64 / base.cycles as f64;
+        for (i, s) in slows.into_iter().enumerate() {
             cols[i].push(s);
             row.push(fmt_slowdown(s));
         }
@@ -411,15 +463,15 @@ pub fn fig19() -> TextTable {
     let mut t = TextTable::new(["threads", "ppa slowdown (gmean)"]);
     for &n in &counts {
         let len = (experiment_len() / (n / 2).max(1)).max(1_000);
-        let mut slows = Vec::new();
-        for mut app in registry::multi_threaded() {
-            app.threads = n;
-            let base = Machine::new(SystemConfig::baseline().with_threads(n))
-                .run_app_parallel(&app, len, SEED);
-            let ppa =
-                Machine::new(SystemConfig::ppa().with_threads(n)).run_app_parallel(&app, len, SEED);
-            slows.push(ppa.cycles as f64 / base.cycles as f64);
-        }
+        let slows: Vec<f64> =
+            ppa_pool::par_map_ordered(registry::multi_threaded(), move |mut app| {
+                app.threads = n;
+                let base = Machine::new(SystemConfig::baseline().with_threads(n))
+                    .run_app_parallel(&app, len, SEED);
+                let ppa = Machine::new(SystemConfig::ppa().with_threads(n))
+                    .run_app_parallel(&app, len, SEED);
+                ppa.cycles as f64 / base.cycles as f64
+            });
         t.row([n.to_string(), fmt_slowdown(geomean(slows.iter().copied()))]);
     }
     t.row(["paper".to_string(), "1.02 .. 1.06 for 8..64".to_string()]);
@@ -729,12 +781,14 @@ pub fn ablation() -> TextTable {
 
     let mut t = TextTable::new(["variant", "slowdown vs baseline (gmean)"]);
     for (label, cfg) in variants {
-        let mut slows = Vec::new();
-        for app in &apps {
+        let slows: Vec<f64> = par_apps(apps.clone(), move |app| {
             let base = run(SystemConfig::baseline(), app);
             let v = run(cfg, app);
-            slows.push(v.cycles as f64 / base.cycles as f64);
-        }
+            v.cycles as f64 / base.cycles as f64
+        })
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
         t.row([label.to_string(), fmt_slowdown(geomean(slows))]);
     }
     t
@@ -745,7 +799,8 @@ pub fn ablation() -> TextTable {
 /// hazard.
 pub fn mc() -> TextTable {
     let mut t = TextTable::new(["app", "ppa 1 MC", "ppa 2 MCs", "recovery @2MC"]);
-    for name in ["gcc", "rb", "sps", "tpcc", "water-ns"] {
+    let names = vec!["gcc", "rb", "sps", "tpcc", "water-ns"];
+    for row in ppa_pool::par_map_ordered(names, |name| {
         let app = registry::by_name(name).expect("known app");
         let base1 = run(SystemConfig::baseline(), &app);
         let ppa1 = run(SystemConfig::ppa(), &app);
@@ -758,12 +813,14 @@ pub fn mc() -> TextTable {
         // Verify §4.6 recovery under cross-channel persistence reordering.
         let trace = app.generate(4_000, SEED);
         let out = inject_failure(&cfg2, &trace, 1_500);
-        t.row([
+        [
             name.to_string(),
             fmt_slowdown(ppa1.cycles as f64 / base1.cycles as f64),
             fmt_slowdown(ppa2.cycles as f64 / base2.cycles as f64),
             (out.consistent_after_recovery && out.completed_after_resume).to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.row([
         "paper".to_string(),
@@ -786,7 +843,8 @@ pub fn inorder() -> TextTable {
         "ooo speedup",
         "in-order consistent",
     ]);
-    for name in ["gcc", "mcf", "hmmer", "rb"] {
+    let names = vec!["gcc", "mcf", "hmmer", "rb"];
+    for row in ppa_pool::par_map_ordered(names, |name| {
         let app = registry::by_name(name).expect("known app");
         let trace = app.generate(10_000, SEED);
         let mut mem = MemorySystem::new(SystemConfig::ppa().mem, 1);
@@ -794,13 +852,15 @@ pub fn inorder() -> TextTable {
         let io_cycles = core.run(&trace, &mut mem);
         let io_consistent = mem.nvm_image().diff(mem.arch_mem()).is_empty();
         let ooo = Machine::new(SystemConfig::ppa()).run(&trace);
-        t.row([
+        [
             name.to_string(),
             io_cycles.to_string(),
             ooo.cycles.to_string(),
             fmt_slowdown(io_cycles as f64 / ooo.cycles as f64),
             io_consistent.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }
@@ -814,7 +874,8 @@ pub fn os() -> TextTable {
         "ppa (ctx switch / 10k uops)",
         "recovery mid-kernel",
     ]);
-    for name in ["gcc", "hmmer", "tpcc"] {
+    let names = vec!["gcc", "hmmer", "tpcc"];
+    for row in ppa_pool::par_map_ordered(names, |name| {
         let app = registry::by_name(name).expect("known app");
         // 10k uops between kernel entries corresponds to the multi-µs
         // context-switch spacing §5 quotes (5-20 µs at ~2 GHz).
@@ -829,12 +890,14 @@ pub fn os() -> TextTable {
         let dense = app.with_context_switches(300);
         let trace = dense.generate(6_000, SEED);
         let out = inject_failure(&SystemConfig::ppa(), &trace, 1_111);
-        t.row([
+        [
             name.to_string(),
             fmt_slowdown(ppa.cycles as f64 / base.cycles as f64),
             fmt_slowdown(ppa_ctx.cycles as f64 / base_ctx.cycles as f64),
             (out.consistent_after_recovery && out.completed_after_resume).to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.row([
         "paper (§5)".to_string(),
@@ -852,14 +915,19 @@ pub fn cxl() -> TextTable {
     let mut t = TextTable::new(["app", "ppa (local PMEM)", "ppa (CXL far PMEM)"]);
     let mut near_s = Vec::new();
     let mut far_s = Vec::new();
-    for name in ["gcc", "mcf", "libquantum", "rb", "water-ns", "lulesh"] {
+    let names = vec!["gcc", "mcf", "libquantum", "rb", "water-ns", "lulesh"];
+    for (name, sn, sf) in ppa_pool::par_map_ordered(names, |name| {
         let app = registry::by_name(name).expect("known app");
         let near_b = run(SystemConfig::baseline(), &app);
         let near_p = run(SystemConfig::ppa(), &app);
         let far_b = run(SystemConfig::baseline().with_cxl_far_memory(), &app);
         let far_p = run(SystemConfig::ppa().with_cxl_far_memory(), &app);
-        let sn = near_p.cycles as f64 / near_b.cycles as f64;
-        let sf = far_p.cycles as f64 / far_b.cycles as f64;
+        (
+            name,
+            near_p.cycles as f64 / near_b.cycles as f64,
+            far_p.cycles as f64 / far_b.cycles as f64,
+        )
+    }) {
         near_s.push(sn);
         far_s.push(sf);
         t.row([name.to_string(), fmt_slowdown(sn), fmt_slowdown(sf)]);
@@ -885,7 +953,8 @@ pub fn ehs() -> TextTable {
     ]);
     let mut plain_s = Vec::new();
     let mut split_s = Vec::new();
-    for name in ["gcc", "hmmer", "x264", "omnetpp"] {
+    let names = vec!["gcc", "hmmer", "x264", "omnetpp"];
+    for (name, sp, ss) in ppa_pool::par_map_ordered(names, |name| {
         let app = registry::by_name(name).expect("known app");
         let raw = app.generate(len_for(&app), SEED);
         let base = Machine::new(SystemConfig::baseline()).run(&raw);
@@ -893,8 +962,12 @@ pub fn ehs() -> TextTable {
             Machine::new(SystemConfig::replay_cache()).run(&ReplayCachePass::new().apply(&raw));
         let split = Machine::new(SystemConfig::replay_cache())
             .run(&ReplayCachePass::new().with_energy_splitting(12).apply(&raw));
-        let sp = plain.cycles as f64 / base.cycles as f64;
-        let ss = split.cycles as f64 / base.cycles as f64;
+        (
+            name,
+            plain.cycles as f64 / base.cycles as f64,
+            split.cycles as f64 / base.cycles as f64,
+        )
+    }) {
         plain_s.push(sp);
         split_s.push(ss);
         t.row([name.to_string(), fmt_slowdown(sp), fmt_slowdown(ss)]);

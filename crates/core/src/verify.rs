@@ -116,6 +116,13 @@ pub enum InvariantKind {
     /// An allocated physical register is unreachable from any rename
     /// table, ROB entry, MaskReg bit, or deferred-free list — it leaked.
     PrfLeak,
+    /// Advisory note: the CSQ-order validator's first observation found
+    /// pre-existing CSQ entries (a recovered CSQ, or attachment to a
+    /// core already mid-region). The validator trusts those entries as
+    /// the recovery carry — their intra-region ordering predates
+    /// attachment and was **not** validated, so a pre-existing reorder
+    /// in them cannot be ruled out.
+    AttachedMidRegion,
 }
 
 impl InvariantKind {
@@ -145,7 +152,16 @@ impl InvariantKind {
             InvariantKind::LoadQueueCountMismatch => "load-queue-count-mismatch",
             InvariantKind::StoreQueueCountMismatch => "store-queue-count-mismatch",
             InvariantKind::PrfLeak => "prf-leak",
+            InvariantKind::AttachedMidRegion => "attached-mid-region",
         }
+    }
+
+    /// Whether this kind is an advisory note rather than a broken
+    /// invariant. Advisories flag reduced checking coverage (e.g. a
+    /// validator attached after execution began) — reports should show
+    /// them, but they do not make a run unclean.
+    pub fn is_advisory(self) -> bool {
+        matches!(self, InvariantKind::AttachedMidRegion)
     }
 }
 
@@ -169,6 +185,13 @@ pub struct Violation {
     pub core: usize,
     /// Free-form context (register names, counts).
     pub detail: String,
+}
+
+impl Violation {
+    /// Whether this is an advisory note ([`InvariantKind::is_advisory`]).
+    pub fn is_advisory(&self) -> bool {
+        self.kind.is_advisory()
+    }
 }
 
 impl fmt::Display for Violation {
@@ -544,14 +567,33 @@ impl Validator for CsqOrderCheck {
                 ));
             }
         } else {
-            // A boundary cleared the queue; anything present now was
-            // appended by this region (or restored by recovery on the
-            // very first observation).
-            self.carried = if self.last_regions.is_none() {
-                current.len().saturating_sub(view.region_stores() as usize)
+            // A boundary cleared the queue, so anything present now was
+            // appended by this region — except on the very first
+            // observation, where entries may predate attachment (a
+            // recovered CSQ, or a validator attached to a core already
+            // mid-flight). Those entries are recorded explicitly as the
+            // trusted carry and flagged with an advisory note: their
+            // ordering was never observed, so this validator cannot rule
+            // out a pre-existing reorder among them.
+            if self.last_regions.is_none() {
+                self.carried = current.len().saturating_sub(view.region_stores() as usize);
+                if self.carried > 0 {
+                    out.push(view.violation(
+                        InvariantKind::AttachedMidRegion,
+                        self.name(),
+                        format!(
+                            "first observation trusts {} pre-existing CSQ entries \
+                             ({} present, {} committed this region); their ordering \
+                             was not validated",
+                            self.carried,
+                            current.len(),
+                            view.region_stores()
+                        ),
+                    ));
+                }
             } else {
-                0
-            };
+                self.carried = 0;
+            }
             self.last_regions = Some(view.regions_completed());
         }
         let expected = self.carried + view.region_stores() as usize;
@@ -774,8 +816,75 @@ mod tests {
             InvariantKind::LoadQueueCountMismatch,
             InvariantKind::StoreQueueCountMismatch,
             InvariantKind::PrfLeak,
+            InvariantKind::AttachedMidRegion,
         ];
         let names: HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn only_the_mid_region_note_is_advisory() {
+        assert!(InvariantKind::AttachedMidRegion.is_advisory());
+        assert!(!InvariantKind::CsqStoreCountMismatch.is_advisory());
+        assert!(!InvariantKind::CsqReordered.is_advisory());
+    }
+
+    /// A validator attached after execution began (here: to a recovered
+    /// core whose restored CSQ predates attachment) must record the
+    /// trusted carry explicitly via an `AttachedMidRegion` note instead
+    /// of silently trusting it — and must not report the carried entries
+    /// as a store-count mismatch.
+    #[test]
+    fn late_attachment_emits_the_mid_region_note_once() {
+        let mut b = TraceBuilder::new("late-attach");
+        for i in 0..200u64 {
+            let r = ArchReg::int((i % 6) as u8);
+            b.alu(r, &[r]);
+            b.store(r, 0x1000 + (i % 32) * 8, i + 1);
+        }
+        let trace = b.build();
+        let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
+        let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
+        let mut core = Core::new(cfg, 0);
+        let mut now = 0;
+        while core.csq_len() == 0 {
+            core.step(&trace, &mut mem, now);
+            mem.tick(now);
+            now += 1;
+            assert!(now < 100_000, "CSQ never filled");
+        }
+        let image = core.jit_checkpoint();
+        let recovered = Core::recover(cfg, 0, &image);
+
+        let mut check = CsqOrderCheck::default();
+        let mut out = Vec::new();
+        check.check(&recovered.verify_view(now), &mut out);
+        assert!(
+            out.iter()
+                .any(|v| v.kind == InvariantKind::AttachedMidRegion),
+            "first observation of a restored CSQ must be flagged: {out:?}"
+        );
+        assert!(
+            out.iter()
+                .all(|v| v.kind != InvariantKind::CsqStoreCountMismatch),
+            "the recorded carry must not be misread as a count mismatch: {out:?}"
+        );
+
+        // The note fires once; later observations of the same state are
+        // clean.
+        let mut again = Vec::new();
+        check.check(&recovered.verify_view(now + 1), &mut again);
+        assert_eq!(again, vec![]);
+    }
+
+    /// Fresh cores (the only attach-at-cycle-zero use) see an empty CSQ
+    /// first, so no advisory fires.
+    #[test]
+    fn fresh_core_attachment_emits_no_note() {
+        let core = Core::new(CoreConfig::paper_default(PersistenceMode::Ppa), 0);
+        let mut check = CsqOrderCheck::default();
+        let mut out = Vec::new();
+        check.check(&core.verify_view(0), &mut out);
+        assert_eq!(out, vec![]);
     }
 }

@@ -1,0 +1,679 @@
+//! `ppa-pool` — an in-tree work-stealing thread pool for the PPA
+//! harnesses.
+//!
+//! The simulator itself is single-threaded by design; the natural
+//! parallel axis is *across* independent [`Machine`]s — per-app fan-out
+//! in `repro` and `ppa-verify`, and the crash oracle's (app × failure
+//! point) grid. Those jobs are coarse (milliseconds to seconds each), so
+//! this pool optimises for simplicity and determinism rather than
+//! nanosecond dispatch: per-worker deques protected by mutexes, with
+//! LIFO pops on the owner's queue (locality for nested spawns) and FIFO
+//! steals from everyone else's (fairness for the oldest work). Per the
+//! offline dependency policy (see ROADMAP.md) no external crates —
+//! `rayon` included — are available, so the executor is built from `std`
+//! alone, like `ppa-prng` before it.
+//!
+//! Three properties the consumers rely on:
+//!
+//! - **Order-preserving results.** [`ThreadPool::par_map`] and
+//!   [`par_map_ordered`] return results in input order regardless of
+//!   completion order, so harness output is byte-identical at any worker
+//!   count (the simulations themselves are deterministic).
+//! - **Panic isolation.** A panicking job is caught and surfaced as
+//!   `Err(JobError::Panicked(_))` for that job only; the worker survives
+//!   and the pool stays usable.
+//! - **Deadlock-free nesting.** A job may fan out again into the same
+//!   pool (`repro all` parallelises across experiments *and* across apps
+//!   within each experiment). Waiting — scope exit or
+//!   [`JobHandle::join`] — *helps*: the waiting thread executes queued
+//!   jobs until its condition holds, so even a one-worker pool drains
+//!   nested scopes.
+//!
+//! Jobs also get soft cancellation: a [`Scope`] can be cancelled and a
+//! job can carry a soft timeout ([`JobOpts::timeout`]); queued jobs that
+//! are cancelled before starting complete as `Err(JobError::Cancelled)`
+//! without running, and running jobs can poll [`JobCtx::should_stop`].
+//!
+//! The shared pool is sized by the `PPA_JOBS` environment variable
+//! (absent or `1` = serial, `0` = auto-detect cores, `N` = N workers) or
+//! a [`set_jobs`] override (e.g. a `--jobs` CLI flag), and exposes
+//! scheduler counters — jobs run, steals, idle time — as a
+//! [`ppa_stats::TextTable`] via [`PoolStats::table`].
+//!
+//! [`Machine`]: ../ppa_sim/struct.Machine.html
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.par_map(0..100u64, |i| i * i);
+//! assert_eq!(squares[7], Ok(49));
+//!
+//! // Scoped spawns may borrow from the enclosing frame.
+//! let data = vec![1u64, 2, 3];
+//! let sum = pool.scope(|s| {
+//!     let h = s.spawn(|_ctx| data.iter().sum::<u64>());
+//!     h.join().unwrap()
+//! });
+//! assert_eq!(sum, 6);
+//! ```
+
+mod stats;
+
+pub use stats::PoolStats;
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+/// Why a job did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's closure panicked; the payload, rendered as text. The
+    /// panic is confined to the job — the worker and pool stay usable.
+    Panicked(String),
+    /// The job was cancelled (scope cancellation, or its soft deadline
+    /// passed) before it started running.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Cancelled => write!(f, "job cancelled before it ran"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Debug, Default)]
+struct StatCells {
+    jobs_run: AtomicU64,
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    panics: AtomicU64,
+    cancelled: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+/// Shared pool state: one deque per worker plus the sleep/wake gate.
+struct Inner {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks currently enqueued. Incremented *before* the push and
+    /// decremented on a successful pop, so a zero reliably means "safe
+    /// to sleep" (a transient over-count only costs one extra scan).
+    queued: AtomicUsize,
+    /// Gate mutex for the condvar; pushes and job completions notify
+    /// under it so sleepers cannot miss a wakeup.
+    gate: Mutex<()>,
+    cond: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for pushes from non-worker threads.
+    next: AtomicUsize,
+    stats: StatCells,
+}
+
+thread_local! {
+    /// Set by worker threads: which pool they belong to and their queue
+    /// index, so nested spawns go to the local deque and nested
+    /// [`par_map_ordered`] calls reuse the enclosing pool.
+    static CURRENT: std::cell::RefCell<Option<(Weak<Inner>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn current_inner() -> Option<Arc<Inner>> {
+    CURRENT.with(|c| c.borrow().as_ref().and_then(|(w, _)| w.upgrade()))
+}
+
+/// This thread's worker index, if it is a worker of exactly this pool.
+fn worker_index_in(inner: &Arc<Inner>) -> Option<usize> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .and_then(|(w, i)| w.upgrade().filter(|a| Arc::ptr_eq(a, inner)).map(|_| *i))
+    })
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+impl Inner {
+    fn push(self: &Arc<Self>, task: Task) {
+        let n = self.queues.len();
+        let idx =
+            worker_index_in(self).unwrap_or_else(|| self.next.fetch_add(1, Ordering::Relaxed) % n);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.queues[idx].lock().unwrap().push_back(task);
+        let _gate = self.gate.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    /// LIFO pop from the caller's own deque, then FIFO steal from the
+    /// others. `me == None` is an external helper (steal-only).
+    fn pop(&self, me: Option<usize>) -> Option<Task> {
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        if let Some(i) = me {
+            if let Some(t) = self.queues[i].lock().unwrap().pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.stats.local_pops.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let j = (start + k) % n;
+            if me == Some(j) {
+                continue;
+            }
+            if let Some(t) = self.queues[j].lock().unwrap().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Runs queued tasks until `done` holds. This is what scope exits and
+    /// [`JobHandle::join`] block on, and it is why nested fan-out cannot
+    /// deadlock: a waiter is itself a worker.
+    fn help_until(self: &Arc<Self>, mut done: impl FnMut() -> bool) {
+        let me = worker_index_in(self);
+        loop {
+            if done() {
+                return;
+            }
+            if let Some(task) = self.pop(me) {
+                task();
+                continue;
+            }
+            let gate = self.gate.lock().unwrap();
+            if done() {
+                return;
+            }
+            if self.queued.load(Ordering::SeqCst) == 0 {
+                // The timeout is only a backstop; completions notify.
+                drop(
+                    self.cond
+                        .wait_timeout(gate, Duration::from_millis(1))
+                        .unwrap(),
+                );
+            }
+        }
+    }
+
+    fn snapshot_stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.queues.len(),
+            jobs_run: self.stats.jobs_run.load(Ordering::Relaxed),
+            local_pops: self.stats.local_pops.load(Ordering::Relaxed),
+            steals: self.stats.steals.load(Ordering::Relaxed),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            idle: Duration::from_nanos(self.stats.idle_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, index: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::downgrade(&inner), index)));
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        if let Some(task) = inner.pop(Some(index)) {
+            task();
+            continue;
+        }
+        let t0 = Instant::now();
+        let gate = inner.gate.lock().unwrap();
+        if inner.queued.load(Ordering::SeqCst) == 0 && !inner.shutdown.load(Ordering::SeqCst) {
+            drop(
+                inner
+                    .cond
+                    .wait_timeout(gate, Duration::from_millis(50))
+                    .unwrap(),
+            );
+        } else {
+            drop(gate);
+        }
+        inner
+            .stats
+            .idle_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-size work-stealing thread pool. See the crate docs for the
+/// scheduling discipline and the determinism/panic/nesting contract.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `workers` threads; `0` auto-detects the core
+    /// count.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            auto_parallelism()
+        } else {
+            workers
+        };
+        let inner = Arc::new(Inner {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+            stats: StatCells::default(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ppa-pool-{i}"))
+                    .spawn(move || worker_loop(inner, i))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        ThreadPool {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.queues.len()
+    }
+
+    /// A snapshot of the scheduler counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.snapshot_stats()
+    }
+
+    /// Runs `f` with a [`Scope`] that can spawn jobs borrowing from the
+    /// enclosing frame. Does not return until every spawned job has
+    /// completed (the calling thread helps run them while it waits); a
+    /// panic in `f` itself still waits before resuming the unwind.
+    pub fn scope<'env, F, R>(&'env self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        scope_on(&self.inner, f)
+    }
+
+    /// Applies `f` to every item in parallel, returning per-job results
+    /// **in input order**. A panicking job yields `Err` for its slot
+    /// only.
+    pub fn par_map<'env, T, U, F, I>(&'env self, items: I, f: F) -> Vec<Result<U, JobError>>
+    where
+        I: IntoIterator<Item = T>,
+        T: Send + 'env,
+        U: Send + 'env,
+        F: Fn(T) -> U + Sync + 'env,
+    {
+        par_map_on(&self.inner, items, f)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _gate = self.inner.gate.lock().unwrap();
+            self.inner.cond.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        for queue in &self.inner.queues {
+            queue.lock().unwrap().clear();
+        }
+    }
+}
+
+/// Per-scope bookkeeping: outstanding jobs and the cancellation flag.
+#[derive(Debug, Default)]
+struct ScopeState {
+    pending: AtomicUsize,
+    cancelled: AtomicBool,
+}
+
+/// Spawn handle passed to [`ThreadPool::scope`] closures.
+pub struct Scope<'env> {
+    inner: &'env Arc<Inner>,
+    state: Arc<ScopeState>,
+    /// Invariance over `'env`, the crossbeam-style scoped-spawn guard.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// Per-job options for [`Scope::spawn_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobOpts {
+    /// Soft deadline, measured from spawn time. A job whose deadline has
+    /// passed before it starts completes as `Err(JobError::Cancelled)`
+    /// without running; a running job observes it via
+    /// [`JobCtx::should_stop`].
+    pub timeout: Option<Duration>,
+}
+
+/// Cooperative cancellation context handed to every job.
+#[derive(Debug)]
+pub struct JobCtx {
+    state: Arc<ScopeState>,
+    deadline: Option<Instant>,
+}
+
+impl JobCtx {
+    /// Whether the enclosing scope was cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Whether this job's soft deadline has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the job should wind down (cancellation or deadline). Long
+    /// jobs poll this at convenient boundaries; nothing is preempted.
+    pub fn should_stop(&self) -> bool {
+        self.cancelled() || self.deadline_passed()
+    }
+}
+
+fn scope_on<'env, F, R>(inner: &'env Arc<Inner>, f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        inner,
+        state: Arc::new(ScopeState::default()),
+        _env: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    inner.help_until(|| scope.state.pending.load(Ordering::SeqCst) == 0);
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a job with default options. The closure may borrow
+    /// anything that outlives the scope.
+    pub fn spawn<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&JobCtx) -> T + Send + 'env,
+    {
+        self.spawn_opts(JobOpts::default(), f)
+    }
+
+    /// Spawns a job with explicit [`JobOpts`].
+    pub fn spawn_opts<T, F>(&self, opts: JobOpts, f: F) -> JobHandle<T>
+    where
+        T: Send + 'env,
+        F: FnOnce(&JobCtx) -> T + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::new(JobShared {
+            slot: Mutex::new(None),
+            done: AtomicBool::new(false),
+        });
+        let ctx = JobCtx {
+            state: Arc::clone(&self.state),
+            deadline: opts.timeout.map(|t| Instant::now() + t),
+        };
+        let weak = Arc::downgrade(self.inner);
+        let state = Arc::clone(&self.state);
+        let out = Arc::clone(&shared);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let pool = weak.upgrade();
+            let bump = |pick: fn(&StatCells) -> &AtomicU64| {
+                if let Some(inner) = &pool {
+                    pick(&inner.stats).fetch_add(1, Ordering::Relaxed);
+                }
+            };
+            let result = if ctx.should_stop() {
+                bump(|s| &s.cancelled);
+                Err(JobError::Cancelled)
+            } else {
+                bump(|s| &s.jobs_run);
+                match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                    Ok(value) => Ok(value),
+                    Err(payload) => {
+                        bump(|s| &s.panics);
+                        Err(JobError::Panicked(panic_message(payload.as_ref())))
+                    }
+                }
+            };
+            *out.slot.lock().unwrap() = Some(result);
+            out.done.store(true, Ordering::SeqCst);
+            state.pending.fetch_sub(1, Ordering::SeqCst);
+            if let Some(inner) = pool {
+                let _gate = inner.gate.lock().unwrap();
+                inner.cond.notify_all();
+            }
+        });
+        // SAFETY: `scope_on` does not return — normally or by unwind —
+        // until `pending` reaches zero, i.e. until this closure has run
+        // (or been skipped as cancelled) and dropped its captures. Every
+        // capture outlives `'env`, and `'env` outlives the `scope_on`
+        // call, so erasing the lifetime cannot let the job observe freed
+        // data. This is the standard scoped-pool construction.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(job) };
+        self.inner.push(task);
+        JobHandle {
+            inner: Arc::clone(self.inner),
+            shared,
+        }
+    }
+
+    /// Cancels the scope: running jobs observe [`JobCtx::should_stop`],
+    /// and queued jobs that have not started complete as
+    /// `Err(JobError::Cancelled)` without running.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+}
+
+struct JobShared<T> {
+    slot: Mutex<Option<Result<T, JobError>>>,
+    done: AtomicBool,
+}
+
+/// Handle to one spawned job's result.
+pub struct JobHandle<T> {
+    inner: Arc<Inner>,
+    shared: Arc<JobShared<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Whether the job has finished (in any way).
+    pub fn is_done(&self) -> bool {
+        self.shared.done.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the job, helping run queued work in the meantime.
+    pub fn join(self) -> Result<T, JobError> {
+        self.inner
+            .help_until(|| self.shared.done.load(Ordering::SeqCst));
+        self.shared
+            .slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("a completed job always stores a result")
+    }
+}
+
+fn par_map_on<'env, T, U, F, I>(inner: &'env Arc<Inner>, items: I, f: F) -> Vec<Result<U, JobError>>
+where
+    I: IntoIterator<Item = T>,
+    T: Send + 'env,
+    U: Send + 'env,
+    F: Fn(T) -> U + Sync + 'env,
+{
+    let f = &f;
+    scope_on(inner, |s| {
+        let handles: Vec<JobHandle<U>> = items
+            .into_iter()
+            .map(|item| s.spawn(move |_ctx| f(item)))
+            .collect();
+        handles.into_iter().map(JobHandle::join).collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// The shared pool and its environment knobs.
+
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn auto_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Overrides `PPA_JOBS` (e.g. from a `--jobs` CLI flag). `0` means
+/// auto-detect cores. Must be called before the first [`global`] use to
+/// affect the shared pool's size.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The effective job count: the [`set_jobs`] override if present, else
+/// the `PPA_JOBS` environment variable, else `1` (serial). `0` resolves
+/// to the detected core count.
+pub fn configured_jobs() -> usize {
+    let raw = match JOBS_OVERRIDE.load(Ordering::SeqCst) {
+        usize::MAX => std::env::var("PPA_JOBS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1),
+        n => n,
+    };
+    if raw == 0 {
+        auto_parallelism()
+    } else {
+        raw
+    }
+}
+
+/// The process-wide shared pool, created on first use with
+/// [`configured_jobs`] workers.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(configured_jobs()))
+}
+
+/// Stats for the shared pool, if it has been created (it never is in
+/// serial runs).
+pub fn global_stats() -> Option<PoolStats> {
+    GLOBAL.get().map(ThreadPool::stats)
+}
+
+/// Order-preserving parallel map over the ambient pool: the enclosing
+/// worker's pool when called from inside a job (nested fan-out), the
+/// shared [`global`] pool otherwise — or a plain serial loop when
+/// [`configured_jobs`] is 1, so default runs spawn no threads at all.
+///
+/// A panicking job re-panics here with its message, matching what the
+/// serial loop would do; use [`ThreadPool::par_map`] directly to handle
+/// per-job errors.
+pub fn par_map_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if let Some(inner) = current_inner() {
+        return collect_ok(par_map_on(&inner, items, f));
+    }
+    if configured_jobs() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    collect_ok(par_map_on(&global().inner, items, f))
+}
+
+fn collect_ok<U>(results: Vec<Result<U, JobError>>) -> Vec<U> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("parallel job failed: {e}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.par_map(0..64u64, |i| i * 3);
+        let expect: Vec<Result<u64, JobError>> = (0..64).map(|i| Ok(i * 3)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zero_workers_means_auto_detect() {
+        let pool = ThreadPool::new(0);
+        assert!(pool.workers() >= 1);
+    }
+
+    #[test]
+    fn configured_jobs_defaults_to_serial() {
+        // Neither the env var nor the override is set under `cargo test`.
+        if std::env::var("PPA_JOBS").is_err() && JOBS_OVERRIDE.load(Ordering::SeqCst) == usize::MAX
+        {
+            assert_eq!(configured_jobs(), 1);
+        }
+    }
+
+    #[test]
+    fn serial_par_map_ordered_needs_no_pool() {
+        let out = par_map_ordered(vec![1u32, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn job_error_displays() {
+        assert!(JobError::Panicked("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(JobError::Cancelled.to_string().contains("cancelled"));
+    }
+}

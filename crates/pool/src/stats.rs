@@ -1,0 +1,73 @@
+//! Scheduler counters, reported through `ppa-stats` like every other
+//! harness metric.
+
+use ppa_stats::{fmt_duration, TextTable};
+use std::time::Duration;
+
+/// A point-in-time snapshot of a pool's scheduler counters.
+///
+/// `local_pops + steals` is the number of dequeues; `steals` counts
+/// tasks taken from another worker's deque (including by threads helping
+/// while they wait). `idle` is summed across workers, so it can exceed
+/// wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs whose closure actually ran (cancelled jobs excluded).
+    pub jobs_run: u64,
+    /// Dequeues from the running worker's own deque (LIFO end).
+    pub local_pops: u64,
+    /// Dequeues from another worker's deque (FIFO end).
+    pub steals: u64,
+    /// Jobs that panicked (each surfaced as a per-job error).
+    pub panics: u64,
+    /// Jobs cancelled before they started.
+    pub cancelled: u64,
+    /// Total time workers spent waiting for work, summed across workers.
+    pub idle: Duration,
+}
+
+impl PoolStats {
+    /// Renders the counters as an aligned two-column table.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let stats = ppa_pool::PoolStats::default();
+    /// assert!(stats.table().to_string().contains("steals"));
+    /// ```
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(["pool metric", "value"]);
+        t.row(["workers", &self.workers.to_string()]);
+        t.row(["jobs run", &self.jobs_run.to_string()]);
+        t.row(["local pops", &self.local_pops.to_string()]);
+        t.row(["steals", &self.steals.to_string()]);
+        t.row(["panics", &self.panics.to_string()]);
+        t.row(["cancelled", &self.cancelled.to_string()]);
+        t.row(["idle (summed)", &fmt_duration(self.idle)]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_every_counter() {
+        let stats = PoolStats {
+            workers: 8,
+            jobs_run: 100,
+            local_pops: 60,
+            steals: 40,
+            panics: 1,
+            cancelled: 2,
+            idle: Duration::from_millis(1500),
+        };
+        let s = stats.table().to_string();
+        for needle in ["workers", "jobs run", "steals", "idle", "1.50s"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

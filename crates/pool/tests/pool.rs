@@ -1,0 +1,221 @@
+//! Integration tests for the work-stealing executor: seeded stress
+//! loops, forced steals, panic isolation, nested fan-out, and
+//! cancellation. These stand in for the property tests an external
+//! framework would provide (offline dependency policy — see ROADMAP.md).
+
+use ppa_pool::{JobError, JobOpts, ThreadPool};
+use ppa_prng::Prng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A tiny deterministic CPU-bound job whose cost scales with `spin`.
+fn spin_hash(seed: u64, spin: u64) -> u64 {
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for i in 0..spin {
+        h = h.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ (h >> 31) ^ i;
+    }
+    h
+}
+
+#[test]
+fn seeded_stress_thousands_of_jobs_match_serial() {
+    for seed in 1..=3u64 {
+        for workers in [1usize, 2, 4, 8] {
+            let mut rng = Prng::seed_from_u64(seed);
+            // Skewed job costs: a few heavy jobs amid thousands of light
+            // ones, which is exactly the shape that forces steals.
+            let jobs: Vec<(u64, u64)> = (0..2_000u64)
+                .map(|i| {
+                    let spin = if rng.random_bool(0.02) {
+                        rng.random_range(20_000..60_000u64)
+                    } else {
+                        rng.random_range(0..200u64)
+                    };
+                    (i, spin)
+                })
+                .collect();
+            let expect: Vec<u64> = jobs.iter().map(|&(i, s)| spin_hash(i, s)).collect();
+
+            let pool = ThreadPool::new(workers);
+            let got = pool.par_map(jobs, |(i, s)| spin_hash(i, s));
+            let got: Vec<u64> = got.into_iter().map(Result::unwrap).collect();
+            assert_eq!(got, expect, "seed={seed} workers={workers}");
+            let stats = pool.stats();
+            assert_eq!(stats.jobs_run, 2_000);
+            assert_eq!(stats.local_pops + stats.steals, 2_000);
+        }
+    }
+}
+
+#[test]
+fn skewed_costs_force_steals() {
+    let pool = ThreadPool::new(2);
+    let started = std::sync::Arc::new(AtomicBool::new(false));
+    let started2 = std::sync::Arc::clone(&started);
+    // One long job occupies a worker while the rest of its deque is
+    // picked clean by the other worker (and the helping main thread).
+    let mut jobs: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(move || {
+        started2.store(true, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(100));
+    })];
+    for _ in 0..200 {
+        jobs.push(Box::new(|| std::thread::sleep(Duration::from_micros(50))));
+    }
+    let results = pool.par_map(jobs, |job| job());
+    assert_eq!(results.len(), 201);
+    assert!(results.iter().all(Result::is_ok));
+    assert!(started.load(Ordering::SeqCst));
+    let stats = pool.stats();
+    assert!(
+        stats.steals > 0,
+        "a blocked worker's deque must be stolen from: {stats:?}"
+    );
+}
+
+#[test]
+fn one_panicking_job_leaves_the_other_99_intact_and_the_pool_reusable() {
+    let pool = ThreadPool::new(4);
+    let results = pool.par_map(0..100u32, |i| {
+        if i == 37 {
+            panic!("job 37 exploded");
+        }
+        i * 2
+    });
+    for (i, r) in results.iter().enumerate() {
+        if i == 37 {
+            match r {
+                Err(JobError::Panicked(msg)) => assert!(msg.contains("exploded"), "{msg}"),
+                other => panic!("expected a panic error, got {other:?}"),
+            }
+        } else {
+            assert_eq!(*r, Ok(i as u32 * 2));
+        }
+    }
+    assert_eq!(pool.stats().panics, 1);
+
+    // The pool is not poisoned: a second batch runs clean.
+    let again = pool.par_map(0..50u32, |i| i + 1);
+    assert!(again.iter().all(Result::is_ok));
+    assert_eq!(pool.stats().jobs_run, 150);
+}
+
+#[test]
+fn nested_fan_out_does_not_deadlock_even_on_one_worker() {
+    for workers in [1usize, 4] {
+        let pool = ThreadPool::new(workers);
+        // Each outer job fans out again into the same pool; the outer
+        // job's wait must help drain the inner jobs.
+        let totals = pool.par_map(0..8u64, |i| {
+            let inner: u64 = ppa_pool::par_map_ordered((0..16u64).collect(), |j| i * 100 + j)
+                .into_iter()
+                .sum();
+            inner
+        });
+        for (i, t) in totals.into_iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(t, Ok(16 * i * 100 + (0..16).sum::<u64>()));
+        }
+    }
+}
+
+#[test]
+fn scope_handles_return_values_and_help_join() {
+    let pool = ThreadPool::new(2);
+    let data = [10u64, 20, 30];
+    let sum = pool.scope(|s| {
+        let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * x)).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+    });
+    assert_eq!(sum, 100 + 400 + 900);
+}
+
+#[test]
+fn cancelled_scope_skips_queued_jobs() {
+    let pool = ThreadPool::new(1);
+    let (tx, rx) = mpsc::channel();
+    let ran = AtomicU64::new(0);
+    let mut tail = Vec::new();
+    pool.scope(|s| {
+        // The blocker occupies the only worker until the scope is
+        // cancelled; it polls its ctx cooperatively.
+        let blocker = s.spawn(|ctx| {
+            tx.send(()).unwrap();
+            while !ctx.should_stop() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            "stopped early"
+        });
+        rx.recv().unwrap(); // the blocker is running, the worker is busy
+        for _ in 0..10 {
+            tail.push(s.spawn(|_| ran.fetch_add(1, Ordering::SeqCst)));
+        }
+        s.cancel();
+        assert_eq!(blocker.join(), Ok("stopped early"));
+    });
+    let outcomes: Vec<_> = tail.into_iter().map(|h| h.join()).collect();
+    assert!(
+        outcomes.iter().all(|o| *o == Err(JobError::Cancelled)),
+        "queued jobs must be skipped after cancel: {outcomes:?}"
+    );
+    assert_eq!(ran.load(Ordering::SeqCst), 0);
+    assert_eq!(pool.stats().cancelled, 10);
+}
+
+#[test]
+fn expired_soft_timeout_cancels_before_the_job_runs() {
+    let pool = ThreadPool::new(1);
+    let outcome = pool.scope(|s| {
+        s.spawn_opts(
+            JobOpts {
+                timeout: Some(Duration::ZERO),
+            },
+            |_| "ran",
+        )
+        .join()
+    });
+    assert_eq!(outcome, Err(JobError::Cancelled));
+}
+
+#[test]
+fn running_jobs_observe_their_deadline() {
+    let pool = ThreadPool::new(1);
+    let outcome = pool.scope(|s| {
+        s.spawn_opts(
+            JobOpts {
+                timeout: Some(Duration::from_millis(20)),
+            },
+            |ctx| {
+                let mut polls = 0u64;
+                while !ctx.should_stop() {
+                    std::thread::sleep(Duration::from_millis(1));
+                    polls += 1;
+                    assert!(polls < 10_000, "deadline never observed");
+                }
+                polls
+            },
+        )
+        .join()
+    });
+    assert!(outcome.is_ok(), "{outcome:?}");
+}
+
+#[test]
+fn scope_waits_for_all_jobs_even_when_the_closure_panics() {
+    let pool = ThreadPool::new(2);
+    let finished = AtomicU64::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            panic!("scope body panics after spawning");
+        })
+    }));
+    assert!(result.is_err());
+    // The unwind was delayed until every spawned job completed.
+    assert_eq!(finished.load(Ordering::SeqCst), 8);
+}

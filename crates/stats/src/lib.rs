@@ -29,7 +29,7 @@ mod table;
 pub use cdf::Cdf;
 pub use histogram::Histogram;
 pub use summary::Summary;
-pub use table::{fmt_percent, fmt_slowdown, TextTable};
+pub use table::{fmt_duration, fmt_percent, fmt_slowdown, TextTable};
 
 /// Geometric mean of an iterator of strictly positive values.
 ///

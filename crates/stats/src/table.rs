@@ -125,6 +125,29 @@ pub fn fmt_percent(v: f64) -> String {
     format!("{:.2}%", v * 100.0)
 }
 
+/// Formats a duration at a human scale: `740us`, `343ms`, or `2.41s`.
+///
+/// Used for harness wall-clock reporting (per-experiment timings, pool
+/// idle time), where two significant figures beat nanosecond noise.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// assert_eq!(ppa_stats::fmt_duration(Duration::from_millis(343)), "343ms");
+/// assert_eq!(ppa_stats::fmt_duration(Duration::from_secs_f64(2.414)), "2.41s");
+/// ```
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.0}ms", secs * 1e3)
+    } else {
+        format!("{:.0}us", secs * 1e6)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

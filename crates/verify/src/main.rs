@@ -1,12 +1,18 @@
 //! The `ppa-verify` command-line driver.
 //!
 //! ```text
-//! ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N]
+//! ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N] [--jobs N]
 //! ```
 //!
 //! Exit code 0 means every selected verification passed; 1 means at
 //! least one violation, lint error, oracle failure, or undetected
 //! mutation.
+//!
+//! `--jobs N` (or `PPA_JOBS=N`; `0` = one worker per CPU) fans each
+//! stage out across the shared work-stealing pool: invariant checks and
+//! lints per workload, the crash oracle over its (app x failure-point)
+//! grid, and the mutation self-tests per injected fault. Output order
+//! and content are identical at any job count.
 
 use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
 use ppa_verify::lint::{LintProfile, Severity};
@@ -22,16 +28,24 @@ struct Options {
 
 impl Default for Options {
     fn default() -> Self {
+        // PPA_ORACLE_POINTS raises/lowers the oracle's injection density
+        // without touching the command line; `--points` still wins.
+        let points = std::env::var("PPA_ORACLE_POINTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
         Options {
             len: 2_000,
             seed: 1,
-            points: 3,
+            points,
         }
     }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N]");
+    eprintln!(
+        "usage: ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N] [--jobs N]"
+    );
     eprintln!();
     eprintln!("  check   run cycle-level invariant checks on all workloads (PPA mode)");
     eprintln!("  lint    lint raw + transformed traces for persistency-barrier defects");
@@ -42,6 +56,12 @@ fn usage() -> ! {
     eprintln!("  --len N     uops per workload trace (default 2000)");
     eprintln!("  --seed N    base RNG seed (default 1)");
     eprintln!("  --points N  failure injections per workload for `oracle` (default 3)");
+    eprintln!("  --jobs N    worker threads for the fan-out (0 = auto, default 1 = serial)");
+    eprintln!();
+    eprintln!("environment:");
+    eprintln!("  PPA_JOBS=N           same as --jobs (the flag wins)");
+    eprintln!("  PPA_ORACLE_POINTS=N  default for --points");
+    eprintln!("  PPA_POOL_STATS=1     print pool counters to stderr on exit");
     std::process::exit(2)
 }
 
@@ -58,6 +78,7 @@ fn parse_args() -> (String, Options) {
             "--len" => opts.len = value.parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
             "--points" => opts.points = value.parse().unwrap_or_else(|_| usage()),
+            "--jobs" => ppa_pool::set_jobs(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -106,8 +127,9 @@ fn cmd_lint(opts: &Options) -> bool {
     );
     let rc = ReplayCachePass::new();
     let capri = CapriPass::new();
-    let mut ok = true;
-    for app in registry::all() {
+    // Lint each workload's three trace variants as one pool job; the
+    // rendered lines come back in registry order for serial printing.
+    let per_app = ppa_pool::par_map_ordered(registry::all(), |app| {
         let raw = app.generate(opts.len, opts.seed);
         let checks = [
             ("raw", lint_trace(&raw, &LintProfile::Raw)),
@@ -120,25 +142,38 @@ fn cmd_lint(opts: &Options) -> bool {
                 lint_trace(&capri.apply(&raw), &LintProfile::capri_default()),
             ),
         ];
+        let mut lines = Vec::new();
+        let mut clean = true;
         for (label, diags) in checks {
             let errors = diags
                 .iter()
                 .filter(|d| d.severity == Severity::Error)
                 .count();
             if errors == 0 {
-                println!(
+                lines.push(format!(
                     "  ok   {:<16} {:<12} ({} warnings)",
                     app.name,
                     label,
                     diags.len()
-                );
+                ));
             } else {
-                ok = false;
-                println!("  FAIL {:<16} {:<12} {} errors", app.name, label, errors);
+                clean = false;
+                lines.push(format!(
+                    "  FAIL {:<16} {:<12} {} errors",
+                    app.name, label, errors
+                ));
                 for d in diags.iter().take(10) {
-                    println!("       {d}");
+                    lines.push(format!("       {d}"));
                 }
             }
+        }
+        (lines, clean)
+    });
+    let mut ok = true;
+    for (lines, clean) in per_app {
+        ok &= clean;
+        for line in lines {
+            println!("{line}");
         }
     }
     ok
@@ -230,6 +265,11 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     };
+    if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {
+        if let Some(stats) = ppa_pool::global_stats() {
+            eprintln!("{}", stats.table());
+        }
+    }
     if ok {
         println!("ppa-verify: all selected checks passed");
         ExitCode::SUCCESS

@@ -122,12 +122,9 @@ pub fn run_case(case: MutationCase, max_cycles: u64) -> MutationReport {
     }
 }
 
-/// Runs the whole suite.
+/// Runs the whole suite, one pool job per injected fault.
 pub fn run_all(max_cycles: u64) -> Vec<MutationReport> {
-    cases()
-        .into_iter()
-        .map(|c| run_case(c, max_cycles))
-        .collect()
+    ppa_pool::par_map_ordered(cases(), move |c| run_case(c, max_cycles))
 }
 
 #[cfg(test)]

@@ -134,22 +134,30 @@ pub fn run_app(app: &AppDescriptor, len: usize, seed: u64, points: usize) -> Vec
     let mut core = Core::new(cfg, 0);
     let total_cycles = core.run(&trace, &mut mem);
 
+    // Draw every failure cycle up front so the RNG stream is identical
+    // at any job count, then fan the (app x failure-point) grid out
+    // across the pool.
     let mut rng = Prng::seed_from_u64(seed ^ 0x07ac1e ^ app.name.len() as u64);
-    (0..points)
-        .map(|_| {
-            let fail_cycle = rng.random_range(10..total_cycles.saturating_mul(4) / 5);
-            run_point(app.name, &trace, seed, fail_cycle)
-        })
-        .collect()
+    let fail_cycles: Vec<u64> = (0..points)
+        .map(|_| rng.random_range(10..total_cycles.saturating_mul(4) / 5))
+        .collect();
+    let name = app.name;
+    let trace = &trace;
+    ppa_pool::par_map_ordered(fail_cycles, move |fail_cycle| {
+        run_point(name, trace, seed, fail_cycle)
+    })
 }
 
 /// Runs the oracle across all 41 workloads with `points_per_app`
-/// injections each.
+/// injections each. Workloads fan out across the shared pool; outcomes
+/// are returned in (registry, injection) order at any job count.
 pub fn run_suite(len: usize, seed: u64, points_per_app: usize) -> Vec<OracleOutcome> {
-    registry::all()
-        .iter()
-        .flat_map(|app| run_app(app, len, seed, points_per_app))
-        .collect()
+    ppa_pool::par_map_ordered(registry::all(), move |app| {
+        run_app(&app, len, seed, points_per_app)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

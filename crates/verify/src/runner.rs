@@ -81,12 +81,12 @@ pub fn check_app(app: &AppDescriptor, len: usize, seed: u64) -> CheckReport {
     }
 }
 
-/// Runs [`check_app`] over all 41 workloads of the evaluation.
+/// Runs [`check_app`] over all 41 workloads of the evaluation, fanned
+/// out across the shared [`ppa_pool`] worker pool (serial unless
+/// `PPA_JOBS`/`--jobs` asks for more). Reports come back in registry
+/// order regardless of job count.
 pub fn check_all(len: usize, seed: u64) -> Vec<CheckReport> {
-    registry::all()
-        .iter()
-        .map(|app| check_app(app, len, seed))
-        .collect()
+    ppa_pool::par_map_ordered(registry::all(), move |app| check_app(&app, len, seed))
 }
 
 #[cfg(test)]

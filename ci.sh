@@ -30,10 +30,23 @@ cargo test -p ppa-pool -q
 echo "== cargo test -p ppa-pool -p ppa-verify -q"
 cargo test -p ppa-pool -p ppa-verify -q
 
+# The multi-core machine on both feature graphs, same reasoning: the smp
+# crate must behave identically with and without ppa-core's verify hooks.
+echo "== cargo test -p ppa-smp -q"
+cargo test -p ppa-smp -q
+
+echo "== cargo test -p ppa-smp -p ppa-verify -q"
+cargo test -p ppa-smp -p ppa-verify -q
+
 # Parallel smoke run: auto-sized pool, reduced trace length, a mix of
 # simulation-heavy and static experiments. Timings land on stderr.
 echo "== PPA_JOBS=0 repro smoke (fig11 table4 ckpt)"
 time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
     cargo run -q -p ppa-bench --release --bin repro -- fig11 table4 ckpt > /dev/null
+
+# The shared-state thread sweep on the ppa-smp machine (8–64 cores).
+echo "== PPA_JOBS=0 repro fig19 smoke (multi-core machine)"
+time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
+    cargo run -q -p ppa-bench --release --bin repro -- fig19 > /dev/null
 
 echo "CI: all gates passed"

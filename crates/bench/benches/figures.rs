@@ -60,11 +60,12 @@ fn main() {
         b.iter(|| black_box(point(cfg, "rb")))
     });
     bench_function("figures", "fig19_8threads_point", |b| {
-        let app = registry::by_name("radix").expect("radix exists");
+        let app = ppa_workloads::shared::by_name("counters").expect("counters exists");
         b.iter(|| {
+            let traces = app.generate_threads(LEN / 3, 1, 8);
             black_box(
-                Machine::new(SystemConfig::ppa().with_threads(8))
-                    .run_app_parallel(&app, LEN / 3, 1)
+                ppa_smp::SmpSystem::new(SystemConfig::ppa().with_threads(8), traces)
+                    .run()
                     .cycles,
             )
         })

@@ -1,0 +1,46 @@
+//! Diagnostic for the fig19 thread sweep: runs each shared DRF workload
+//! on the `ppa-smp` machine, baseline vs PPA, and prints where the PPA
+//! cycles go (persist-drain stalls at sync boundaries, rename stalls from
+//! forced region ends, region/grant counts). This is the tool that
+//! localises a slowdown to the store-path (drain stalls scale with
+//! non-coalescing line traffic) versus the rename-path (PRF exhaustion in
+//! a sync's commit shadow).
+//!
+//!     PROBE_THREADS=32 PROBE_LEN=2500 \
+//!         cargo run --release -p ppa-bench --example fig19probe
+
+use ppa_sim::SystemConfig;
+use ppa_smp::SmpSystem;
+use ppa_workloads::shared;
+
+fn main() {
+    let n: usize = std::env::var("PROBE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let len: usize = std::env::var("PROBE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_500);
+    for app in shared::all() {
+        let traces = app.generate_threads(len, 1, n);
+        let base = SmpSystem::new(SystemConfig::baseline().with_threads(n), traces.clone()).run();
+        let ppa = SmpSystem::new(SystemConfig::ppa().with_threads(n), traces).run();
+        let sum = |f: fn(&ppa_core::CoreStats) -> u64, r: &ppa_smp::SmpReport| -> u64 {
+            r.core_stats.iter().map(f).sum()
+        };
+        println!(
+            "{:10} base={} ppa={} slow={:.2} | drainstall={} rename={}/{} syncs={} regions={} grants={}",
+            app.name,
+            base.cycles,
+            ppa.cycles,
+            ppa.cycles as f64 / base.cycles as f64,
+            sum(|c| c.region_end_stall_cycles, &ppa),
+            sum(|c| c.rename_stall_cycles, &ppa),
+            sum(|c| c.rename_stall_cycles, &base),
+            sum(|c| c.region_ends_sync, &ppa),
+            sum(|c| c.regions, &ppa),
+            ppa.drain_grants,
+        );
+    }
+}

@@ -71,8 +71,8 @@ pub use events::{EventLog, PipelineEvent};
 pub use inorder::InOrderCore;
 pub use pipeline::Core;
 pub use ppa::{
-    replay_stores, CheckpointController, CheckpointImage, CkptState, Csq, CsqEntry, IndexWalker,
-    MaskReg, RecoveryReport,
+    deserialize_images, replay_stores, serialize_images, CheckpointController, CheckpointImage,
+    CkptState, Csq, CsqEntry, IndexWalker, MaskReg, RecoveryReport,
 };
 pub use prf::{PhysReg, Prf};
 pub use rename::RenameTable;

@@ -1,6 +1,6 @@
 use crate::ppa::csq::CsqEntry;
 use crate::prf::PhysReg;
-use ppa_isa::ArchReg;
+use ppa_isa::{ArchReg, RegClass};
 
 /// Everything PPA saves on impending power failure (§4.5): the five
 /// structures — CSQ, CRT, MaskReg, LCPC, and the physical registers marked
@@ -47,6 +47,209 @@ impl CheckpointImage {
         let lcpc = 8;
         csq + prf + crt + mask + lcpc
     }
+
+    /// Serializes the image into the 8-byte-word stream the checkpoint
+    /// controller writes to NVM: a magic header, the five structures, a
+    /// checksum, and a completion marker. The marker is the last word
+    /// written, so any prefix of the stream (a torn, mid-flush image) is
+    /// detectably incomplete.
+    pub fn serialize(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(8 + self.csq.len() * 2 + self.crt.len());
+        w.push(IMAGE_MAGIC);
+        w.push(pack_counts(
+            self.csq.len(),
+            self.crt.len(),
+            self.masked.len(),
+            self.prf_values.len(),
+        ));
+        w.push(self.lcpc);
+        w.push(self.committed);
+        for e in &self.csq {
+            w.push(pack_phys(e.src) << 8 | e.size as u64);
+            w.push(e.addr);
+        }
+        for &(a, p) in &self.crt {
+            w.push(pack_arch(a) << 32 | pack_phys(p));
+        }
+        for &p in &self.masked {
+            w.push(pack_phys(p));
+        }
+        for &(p, v) in &self.prf_values {
+            w.push(pack_phys(p));
+            w.push(v);
+        }
+        w.push(checksum(&w));
+        w.push(IMAGE_END);
+        w
+    }
+
+    /// Rebuilds an image from a serialized word stream, returning the
+    /// image and the number of words consumed. Returns `None` if the
+    /// stream is torn (truncated mid-flush), corrupted, or lacks its
+    /// completion marker — a recovery path must never trust such state.
+    pub fn deserialize(words: &[u64]) -> Option<(CheckpointImage, usize)> {
+        let mut r = Reader { words, pos: 0 };
+        if r.next()? != IMAGE_MAGIC {
+            return None;
+        }
+        let (csq_len, crt_len, masked_len, prf_len) = unpack_counts(r.next()?);
+        let lcpc = r.next()?;
+        let committed = r.next()?;
+        let mut csq = Vec::with_capacity(csq_len);
+        for _ in 0..csq_len {
+            let head = r.next()?;
+            let addr = r.next()?;
+            csq.push(CsqEntry {
+                src: unpack_phys(head >> 8)?,
+                addr,
+                size: (head & 0xff) as u8,
+            });
+        }
+        let mut crt = Vec::with_capacity(crt_len);
+        for _ in 0..crt_len {
+            let w = r.next()?;
+            crt.push((unpack_arch(w >> 32)?, unpack_phys(w & 0xffff_ffff)?));
+        }
+        let mut masked = Vec::with_capacity(masked_len);
+        for _ in 0..masked_len {
+            masked.push(unpack_phys(r.next()?)?);
+        }
+        let mut prf_values = Vec::with_capacity(prf_len);
+        for _ in 0..prf_len {
+            let p = unpack_phys(r.next()?)?;
+            let v = r.next()?;
+            prf_values.push((p, v));
+        }
+        let expected = checksum(&words[..r.pos]);
+        if r.next()? != expected || r.next()? != IMAGE_END {
+            return None;
+        }
+        Some((
+            CheckpointImage {
+                csq,
+                crt,
+                masked,
+                prf_values,
+                lcpc,
+                committed,
+            },
+            r.pos,
+        ))
+    }
+}
+
+const IMAGE_MAGIC: u64 = 0x5050_4130_494d_4731; // "PPA0IMG1"
+const IMAGE_END: u64 = 0x5050_4130_494d_4745; // "PPA0IMGE"
+const STREAM_MAGIC: u64 = 0x5050_4130_434b_5031; // "PPA0CKP1"
+const STREAM_END: u64 = 0x5050_4130_434b_5045; // "PPA0CKPE"
+
+struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn next(&mut self) -> Option<u64> {
+        let w = self.words.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(w)
+    }
+}
+
+/// FNV-1a over the little-endian bytes of the words — the integrity word
+/// the controller appends so recovery can reject corrupted images.
+fn checksum(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn pack_counts(csq: usize, crt: usize, masked: usize, prf: usize) -> u64 {
+    (csq as u64) << 48 | (crt as u64) << 32 | (masked as u64) << 16 | prf as u64
+}
+
+fn unpack_counts(w: u64) -> (usize, usize, usize, usize) {
+    (
+        (w >> 48) as usize,
+        (w >> 32 & 0xffff) as usize,
+        (w >> 16 & 0xffff) as usize,
+        (w & 0xffff) as usize,
+    )
+}
+
+fn pack_phys(p: PhysReg) -> u64 {
+    let class = match p.class() {
+        RegClass::Int => 0u64,
+        RegClass::Fp => 1,
+    };
+    class << 16 | p.index() as u64
+}
+
+fn unpack_phys(w: u64) -> Option<PhysReg> {
+    let class = match w >> 16 {
+        0 => RegClass::Int,
+        1 => RegClass::Fp,
+        _ => return None,
+    };
+    Some(PhysReg::new(class, (w & 0xffff) as u16))
+}
+
+fn pack_arch(a: ArchReg) -> u64 {
+    let class = match a.class() {
+        RegClass::Int => 0u64,
+        RegClass::Fp => 1,
+    };
+    class << 8 | a.index() as u64
+}
+
+fn unpack_arch(w: u64) -> Option<ArchReg> {
+    let class = match w >> 8 & 1 {
+        0 => RegClass::Int,
+        _ => RegClass::Fp,
+    };
+    if w >> 9 != 0 {
+        return None;
+    }
+    Some(ArchReg::new(class, (w & 0xff) as u8))
+}
+
+/// Serializes a whole machine's per-core images into one contiguous word
+/// stream: `[STREAM_MAGIC, n_cores, image_0 .. image_{n-1}, STREAM_END]`.
+/// The trailing marker is written last, so a flush interrupted at any
+/// word leaves a stream [`deserialize_images`] rejects.
+pub fn serialize_images(images: &[CheckpointImage]) -> Vec<u64> {
+    let mut w = vec![STREAM_MAGIC, images.len() as u64];
+    for img in images {
+        w.extend(img.serialize());
+    }
+    w.push(STREAM_END);
+    w
+}
+
+/// Rebuilds every core's image from a serialized stream, or `None` if the
+/// stream is torn or corrupted anywhere (recovery must reject partially
+/// flushed machine checkpoints).
+pub fn deserialize_images(words: &[u64]) -> Option<Vec<CheckpointImage>> {
+    let mut r = Reader { words, pos: 0 };
+    if r.next()? != STREAM_MAGIC {
+        return None;
+    }
+    let n = r.next()? as usize;
+    let mut images = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (img, used) = CheckpointImage::deserialize(&words[r.pos..])?;
+        r.pos += used;
+        images.push(img);
+    }
+    if r.next()? != STREAM_END || r.pos != words.len() {
+        return None;
+    }
+    Some(images)
 }
 
 /// The JIT-checkpointing controller's finite state machine (Figure 7).
@@ -104,6 +307,24 @@ impl CheckpointController {
     /// Current FSM state.
     pub fn state(&self) -> CkptState {
         self.state
+    }
+
+    /// Words the flush has retired to NVM so far. Together with
+    /// [`CheckpointController::words_total`] this locates a mid-flush
+    /// failure point: a crash model that interrupts the flush leaves only
+    /// the first `words_done()` words of the serialized stream durable.
+    pub fn words_done(&self) -> u64 {
+        self.words_done
+    }
+
+    /// Total words the current flush must move.
+    pub fn words_total(&self) -> u64 {
+        self.words_total
+    }
+
+    /// Whether a flush is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.state != CkptState::Idle
     }
 
     /// Delivers `Power_Fail` with the number of bytes to checkpoint.
@@ -299,5 +520,89 @@ mod tests {
         w.next_index();
         w.rebase(0x100);
         assert_eq!(w.next_index(), 0x100);
+    }
+
+    fn image_with_state() -> CheckpointImage {
+        CheckpointImage {
+            csq: vec![
+                CsqEntry {
+                    src: PhysReg::new(RegClass::Int, 5),
+                    addr: 0x1000,
+                    size: 8,
+                },
+                CsqEntry {
+                    src: PhysReg::new(RegClass::Fp, 3),
+                    addr: 0x2008,
+                    size: 4,
+                },
+            ],
+            crt: vec![
+                (ArchReg::int(0), PhysReg::new(RegClass::Int, 7)),
+                (ArchReg::fp(2), PhysReg::new(RegClass::Fp, 9)),
+            ],
+            masked: vec![PhysReg::new(RegClass::Int, 5)],
+            prf_values: vec![
+                (PhysReg::new(RegClass::Int, 5), 42),
+                (PhysReg::new(RegClass::Int, 7), 0xdead_beef),
+            ],
+            lcpc: 0x40_0010,
+            committed: 12,
+        }
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let img = image_with_state();
+        let words = img.serialize();
+        let (back, used) = CheckpointImage::deserialize(&words).expect("intact stream");
+        assert_eq!(back, img);
+        assert_eq!(used, words.len());
+    }
+
+    #[test]
+    fn every_torn_prefix_is_rejected() {
+        let img = image_with_state();
+        let words = img.serialize();
+        for cut in 0..words.len() {
+            assert!(
+                CheckpointImage::deserialize(&words[..cut]).is_none(),
+                "a stream torn at word {cut}/{} must not deserialize",
+                words.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_word_fails_the_checksum() {
+        let img = image_with_state();
+        let mut words = img.serialize();
+        words[4] ^= 1;
+        assert!(CheckpointImage::deserialize(&words).is_none());
+    }
+
+    #[test]
+    fn multi_image_stream_round_trips_and_rejects_tearing() {
+        let images = vec![image_with_state(), sample_image()];
+        let words = serialize_images(&images);
+        assert_eq!(deserialize_images(&words).expect("intact"), images);
+        for cut in 0..words.len() {
+            assert!(deserialize_images(&words[..cut]).is_none(), "torn at {cut}");
+        }
+    }
+
+    #[test]
+    fn controller_reports_flush_progress() {
+        let mut fsm = CheckpointController::new();
+        fsm.power_fail(32); // four words
+        assert_eq!(fsm.words_total(), 4);
+        assert!(fsm.is_busy());
+        fsm.step(); // StopPipeline -> Read
+        fsm.step(); // Read -> Write
+        assert_eq!(fsm.words_done(), 0);
+        fsm.step(); // word 1
+        assert_eq!(fsm.words_done(), 1);
+        fsm.run_to_completion();
+        assert_eq!(fsm.words_done(), 4);
+        assert!(!fsm.is_busy());
     }
 }

@@ -6,7 +6,10 @@ pub mod csq;
 pub mod mask;
 pub mod recovery;
 
-pub use checkpoint::{CheckpointController, CheckpointImage, CkptState, IndexWalker};
+pub use checkpoint::{
+    deserialize_images, serialize_images, CheckpointController, CheckpointImage, CkptState,
+    IndexWalker,
+};
 pub use csq::{Csq, CsqEntry};
 pub use mask::MaskReg;
 pub use recovery::{replay_stores, RecoveryReport};

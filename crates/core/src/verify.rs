@@ -123,6 +123,21 @@ pub enum InvariantKind {
     /// attachment and was **not** validated, so a pre-existing reorder
     /// in them cannot be ruled out.
     AttachedMidRegion,
+    /// Inter-core CSQ drain order broken (§6): the shared persist
+    /// arbiter's grant log is not a total order consistent with its
+    /// round-robin arbitration (non-monotone sequence numbers, more than
+    /// one grant per cycle, or a core's region indices going backwards).
+    CrossCoreDrainOrder,
+    /// A region's drain was certified while stores of that region (or a
+    /// region that never completed) were still in flight — a dependent
+    /// store on another core could persist before the data it depends on
+    /// (§6 cross-core persist ordering).
+    PersistBeforeDependence,
+    /// Two cores' recovery images claim the same word, so the cross-core
+    /// replay order of that word is undefined and the recovered NVM image
+    /// is incoherent. Under the DRF single-writer discipline every
+    /// checkpointed word has exactly one owning core.
+    RecoveryImageOverlap,
 }
 
 impl InvariantKind {
@@ -153,6 +168,9 @@ impl InvariantKind {
             InvariantKind::StoreQueueCountMismatch => "store-queue-count-mismatch",
             InvariantKind::PrfLeak => "prf-leak",
             InvariantKind::AttachedMidRegion => "attached-mid-region",
+            InvariantKind::CrossCoreDrainOrder => "cross-core-drain-order",
+            InvariantKind::PersistBeforeDependence => "persist-before-dependence",
+            InvariantKind::RecoveryImageOverlap => "recovery-image-overlap",
         }
     }
 
@@ -817,6 +835,9 @@ mod tests {
             InvariantKind::StoreQueueCountMismatch,
             InvariantKind::PrfLeak,
             InvariantKind::AttachedMidRegion,
+            InvariantKind::CrossCoreDrainOrder,
+            InvariantKind::PersistBeforeDependence,
+            InvariantKind::RecoveryImageOverlap,
         ];
         let names: HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

@@ -401,9 +401,16 @@ impl MemorySystem {
         } = self;
         if let Some(nvm) = nvm.as_mut() {
             nvm.drain(now);
-            for (core, buf) in wb.iter_mut().enumerate() {
+            // Cores contend for the shared WPQ ports through a rotating
+            // round-robin: the core served first advances by one each
+            // cycle, so no core is structurally favoured and the
+            // interleaving is a pure function of the cycle number
+            // (deterministic at any core count).
+            let n = wb.len();
+            for k in 0..n {
+                let core = (now as usize + k) % n;
                 let l1 = &mut l1d[core];
-                buf.tick(
+                wb[core].tick(
                     now,
                     |line, t| nvm.enqueue_write(line, t),
                     |line| {

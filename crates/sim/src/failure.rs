@@ -1,7 +1,28 @@
 use crate::presets::SystemConfig;
-use ppa_core::{replay_stores, Core, PersistenceMode};
+use ppa_core::{
+    deserialize_images, replay_stores, serialize_images, CheckpointController, Core,
+    PersistenceMode,
+};
 use ppa_isa::Trace;
 use ppa_mem::MemorySystem;
+
+/// How the injected failure interacts with the JIT-checkpoint flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMode {
+    /// The flush completes within the residual-energy window, as §4.5
+    /// guarantees by construction (the pre-existing model).
+    Complete,
+    /// Power is lost again `interrupt_cycles` into the checkpoint
+    /// controller's FSM. The words durable at that instant form a torn
+    /// stream which recovery must detect and reject; the residual-energy
+    /// window then finishes the flush, and recovery proceeds from the
+    /// *deserialized* full stream — exercising the detection path, not
+    /// just the happy path.
+    InterruptedAt {
+        /// Controller cycles before the interruption.
+        interrupt_cycles: u64,
+    },
+}
 
 /// Outcome of one injected power failure plus recovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +38,19 @@ pub struct FailureOutcome {
     pub replayed_stores: usize,
     /// Bytes the JIT checkpoint moved to NVM (summed over cores).
     pub checkpoint_bytes: u64,
+    /// Controller cycles the checkpoint flush consumed (including a
+    /// mid-flush interruption, if any).
+    pub flush_cycles: u64,
+    /// Words of the serialized stream durable at the mid-flush
+    /// interruption (zero for [`FlushMode::Complete`]).
+    pub torn_words: u64,
+    /// Whether the torn prefix was rejected by deserialization — a torn
+    /// image accepted as complete would be a silent-corruption recovery.
+    /// Vacuously `true` when the flush was not interrupted.
+    pub torn_prefix_rejected: bool,
+    /// Whether the full serialized stream round-tripped and recovery ran
+    /// from the deserialized images rather than the in-memory ones.
+    pub stream_recovered: bool,
     /// Whether NVM matched architectural memory right after replay.
     pub consistent_after_recovery: bool,
     /// Whether the recovered machine resumed and completed the program
@@ -56,6 +90,35 @@ pub fn inject_failure_multicore(
     traces: &[Trace],
     fail_cycle: u64,
 ) -> FailureOutcome {
+    inject_failure_with_flush(cfg, traces, fail_cycle, FlushMode::Complete)
+}
+
+/// Like [`inject_failure_multicore`], but the failure point sits *inside*
+/// the JIT-checkpoint FSM: the flush is interrupted `interrupt_cycles`
+/// in, the torn word stream is shown to be rejected, and recovery runs
+/// from the deserialized full stream (see [`FlushMode::InterruptedAt`]).
+pub fn inject_failure_mid_flush(
+    cfg: &SystemConfig,
+    traces: &[Trace],
+    fail_cycle: u64,
+    interrupt_cycles: u64,
+) -> FailureOutcome {
+    inject_failure_with_flush(
+        cfg,
+        traces,
+        fail_cycle,
+        FlushMode::InterruptedAt { interrupt_cycles },
+    )
+}
+
+/// The full failure model: run, checkpoint (optionally tearing the flush),
+/// recover, resume.
+pub fn inject_failure_with_flush(
+    cfg: &SystemConfig,
+    traces: &[Trace],
+    fail_cycle: u64,
+    flush: FlushMode,
+) -> FailureOutcome {
     assert_eq!(
         cfg.core.mode,
         PersistenceMode::Ppa,
@@ -77,25 +140,51 @@ pub fn inject_failure_multicore(
     let committed_before: u64 = cores.iter().map(Core::committed).sum();
     let consistent_before_recovery = mem.nvm_image().diff(mem.arch_mem()).is_empty();
 
-    // Phase 2: power failure — JIT checkpoint, then all volatile state
-    // dies.
+    // Phase 2: power failure — JIT checkpoint through the controller FSM,
+    // then all volatile state dies. The images travel to NVM as a word
+    // stream whose completion marker is written last.
     let images: Vec<_> = cores.iter().map(Core::jit_checkpoint).collect();
     let checkpoint_bytes: u64 = images
         .iter()
         .map(|i| i.checkpoint_bytes(cfg.core.total_prf()))
         .sum();
+    let stream = serialize_images(&images);
+    let mut fsm = CheckpointController::new();
+    fsm.power_fail(stream.len() as u64 * 8);
+    let (flush_cycles, torn_words, torn_prefix_rejected) = match flush {
+        FlushMode::Complete => (fsm.run_to_completion(), 0, true),
+        FlushMode::InterruptedAt { interrupt_cycles } => {
+            let mut used = 0;
+            for _ in 0..interrupt_cycles {
+                if !fsm.step() {
+                    break;
+                }
+                used += 1;
+            }
+            let torn = fsm.words_done();
+            // A torn stream must never deserialize to anything; only a
+            // fully flushed stream may.
+            let rejected = torn >= stream.len() as u64
+                || deserialize_images(&stream[..torn as usize]).is_none();
+            // The residual-energy window finishes the flush.
+            (used + fsm.run_to_completion(), torn, rejected)
+        }
+    };
     mem.power_failure();
 
-    // Phase 3: recovery — restore, replay each core's CSQ (any order),
-    // and verify consistency at the last commit point.
+    // Phase 3: recovery — deserialize the durable stream (recovery must
+    // trust nothing else), replay each core's CSQ (any order), and verify
+    // consistency at the last commit point.
+    let recovered_images = deserialize_images(&stream).expect("a completed flush must deserialize");
+    let stream_recovered = recovered_images == images;
     let mut replayed_stores = 0;
-    for image in &images {
+    for image in &recovered_images {
         replayed_stores += replay_stores(image, mem.nvm_image_mut()).replayed_stores;
     }
     let consistent_after_recovery = mem.nvm_image().diff(mem.arch_mem()).is_empty();
 
     // Phase 4: resume after the LCPC and run to completion.
-    let mut recovered: Vec<Core> = images
+    let mut recovered: Vec<Core> = recovered_images
         .iter()
         .enumerate()
         .map(|(i, img)| Core::recover(cfg.core, i, img))
@@ -128,6 +217,10 @@ pub fn inject_failure_multicore(
         consistent_before_recovery,
         replayed_stores,
         checkpoint_bytes,
+        flush_cycles,
+        torn_words,
+        torn_prefix_rejected,
+        stream_recovered,
         consistent_after_recovery,
         completed_after_resume: completed,
     }
@@ -204,6 +297,38 @@ mod tests {
         assert_eq!(out.committed_before, 0);
         assert_eq!(out.replayed_stores, 0);
         assert!(out.completed_after_resume);
+    }
+
+    #[test]
+    fn mid_flush_tearing_is_detected_and_recovery_still_succeeds() {
+        let app = registry::by_name("tpcc").unwrap();
+        let trace = app.generate(2_000, 11);
+        for interrupt in [0, 1, 2, 3, 10, 40, 100, 1_000_000] {
+            let out = inject_failure_mid_flush(
+                &SystemConfig::ppa(),
+                std::slice::from_ref(&trace),
+                1_000,
+                interrupt,
+            );
+            assert!(
+                out.torn_prefix_rejected,
+                "torn prefix after {interrupt} controller cycles was accepted"
+            );
+            assert!(out.stream_recovered, "stream did not round-trip");
+            assert!(out.consistent_after_recovery);
+            assert!(out.completed_after_resume);
+        }
+    }
+
+    #[test]
+    fn complete_flush_reports_no_tearing() {
+        let app = registry::by_name("hmmer").unwrap();
+        let trace = app.generate(1_500, 2);
+        let out = inject_failure(&SystemConfig::ppa(), &trace, 700);
+        assert_eq!(out.torn_words, 0);
+        assert!(out.torn_prefix_rejected);
+        assert!(out.stream_recovered);
+        assert!(out.flush_cycles > 0, "the flush FSM must consume cycles");
     }
 
     #[test]

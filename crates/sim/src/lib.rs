@@ -28,7 +28,10 @@ mod presets;
 mod report;
 
 pub use consistency::{check_consistency, BadWord, ConsistencyReport};
-pub use failure::{inject_failure, inject_failure_multicore, FailureOutcome};
+pub use failure::{
+    inject_failure, inject_failure_mid_flush, inject_failure_multicore, inject_failure_with_flush,
+    FailureOutcome, FlushMode,
+};
 pub use machine::Machine;
 pub use presets::SystemConfig;
 pub use report::SimReport;

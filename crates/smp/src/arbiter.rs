@@ -1,0 +1,401 @@
+//! The shared persist arbiter: cross-core persist ordering at
+//! synchronisation boundaries (§6).
+//!
+//! Under data-race-free software, the only points where one core's
+//! persists must be ordered against another's are synchronisation
+//! operations: a release must be durably ordered after the stores it
+//! publishes before any acquirer's dependent persists. PPA already makes
+//! every sync op a region boundary that waits for the core's own persists
+//! to drain; the arbiter adds the *machine-level* half of the contract —
+//! sync-region drains are certified one at a time, in a deterministic
+//! round-robin order, so the cross-core drain history is a total order
+//! that recovery can rely on.
+//!
+//! The arbiter is intentionally simple hardware: per-core last-seen
+//! sync-region counters, at most one pending certificate per core (the
+//! core stalls until granted), and a grant port whose bandwidth scales
+//! with the core count like the paper's other shared resources (§7.11).
+
+use ppa_core::verify::{InvariantKind, Violation};
+use ppa_core::Core;
+use ppa_mem::MemorySystem;
+
+/// One drain certificate issued by the [`PersistArbiter`]: core `core`'s
+/// `region`-th sync region was durably drained at `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainGrant {
+    /// Global issue sequence number (dense, starting at 0).
+    pub seq: u64,
+    /// Core whose sync-region drain is certified.
+    pub core: usize,
+    /// The core's cumulative sync-region count at the certified boundary
+    /// (1-based, strictly increasing per core).
+    pub region: u64,
+    /// Cycle the certificate was issued.
+    pub cycle: u64,
+    /// The core's persists still in flight when the certificate was
+    /// issued. A correct arbiter only certifies fully-drained regions, so
+    /// this is always zero in a clean run.
+    pub outstanding_at_grant: u64,
+}
+
+/// Deliberate arbiter defects for mutation self-tests: each breaks one of
+/// the cross-core persist-ordering invariants so the validators in
+/// [`check_drain_log`] and [`crate::check_images`] can be shown to catch
+/// real corruption (and to stay silent on clean runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterFault {
+    /// Emit grants pairwise-swapped, so the published log is no longer a
+    /// total order consistent with the issue sequence.
+    UnorderedGrants,
+    /// Periodically certify a drain for a core that is mid-region, with
+    /// committed-but-uncertified stores still in flight.
+    PhantomGrant,
+    /// Corrupt the whole-machine checkpoint: duplicate one core's CSQ
+    /// entry into another core's image, making the per-core recovery
+    /// images overlap. Handled at [`crate::SmpSystem::jit_checkpoint`].
+    DuplicateImageEntry,
+}
+
+/// The machine-level persist arbiter. Observes sync-region completions in
+/// rotating interconnect order and certifies their drains round-robin;
+/// cores with an uncertified completion are stalled by the
+/// [`crate::SmpSystem`] until their grant issues.
+#[derive(Debug)]
+pub struct PersistArbiter {
+    n: usize,
+    capacity: usize,
+    /// Last observed `region_ends_sync` per core.
+    last_sync: Vec<u64>,
+    /// The sync-region count awaiting a drain certificate, per core (at
+    /// most one — the core is stalled while pending).
+    pending: Vec<Option<u64>>,
+    next_rr: usize,
+    seq: u64,
+    log: Vec<DrainGrant>,
+    /// Held-back grant under [`ArbiterFault::UnorderedGrants`].
+    swap_hold: Option<DrainGrant>,
+    grants_since_phantom: u64,
+    fault: Option<ArbiterFault>,
+}
+
+impl PersistArbiter {
+    /// Creates an arbiter for `n` cores. Grant bandwidth scales with the
+    /// core count like the paper's other shared structures (§7.11): one
+    /// certificate per cycle per 8 cores, minimum one.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "an arbiter needs at least one core");
+        PersistArbiter {
+            n,
+            capacity: (n / 8).max(1),
+            last_sync: vec![0; n],
+            pending: vec![None; n],
+            next_rr: 0,
+            seq: 0,
+            log: Vec::new(),
+            swap_hold: None,
+            grants_since_phantom: 0,
+            fault: None,
+        }
+    }
+
+    /// Certificates the arbiter can issue per cycle.
+    pub fn grants_per_cycle(&self) -> usize {
+        self.capacity
+    }
+
+    /// Injects a deliberate defect (mutation self-tests only).
+    pub fn inject_fault(&mut self, fault: ArbiterFault) {
+        self.fault = Some(fault);
+    }
+
+    /// The grant log, in emission order.
+    pub fn log(&self) -> &[DrainGrant] {
+        &self.log
+    }
+
+    /// Whether `core` has an uncertified sync-region drain (and must not
+    /// be stepped).
+    pub fn is_stalled(&self, core: usize) -> bool {
+        self.pending[core].is_some()
+    }
+
+    /// Whether any core is awaiting a certificate.
+    pub fn has_pending(&self) -> bool {
+        self.pending.iter().any(Option::is_some)
+    }
+
+    /// Resets the arbiter for a recovered machine: a fresh drain epoch
+    /// whose counters match the recovered cores (whose statistics restart
+    /// from zero). The injected fault, if any, is kept.
+    pub fn reset(&mut self, cores: &[Core]) {
+        assert_eq!(cores.len(), self.n);
+        for (last, core) in self.last_sync.iter_mut().zip(cores) {
+            *last = core.stats().region_ends_sync;
+        }
+        self.pending = vec![None; self.n];
+        self.next_rr = 0;
+        self.seq = 0;
+        self.log.clear();
+        self.swap_hold = None;
+        self.grants_since_phantom = 0;
+    }
+
+    /// One arbiter cycle: observe newly completed sync regions (in the
+    /// interconnect's rotating service order) and issue up to
+    /// [`grants_per_cycle`](Self::grants_per_cycle) certificates to
+    /// pending cores whose persists have drained, round-robin.
+    pub fn tick(&mut self, now: u64, cores: &[Core], mem: &MemorySystem) {
+        for k in 0..self.n {
+            let c = (now as usize + k) % self.n;
+            let seen = cores[c].stats().region_ends_sync;
+            if seen > self.last_sync[c] {
+                debug_assert!(
+                    self.pending[c].is_none(),
+                    "core {c} completed a sync region while stalled"
+                );
+                self.last_sync[c] = seen;
+                self.pending[c] = Some(seen);
+            }
+        }
+        let mut granted = 0;
+        for k in 0..self.n {
+            if granted == self.capacity {
+                break;
+            }
+            let c = (self.next_rr + k) % self.n;
+            let Some(region) = self.pending[c] else {
+                continue;
+            };
+            // The pipeline's own sync gate already held commit until the
+            // region's persists drained (`region_ends_sync` only advances
+            // past a drained boundary), so the certificate can issue as
+            // soon as the port has bandwidth — the round-robin wait is the
+            // cross-core ordering cost, not a re-drain.
+            self.pending[c] = None;
+            self.next_rr = (c + 1) % self.n;
+            granted += 1;
+            self.emit(DrainGrant {
+                seq: self.seq,
+                core: c,
+                region,
+                cycle: now,
+                outstanding_at_grant: 0,
+            });
+            self.seq += 1;
+            if self.fault == Some(ArbiterFault::PhantomGrant) {
+                self.grants_since_phantom += 1;
+                if self.grants_since_phantom >= 4 {
+                    self.grants_since_phantom = 0;
+                    self.emit_phantom(now, cores, mem);
+                }
+            }
+        }
+    }
+
+    /// Fabricates a certificate for a core that is mid-region: its next
+    /// sync region has not completed and its committed stores may still be
+    /// in flight. This is exactly the defect the `persist-before-
+    /// dependence` validator exists to catch.
+    fn emit_phantom(&mut self, now: u64, cores: &[Core], mem: &MemorySystem) {
+        for k in 0..self.n {
+            let c = (self.next_rr + k) % self.n;
+            if self.pending[c].is_some() || cores[c].is_finished() {
+                continue;
+            }
+            self.emit(DrainGrant {
+                seq: self.seq,
+                core: c,
+                region: self.last_sync[c] + 1,
+                cycle: now,
+                outstanding_at_grant: mem.persist_outstanding(c) as u64 + cores[c].csq_len() as u64,
+            });
+            self.seq += 1;
+            return;
+        }
+    }
+
+    fn emit(&mut self, grant: DrainGrant) {
+        if self.fault == Some(ArbiterFault::UnorderedGrants) {
+            // Publish pairwise-swapped: hold every other grant back and
+            // emit it *after* its successor.
+            match self.swap_hold.take() {
+                None => self.swap_hold = Some(grant),
+                Some(held) => {
+                    self.log.push(grant);
+                    self.log.push(held);
+                }
+            }
+        } else {
+            self.log.push(grant);
+        }
+    }
+}
+
+/// Validates a drain-grant log against the §6 cross-core persist-ordering
+/// contract:
+///
+/// * the log is a total order — sequence numbers dense and increasing,
+///   cycles non-decreasing, at most `grants_per_cycle` certificates per
+///   cycle ([`InvariantKind::CrossCoreDrainOrder`]);
+/// * per core, certified region counts are strictly increasing
+///   ([`InvariantKind::CrossCoreDrainOrder`]);
+/// * no certificate was issued while the core still had persists in
+///   flight ([`InvariantKind::PersistBeforeDependence`]).
+pub fn check_drain_log(
+    log: &[DrainGrant],
+    num_cores: usize,
+    grants_per_cycle: usize,
+) -> Vec<Violation> {
+    const CHECK: &str = "persist-arbiter";
+    let mut out = Vec::new();
+    let mut last_region = vec![0u64; num_cores];
+    let mut in_cycle = 0usize;
+    for (i, g) in log.iter().enumerate() {
+        if g.core >= num_cores {
+            out.push(Violation {
+                kind: InvariantKind::CrossCoreDrainOrder,
+                check: CHECK,
+                cycle: g.cycle,
+                core: g.core,
+                detail: format!("grant names core {} of a {num_cores}-core machine", g.core),
+            });
+            continue;
+        }
+        if g.seq != i as u64 {
+            out.push(Violation {
+                kind: InvariantKind::CrossCoreDrainOrder,
+                check: CHECK,
+                cycle: g.cycle,
+                core: g.core,
+                detail: format!("grant {i} carries seq {} — log is not a total order", g.seq),
+            });
+        }
+        if i > 0 {
+            let prev = &log[i - 1];
+            if g.cycle < prev.cycle {
+                out.push(Violation {
+                    kind: InvariantKind::CrossCoreDrainOrder,
+                    check: CHECK,
+                    cycle: g.cycle,
+                    core: g.core,
+                    detail: format!("grant cycle {} after cycle {}", g.cycle, prev.cycle),
+                });
+            }
+            in_cycle = if g.cycle == prev.cycle {
+                in_cycle + 1
+            } else {
+                1
+            };
+        } else {
+            in_cycle = 1;
+        }
+        if in_cycle > grants_per_cycle {
+            out.push(Violation {
+                kind: InvariantKind::CrossCoreDrainOrder,
+                check: CHECK,
+                cycle: g.cycle,
+                core: g.core,
+                detail: format!(
+                    "{in_cycle} grants in cycle {} exceed the port width {grants_per_cycle}",
+                    g.cycle
+                ),
+            });
+        }
+        if g.region <= last_region[g.core] {
+            out.push(Violation {
+                kind: InvariantKind::CrossCoreDrainOrder,
+                check: CHECK,
+                cycle: g.cycle,
+                core: g.core,
+                detail: format!(
+                    "core {} region {} certified after region {}",
+                    g.core, g.region, last_region[g.core]
+                ),
+            });
+        }
+        last_region[g.core] = last_region[g.core].max(g.region);
+        if g.outstanding_at_grant > 0 {
+            out.push(Violation {
+                kind: InvariantKind::PersistBeforeDependence,
+                check: CHECK,
+                cycle: g.cycle,
+                core: g.core,
+                detail: format!(
+                    "region {} certified with {} stores in flight",
+                    g.region, g.outstanding_at_grant
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(seq: u64, core: usize, region: u64, cycle: u64) -> DrainGrant {
+        DrainGrant {
+            seq,
+            core,
+            region,
+            cycle,
+            outstanding_at_grant: 0,
+        }
+    }
+
+    #[test]
+    fn clean_log_passes() {
+        let log = [
+            grant(0, 0, 1, 10),
+            grant(1, 1, 1, 11),
+            grant(2, 0, 2, 30),
+            grant(3, 1, 2, 30),
+        ];
+        assert!(check_drain_log(&log, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn swapped_sequence_is_flagged() {
+        let log = [grant(1, 0, 1, 10), grant(0, 1, 1, 9)];
+        let v = check_drain_log(&log, 2, 1);
+        assert!(v
+            .iter()
+            .any(|v| v.kind == InvariantKind::CrossCoreDrainOrder));
+    }
+
+    #[test]
+    fn port_overcommit_is_flagged() {
+        let log = [grant(0, 0, 1, 5), grant(1, 1, 1, 5)];
+        let v = check_drain_log(&log, 2, 1);
+        assert!(
+            v.iter().any(|v| v.detail.contains("port width")),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn regressing_region_is_flagged() {
+        let log = [grant(0, 0, 2, 5), grant(1, 0, 2, 9)];
+        let v = check_drain_log(&log, 1, 1);
+        assert!(v
+            .iter()
+            .any(|v| v.kind == InvariantKind::CrossCoreDrainOrder));
+    }
+
+    #[test]
+    fn in_flight_stores_are_flagged() {
+        let mut g = grant(0, 0, 1, 5);
+        g.outstanding_at_grant = 3;
+        let v = check_drain_log(&[g], 1, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::PersistBeforeDependence);
+    }
+
+    #[test]
+    fn unknown_core_is_flagged() {
+        let v = check_drain_log(&[grant(0, 7, 1, 5)], 2, 1);
+        assert_eq!(v.len(), 1);
+    }
+}

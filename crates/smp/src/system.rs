@@ -1,0 +1,369 @@
+//! The shared-memory multi-core machine: N cores, one memory hierarchy,
+//! a deterministic interconnect, and whole-machine checkpoint/recovery.
+
+use crate::arbiter::{check_drain_log, ArbiterFault, DrainGrant, PersistArbiter};
+use ppa_core::verify::{InvariantKind, Violation};
+use ppa_core::{
+    deserialize_images, replay_stores, serialize_images, CheckpointImage, Core, CoreStats,
+};
+use ppa_isa::Trace;
+use ppa_mem::{MemStats, MemorySystem};
+use ppa_sim::SystemConfig;
+
+/// The whole machine's JIT checkpoint: one [`CheckpointImage`] per core,
+/// taken atomically at the failure cycle (the paper's residual-energy
+/// window covers all cores — each flushes its own 1838-byte worst case in
+/// parallel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineCheckpoint {
+    /// Per-core images, indexed by core id.
+    pub images: Vec<CheckpointImage>,
+}
+
+impl MachineCheckpoint {
+    /// Serializes all images into the single word stream the checkpoint
+    /// controllers write to NVM.
+    pub fn serialize(&self) -> Vec<u64> {
+        serialize_images(&self.images)
+    }
+
+    /// Rebuilds a machine checkpoint from a word stream; `None` if the
+    /// stream is torn or corrupted.
+    pub fn deserialize(words: &[u64]) -> Option<Self> {
+        deserialize_images(words).map(|images| MachineCheckpoint { images })
+    }
+
+    /// Total bytes the machine's checkpoint controllers move to NVM.
+    pub fn checkpoint_bytes(&self, total_prf: usize) -> u64 {
+        self.images
+            .iter()
+            .map(|i| i.checkpoint_bytes(total_prf))
+            .sum()
+    }
+}
+
+/// Validates that the per-core recovery images are coherent: under DRF
+/// single-writer discipline no word may appear in two cores' CSQs, since
+/// §6 replays the images in arbitrary core order and an overlap would make
+/// the recovered value order-dependent
+/// ([`InvariantKind::RecoveryImageOverlap`]).
+pub fn check_images(images: &[CheckpointImage]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut owner: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (core, image) in images.iter().enumerate() {
+        for entry in &image.csq {
+            let word = entry.addr & !7;
+            match owner.insert(word, core) {
+                Some(prev) if prev != core => out.push(Violation {
+                    kind: InvariantKind::RecoveryImageOverlap,
+                    check: "machine-checkpoint",
+                    cycle: 0,
+                    core,
+                    detail: format!(
+                        "word {word:#x} appears in core {prev}'s and core {core}'s images"
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Final report of an [`SmpSystem`] run.
+#[derive(Debug, Clone)]
+pub struct SmpReport {
+    /// Wall-clock cycles until the last core finished.
+    pub cycles: u64,
+    /// Micro-ops committed across all cores.
+    pub committed: u64,
+    /// Whether the NVM image matched architectural memory at completion.
+    pub consistent: bool,
+    /// Drain certificates the persist arbiter issued.
+    pub drain_grants: usize,
+    /// Per-core execution statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem_stats: MemStats,
+}
+
+/// A live shared-memory multi-core PPA machine.
+///
+/// Unlike [`ppa_sim::Machine`] (a stateless runner that locksteps
+/// independent cores), `SmpSystem` is a stepped object: cores are serviced
+/// in rotating interconnect order, sync-region drains are serialized
+/// through the [`PersistArbiter`], and the whole machine can be
+/// checkpointed, power-failed, and recovered at any cycle.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_sim::SystemConfig;
+/// use ppa_smp::SmpSystem;
+/// use ppa_workloads::shared;
+///
+/// let app = shared::by_name("counters").unwrap();
+/// let cfg = SystemConfig::ppa().with_threads(2);
+/// let traces = app.generate_threads(1_000, 1, 2);
+/// let report = SmpSystem::new(cfg, traces).run();
+/// assert_eq!(report.committed, 2_000);
+/// assert!(report.consistent);
+/// ```
+#[derive(Debug)]
+pub struct SmpSystem {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    traces: Vec<Trace>,
+    mem: MemorySystem,
+    arbiter: PersistArbiter,
+    duplicate_image_fault: bool,
+    now: u64,
+    limit: u64,
+}
+
+impl SmpSystem {
+    /// Builds a machine with one core per trace. The machine starts cold
+    /// (no prewarm): multi-core runs compare configurations against each
+    /// other, so steady-state warmth cancels out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn new(cfg: SystemConfig, traces: Vec<Trace>) -> Self {
+        assert!(!traces.is_empty(), "need at least one trace");
+        let n = traces.len();
+        let total_uops: u64 = traces.iter().map(|t| t.len() as u64).sum();
+        SmpSystem {
+            cores: (0..n).map(|i| Core::new(cfg.core, i)).collect(),
+            mem: MemorySystem::new(cfg.mem, n),
+            arbiter: PersistArbiter::new(n),
+            duplicate_image_fault: false,
+            now: 0,
+            limit: 1_000_000 + total_uops * 2_000,
+            cfg,
+            traces,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The cores, indexed by id.
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// The shared memory hierarchy.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// The persist arbiter's grant log.
+    pub fn drain_log(&self) -> &[DrainGrant] {
+        self.arbiter.log()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether every core has committed its whole trace.
+    pub fn is_finished(&self) -> bool {
+        self.cores.iter().all(Core::is_finished)
+    }
+
+    /// Injects a deliberate defect for mutation self-tests.
+    pub fn inject_arbiter_fault(&mut self, fault: ArbiterFault) {
+        if fault == ArbiterFault::DuplicateImageEntry {
+            self.duplicate_image_fault = true;
+        } else {
+            self.arbiter.inject_fault(fault);
+        }
+    }
+
+    /// Advances the machine one cycle: cores step in rotating interconnect
+    /// order (skipping cores stalled on an uncertified drain), the arbiter
+    /// observes and grants, and the memory system ticks.
+    pub fn step(&mut self) {
+        let n = self.cores.len();
+        for k in 0..n {
+            let c = (self.now as usize + k) % n;
+            if self.arbiter.is_stalled(c) {
+                continue;
+            }
+            self.cores[c].step(&self.traces[c], &mut self.mem, self.now);
+        }
+        self.arbiter.tick(self.now, &self.cores, &self.mem);
+        self.mem.tick(self.now);
+        self.now += 1;
+    }
+
+    /// Runs until `cycle` (useful for positioning a power failure).
+    pub fn run_to(&mut self, cycle: u64) {
+        while self.now < cycle {
+            self.step();
+        }
+    }
+
+    /// Runs to completion (all cores finished, all drains certified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (2000 cycles per micro-op bound).
+    pub fn run(mut self) -> SmpReport {
+        self.run_in_place()
+    }
+
+    /// Like [`run`](Self::run), but keeps the machine alive so the final
+    /// NVM image and grant log stay inspectable (the crash oracle diffs
+    /// them against its independent golden model).
+    pub fn run_in_place(&mut self) -> SmpReport {
+        while !self.is_finished() || self.arbiter.has_pending() {
+            assert!(
+                self.now < self.limit,
+                "smp machine deadlocked after {} cycles",
+                self.now
+            );
+            self.step();
+        }
+        let cycles = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at().expect("all cores finished"))
+            .max()
+            .unwrap_or(0);
+        SmpReport {
+            cycles,
+            committed: self.cores.iter().map(Core::committed).sum(),
+            consistent: self.consistent(),
+            drain_grants: self.arbiter.log().len(),
+            core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            mem_stats: self.mem.stats(),
+        }
+    }
+
+    /// Whether the NVM image currently matches architectural memory.
+    pub fn consistent(&self) -> bool {
+        self.mem.nvm_image().diff(self.mem.arch_mem()).is_empty()
+    }
+
+    /// Takes the whole machine's JIT checkpoint (every core, atomically).
+    pub fn jit_checkpoint(&self) -> MachineCheckpoint {
+        let mut images: Vec<CheckpointImage> =
+            self.cores.iter().map(Core::jit_checkpoint).collect();
+        if self.duplicate_image_fault && images.len() >= 2 {
+            if let Some(entry) = images[0].csq.first().copied() {
+                let value = images[0].reg_value(entry.src).unwrap_or(0);
+                images[1].csq.push(entry);
+                if images[1].reg_value(entry.src).is_none() {
+                    images[1].prf_values.push((entry.src, value));
+                }
+            }
+        }
+        MachineCheckpoint { images }
+    }
+
+    /// Cuts power: all volatile state (caches, DRAM, write buffers) dies.
+    /// The NVM image and WPQ-accepted writes survive.
+    pub fn power_failure(&mut self) {
+        self.mem.power_failure();
+    }
+
+    /// Recovers the machine from a checkpoint per §4.6/§6: every core's
+    /// CSQ is replayed into NVM (order across cores is immaterial under
+    /// DRF — [`check_images`] validates that), then each core restarts
+    /// after its LCPC. Returns the number of replayed stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's core count differs from the machine's.
+    pub fn recover(&mut self, ckpt: &MachineCheckpoint) -> usize {
+        assert_eq!(
+            ckpt.images.len(),
+            self.cores.len(),
+            "checkpoint core count must match the machine"
+        );
+        let mut replayed = 0;
+        for image in &ckpt.images {
+            replayed += replay_stores(image, self.mem.nvm_image_mut()).replayed_stores;
+        }
+        self.cores = ckpt
+            .images
+            .iter()
+            .enumerate()
+            .map(|(i, image)| Core::recover(self.cfg.core, i, image))
+            .collect();
+        self.arbiter.reset(&self.cores);
+        self.limit += self.now;
+        replayed
+    }
+
+    /// Runs the machine-level validators: the drain-log total-order and
+    /// persist-before-dependence checks, plus recovery-image coherence on
+    /// a checkpoint taken now. Empty on a correct machine.
+    pub fn validate(&self) -> Vec<Violation> {
+        let mut v = check_drain_log(
+            self.arbiter.log(),
+            self.cores.len(),
+            self.arbiter.grants_per_cycle(),
+        );
+        v.extend(check_images(&self.jit_checkpoint().images));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_core::{CsqEntry, PhysReg};
+    use ppa_isa::RegClass;
+
+    fn image(entries: &[(u64, u64)]) -> CheckpointImage {
+        let csq = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(addr, _))| CsqEntry {
+                src: PhysReg::new(RegClass::Int, i as u16),
+                addr,
+                size: 8,
+            })
+            .collect();
+        let prf_values = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, v))| (PhysReg::new(RegClass::Int, i as u16), v))
+            .collect();
+        CheckpointImage {
+            csq,
+            crt: vec![],
+            masked: vec![],
+            prf_values,
+            lcpc: 0x1000,
+            committed: entries.len() as u64,
+        }
+    }
+
+    #[test]
+    fn disjoint_images_are_coherent() {
+        let images = [image(&[(0x100, 1), (0x108, 2)]), image(&[(0x200, 3)])];
+        assert!(check_images(&images).is_empty());
+    }
+
+    #[test]
+    fn same_core_rewrite_is_fine() {
+        // One core storing the same word twice is ordered by its own CSQ.
+        let images = [image(&[(0x100, 1), (0x100, 2)])];
+        assert!(check_images(&images).is_empty());
+    }
+
+    #[test]
+    fn cross_core_overlap_is_flagged() {
+        let images = [image(&[(0x100, 1)]), image(&[(0x104, 2)])]; // same word
+        let v = check_images(&images);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, InvariantKind::RecoveryImageOverlap);
+    }
+}

@@ -49,6 +49,33 @@ impl GoldenMemory {
         Self::from_trace_prefix(trace, trace.len() as u64)
     }
 
+    /// Merges another golden memory into this one. §6's data-race-free
+    /// single-writer discipline means two cores never store to the same
+    /// word, so the per-core golden maps must be disjoint; the first
+    /// overlapping word address is returned as the error.
+    pub fn absorb(&mut self, other: &GoldenMemory) -> Result<(), u64> {
+        for (addr, value) in other.iter() {
+            if self.words.insert(addr, value).is_some() {
+                return Err(addr);
+            }
+        }
+        Ok(())
+    }
+
+    /// The multi-core golden image: the union of each thread's in-order
+    /// prefix execution. Under DRF any cross-core interleaving of these
+    /// stores yields this same image, which is why recovery may replay
+    /// per-core CSQs in arbitrary order. `Err` carries the first word two
+    /// threads both wrote — a workload DRF bug, not a machine bug.
+    pub fn from_thread_prefixes(traces: &[Trace], committed: &[u64]) -> Result<Self, u64> {
+        assert_eq!(traces.len(), committed.len());
+        let mut golden = GoldenMemory::default();
+        for (trace, &n) in traces.iter().zip(committed) {
+            golden.absorb(&GoldenMemory::from_trace_prefix(trace, n))?;
+        }
+        Ok(golden)
+    }
+
     /// Number of distinct words the golden execution wrote.
     pub fn len(&self) -> usize {
         self.words.len()
@@ -122,6 +149,30 @@ mod tests {
         let full = GoldenMemory::from_trace(&t);
         assert_eq!(full.read(0x100), Some(3), "last store wins");
         assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn thread_union_requires_disjoint_writers() {
+        let mk = |addr: u64| {
+            let mut b = TraceBuilder::new("t");
+            b.alu(ArchReg::int(0), &[]);
+            b.store(ArchReg::int(0), addr, addr);
+            b.build()
+        };
+        let disjoint = [mk(0x100), mk(0x200)];
+        let golden = GoldenMemory::from_thread_prefixes(&disjoint, &[2, 2]).unwrap();
+        assert_eq!(golden.len(), 2);
+        assert_eq!(golden.read(0x200), Some(0x200));
+
+        // Same word from two threads is a DRF violation, even byte-disjoint.
+        let racy = [mk(0x100), mk(0x104)];
+        assert_eq!(
+            GoldenMemory::from_thread_prefixes(&racy, &[2, 2]),
+            Err(0x100)
+        );
+
+        // A prefix that stops before the second thread's store is fine.
+        assert!(GoldenMemory::from_thread_prefixes(&racy, &[2, 1]).is_ok());
     }
 
     #[test]

@@ -11,13 +11,21 @@
 //!    software transforms (and raw PPA traces) for missing, redundant, or
 //!    misordered persist barriers and clwbs, with uop positions.
 //! 3. **Crash-consistency oracle** ([`oracle`]) — injects power failures
-//!    at randomized cycles, takes the §4.5 JIT checkpoint, runs the §4.6
-//!    store replay, and diffs recovered NVM state against an independent
-//!    golden in-order execution ([`golden`]).
+//!    at randomized cycles (including *inside* the checkpoint flush),
+//!    takes the §4.5 JIT checkpoint, runs the §4.6 store replay, and
+//!    diffs recovered NVM state against an independent golden in-order
+//!    execution ([`golden`]).
+//! 4. **Multi-core crash oracle** ([`smp_oracle`]) — the same protocol
+//!    over the §6 shared-memory machine ([`ppa_smp::SmpSystem`]): the
+//!    whole machine is checkpointed and recovered, diffed against the
+//!    union of per-thread golden executions, and the cross-core
+//!    validators (drain order, persist-before-dependence, recovery-image
+//!    coherence) run at every failure point.
 //!
 //! The checker itself is validated by **mutation self-tests**
-//! ([`mutation`]): deliberately broken MaskReg/CSQ logic must be caught
-//! as named violations.
+//! ([`mutation`] for the core, [`smp_oracle::run_arbiter_mutations`] for
+//! the persist arbiter): deliberately broken hardware must be caught as
+//! named violations.
 //!
 //! All of it is driven by the `ppa-verify` binary:
 //!
@@ -26,6 +34,7 @@
 //! ppa-verify check          # cycle-level invariants, all 41 workloads
 //! ppa-verify lint           # persistency lint of transform outputs
 //! ppa-verify oracle         # randomized crash-consistency injections
+//! ppa-verify smp            # multi-core crash oracle + arbiter mutations
 //! ppa-verify mutate         # mutation self-tests of the checker
 //! ```
 
@@ -34,9 +43,11 @@ pub mod lint;
 pub mod mutation;
 pub mod oracle;
 pub mod runner;
+pub mod smp_oracle;
 
 pub use golden::{GoldenMemory, GoldenMismatch};
 pub use lint::{lint_trace, Diagnostic, LintProfile, LintRule, Severity};
 pub use mutation::{MutationCase, MutationReport};
 pub use oracle::{OracleOutcome, CHECKPOINT_BUDGET_BYTES};
 pub use runner::CheckReport;
+pub use smp_oracle::{SmpMutationReport, SmpOracleOutcome};

@@ -55,6 +55,13 @@ pub enum LintRule {
     BarrierInRawTrace,
     /// A `clwb` in a raw (PPA-input) trace.
     ClwbInRawTrace,
+    /// More stores between two sync boundaries than the in-order core's
+    /// value-carrying CSQ holds: every overflow forces an early region
+    /// boundary that stalls the scalar pipeline until persists drain.
+    SyncIntervalOverflowsCsq,
+    /// A store too wide for a value-carrying CSQ entry, whose 8-byte value
+    /// field must hold the entire datum for register-free replay.
+    StoreTooWideForValueCsq,
 }
 
 impl LintRule {
@@ -71,6 +78,8 @@ impl LintRule {
             LintRule::RegionBytesExceeded => "region-bytes-exceeded",
             LintRule::BarrierInRawTrace => "barrier-in-raw-trace",
             LintRule::ClwbInRawTrace => "clwb-in-raw-trace",
+            LintRule::SyncIntervalOverflowsCsq => "sync-interval-overflows-csq",
+            LintRule::StoreTooWideForValueCsq => "store-too-wide-for-value-csq",
         }
     }
 }
@@ -139,6 +148,15 @@ pub enum LintProfile {
         /// Redo-buffer byte budget per epoch (pass default 54 KiB).
         max_store_bytes: usize,
     },
+    /// §6's in-order core with a value-carrying CSQ
+    /// ([`ppa_core::InOrderCore`]). Hardware still forms regions, so the
+    /// raw-trace rules apply; on top, every store must fit an 8-byte CSQ
+    /// value field, and packing more stores than the CSQ holds between two
+    /// sync boundaries forces early stall-until-drain regions.
+    InOrder {
+        /// Value-carrying CSQ capacity (the evaluation uses 40).
+        csq_entries: usize,
+    },
 }
 
 impl LintProfile {
@@ -156,6 +174,11 @@ impl LintProfile {
             max_store_bytes: 54 * 1024,
         }
     }
+
+    /// The in-order profile with the evaluation's CSQ capacity.
+    pub fn inorder_default() -> Self {
+        LintProfile::InOrder { csq_entries: 40 }
+    }
 }
 
 fn line_of(addr: u64) -> u64 {
@@ -171,6 +194,7 @@ pub fn lint_trace(trace: &Trace, profile: &LintProfile) -> Vec<Diagnostic> {
             max_insts,
             max_store_bytes,
         } => lint_capri(trace, *max_insts, *max_store_bytes),
+        LintProfile::InOrder { csq_entries } => lint_inorder(trace, *csq_entries),
     }
 }
 
@@ -349,6 +373,49 @@ fn lint_replaycache(trace: &Trace, spare_fraction: f64) -> Vec<Diagnostic> {
                 "{stores_since_barrier} store(s) after the last barrier are never sealed; they may not persist before exit"
             ),
         });
+    }
+    out.sort_by_key(|d| d.pos);
+    out
+}
+
+fn lint_inorder(trace: &Trace, csq_entries: usize) -> Vec<Diagnostic> {
+    // The in-order variant is still hardware persistence: the raw-trace
+    // contract (no barriers, no clwbs) applies unchanged.
+    let mut out = lint_raw(trace);
+    let mut stores_since_sync = 0usize;
+    for (pos, u) in trace.iter().enumerate() {
+        if u.kind.is_store() {
+            let m = u.mem.expect("stores carry a memory reference");
+            if m.size > 8 {
+                out.push(Diagnostic {
+                    rule: LintRule::StoreTooWideForValueCsq,
+                    severity: Severity::Error,
+                    pos,
+                    pc: Some(u.pc),
+                    message: format!(
+                        "{}-byte store cannot be carried in an 8-byte CSQ value field; register-free replay would truncate it",
+                        m.size
+                    ),
+                });
+            }
+            stores_since_sync += 1;
+            // Report once per runaway interval, at the first overflowing
+            // store.
+            if stores_since_sync == csq_entries + 1 {
+                out.push(Diagnostic {
+                    rule: LintRule::SyncIntervalOverflowsCsq,
+                    severity: Severity::Warning,
+                    pos,
+                    pc: Some(u.pc),
+                    message: format!(
+                        "more than {csq_entries} stores since the last sync boundary; the value-carrying CSQ will force early stall-until-drain regions"
+                    ),
+                });
+            }
+        }
+        if matches!(u.kind, UopKind::Sync(_)) {
+            stores_since_sync = 0;
+        }
     }
     out.sort_by_key(|d| d.pos);
     out
@@ -615,6 +682,69 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.rule == LintRule::RegionBytesExceeded));
+    }
+
+    #[test]
+    fn inorder_accepts_shared_workload_traces() {
+        use ppa_workloads::shared;
+        for app in shared::all() {
+            for t in app.generate_threads(600, 1, 2) {
+                let diags = lint_trace(&t, &LintProfile::inorder_default());
+                assert!(diags.is_empty(), "{}: {diags:?}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn inorder_rejects_software_persist_annotations() {
+        let rc = ReplayCachePass::new().apply(&store_loop(50));
+        let diags = lint_trace(&rc, &LintProfile::inorder_default());
+        assert!(diags.iter().any(|d| d.rule == LintRule::ClwbInRawTrace));
+        assert!(diags.iter().any(|d| d.rule == LintRule::BarrierInRawTrace));
+    }
+
+    #[test]
+    fn inorder_warns_once_per_overflowing_sync_interval() {
+        use ppa_isa::SyncKind;
+        let mut b = TraceBuilder::new("t");
+        for i in 0..5u64 {
+            b.store(ArchReg::int(0), 0x100 + i * 8, i);
+        }
+        b.sync(SyncKind::Fence);
+        for i in 0..3u64 {
+            b.store(ArchReg::int(0), 0x200 + i * 8, i);
+        }
+        let t = b.build();
+        // Four entries: the first interval (5 stores) overflows once; the
+        // second (3 stores) fits.
+        let diags = lint_trace(&t, &LintProfile::InOrder { csq_entries: 4 });
+        let overflows: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == LintRule::SyncIntervalOverflowsCsq)
+            .collect();
+        assert_eq!(overflows.len(), 1, "{diags:?}");
+        assert_eq!(overflows[0].severity, Severity::Warning);
+        assert_eq!(overflows[0].pos, 4, "flagged at the first overflow");
+        // At the evaluation capacity the same trace is clean.
+        assert!(lint_trace(&t, &LintProfile::inorder_default()).is_empty());
+    }
+
+    #[test]
+    fn inorder_rejects_stores_wider_than_a_value_entry() {
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0x100, 1);
+        let mut uops: Vec<Uop> = b.build().iter().copied().collect();
+        let store = uops.iter_mut().find(|u| u.kind.is_store()).unwrap();
+        store.mem = Some(MemRef::new(0x100, 16, 1));
+        let t = Trace::from_uops("mutated", uops);
+        let diags = lint_trace(&t, &LintProfile::inorder_default());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == LintRule::StoreTooWideForValueCsq
+                    && d.severity == Severity::Error),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The `ppa-verify` command-line driver.
 //!
 //! ```text
-//! ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N] [--jobs N]
+//! ppa-verify <check|lint|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N]
 //! ```
 //!
 //! Exit code 0 means every selected verification passed; 1 means at
@@ -16,7 +16,7 @@
 
 use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
 use ppa_verify::lint::{LintProfile, Severity};
-use ppa_verify::{lint_trace, mutation, oracle, runner};
+use ppa_verify::{lint_trace, mutation, oracle, runner, smp_oracle};
 use ppa_workloads::registry;
 use std::process::ExitCode;
 
@@ -24,6 +24,7 @@ struct Options {
     len: usize,
     seed: u64,
     points: usize,
+    cores: usize,
 }
 
 impl Default for Options {
@@ -38,24 +39,27 @@ impl Default for Options {
             len: 2_000,
             seed: 1,
             points,
+            cores: 2,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ppa-verify <check|lint|oracle|mutate|all> [--len N] [--seed N] [--points N] [--jobs N]"
+        "usage: ppa-verify <check|lint|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N]"
     );
     eprintln!();
     eprintln!("  check   run cycle-level invariant checks on all workloads (PPA mode)");
     eprintln!("  lint    lint raw + transformed traces for persistency-barrier defects");
     eprintln!("  oracle  inject randomized power failures and diff recovery vs golden");
+    eprintln!("  smp     multi-core crash oracle over shared-state workloads + arbiter mutations");
     eprintln!("  mutate  self-test: injected hardware bugs must be caught by name");
     eprintln!("  all     everything above, in order");
     eprintln!();
     eprintln!("  --len N     uops per workload trace (default 2000)");
     eprintln!("  --seed N    base RNG seed (default 1)");
-    eprintln!("  --points N  failure injections per workload for `oracle` (default 3)");
+    eprintln!("  --points N  failure injections per workload for `oracle`/`smp` (default 3)");
+    eprintln!("  --cores N   cores for the `smp` oracle machine (default 2)");
     eprintln!("  --jobs N    worker threads for the fan-out (0 = auto, default 1 = serial)");
     eprintln!();
     eprintln!("environment:");
@@ -78,6 +82,7 @@ fn parse_args() -> (String, Options) {
             "--len" => opts.len = value.parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
             "--points" => opts.points = value.parse().unwrap_or_else(|_| usage()),
+            "--cores" => opts.cores = value.parse().unwrap_or_else(|_| usage()),
             "--jobs" => ppa_pool::set_jobs(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
@@ -122,7 +127,7 @@ fn cmd_check(opts: &Options) -> bool {
 /// `ppa-verify lint`: raw and transformed traces against their profiles.
 fn cmd_lint(opts: &Options) -> bool {
     println!(
-        "== lint: persistency linter, raw + replaycache + capri, len={} seed={}",
+        "== lint: persistency linter, raw + replaycache + capri + inorder, len={} seed={}",
         opts.len, opts.seed
     );
     let rc = ReplayCachePass::new();
@@ -141,6 +146,9 @@ fn cmd_lint(opts: &Options) -> bool {
                 "capri",
                 lint_trace(&capri.apply(&raw), &LintProfile::capri_default()),
             ),
+            // The raw trace is also what the §6 in-order variant consumes;
+            // its value-carrying CSQ adds width and sync-interval rules.
+            ("inorder", lint_trace(&raw, &LintProfile::inorder_default())),
         ];
         let mut lines = Vec::new();
         let mut clean = true;
@@ -223,6 +231,73 @@ fn cmd_oracle(opts: &Options) -> bool {
     ok
 }
 
+/// `ppa-verify smp`: whole-machine crash oracle over the shared-memory
+/// multi-core machine, plus the persist-arbiter mutation self-tests.
+fn cmd_smp(opts: &Options) -> bool {
+    println!(
+        "== smp: {} injections x {} shared workloads, cores={} len={} seed={}",
+        opts.points,
+        ppa_workloads::shared::all().len(),
+        opts.cores,
+        opts.len,
+        opts.seed
+    );
+    let outcomes = smp_oracle::run_smp_suite(opts.cores, opts.len, opts.seed, opts.points);
+    let mut ok = true;
+    let mut mid_flush = 0usize;
+    for o in &outcomes {
+        if o.mid_flush_interrupt.is_some() {
+            mid_flush += 1;
+        }
+        if !o.passed() {
+            ok = false;
+            println!(
+                "  FAIL {:<10} fail_cycle={} committed={} replayed={} grants={} torn={} resumed={}",
+                o.app,
+                o.fail_cycle,
+                o.committed,
+                o.replayed,
+                o.drain_grants,
+                o.torn_words,
+                o.resumed_to_completion
+            );
+            for v in o.validator_violations.iter().take(5) {
+                println!("       validator: {v}");
+            }
+            for m in o.recovery_mismatches.iter().take(5) {
+                println!("       recovery: {m:?}");
+            }
+            for m in o.final_mismatches.iter().take(5) {
+                println!("       final:    {m:?}");
+            }
+        }
+    }
+    println!(
+        "  {} / {} machine points passed ({} mid-flush)",
+        outcomes.iter().filter(|o| o.passed()).count(),
+        outcomes.len(),
+        mid_flush
+    );
+    for report in smp_oracle::run_arbiter_mutations(opts.len.min(1_500), opts.seed) {
+        if report.detected() {
+            println!(
+                "  ok   arbiter {:?} detected ({} violations): {:?}",
+                report.fault,
+                report.violations.len(),
+                report.fired_kinds()
+            );
+        } else {
+            ok = false;
+            println!(
+                "  FAIL arbiter {:?} NOT detected; kinds that fired: {:?}",
+                report.fault,
+                report.fired_kinds()
+            );
+        }
+    }
+    ok
+}
+
 /// `ppa-verify mutate`: the checker must catch every injected bug.
 fn cmd_mutate(_opts: &Options) -> bool {
     println!("== mutate: checker self-test via injected hardware bugs");
@@ -253,6 +328,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&opts),
         "lint" => cmd_lint(&opts),
         "oracle" => cmd_oracle(&opts),
+        "smp" => cmd_smp(&opts),
         "mutate" => cmd_mutate(&opts),
         "all" => {
             // Run every stage even after a failure, so one report shows
@@ -260,8 +336,9 @@ fn main() -> ExitCode {
             let c = cmd_check(&opts);
             let l = cmd_lint(&opts);
             let o = cmd_oracle(&opts);
+            let s = cmd_smp(&opts);
             let m = cmd_mutate(&opts);
-            c && l && o && m
+            c && l && o && s && m
         }
         _ => usage(),
     };

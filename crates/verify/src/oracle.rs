@@ -18,7 +18,10 @@
 //! exists to guarantee.
 
 use crate::golden::{GoldenMemory, GoldenMismatch};
-use ppa_core::{replay_stores, Core, CoreConfig, PersistenceMode};
+use ppa_core::{
+    deserialize_images, replay_stores, serialize_images, CheckpointController, Core, CoreConfig,
+    PersistenceMode,
+};
 use ppa_isa::Trace;
 use ppa_mem::{MemConfig, MemorySystem};
 use ppa_prng::Prng;
@@ -43,6 +46,18 @@ pub struct OracleOutcome {
     pub replayed: u64,
     /// Checkpoint footprint in bytes.
     pub checkpoint_bytes: usize,
+    /// Controller cycles after which the checkpoint flush was interrupted
+    /// by a second power loss; `None` for an uninterrupted flush.
+    pub mid_flush_interrupt: Option<u64>,
+    /// Words of the serialized checkpoint durable at the interruption.
+    pub torn_words: u64,
+    /// Whether the torn word stream was rejected by deserialization —
+    /// accepting a torn image as complete would be silent corruption.
+    /// Vacuously `true` for an uninterrupted flush.
+    pub torn_prefix_rejected: bool,
+    /// Whether the checkpoint round-tripped through serialization and
+    /// recovery consumed the deserialized image, not the in-memory one.
+    pub stream_recovered: bool,
     /// Whether the NVM image already matched the golden prefix *before*
     /// replay (usually false — that gap is what recovery repairs).
     pub consistent_before_replay: bool,
@@ -64,12 +79,31 @@ impl OracleOutcome {
             && self.resumed_to_completion
             && self.final_mismatches.is_empty()
             && self.checkpoint_bytes <= CHECKPOINT_BUDGET_BYTES
+            && self.torn_prefix_rejected
+            && self.stream_recovered
     }
 }
 
 /// Runs one failure injection at `fail_cycle` on a single-core PPA
-/// machine executing `trace`.
+/// machine executing `trace`. The checkpoint flush completes within the
+/// residual-energy window (the §4.5 guarantee).
 pub fn run_point(app: &'static str, trace: &Trace, seed: u64, fail_cycle: u64) -> OracleOutcome {
+    run_point_with_flush(app, trace, seed, fail_cycle, None)
+}
+
+/// Like [`run_point`], but when `mid_flush` is `Some(n)` the failure point
+/// sits *inside* the JIT-checkpoint FSM: power is lost again `n`
+/// controller cycles into the flush. The oracle then demands that the
+/// torn word stream is rejected by deserialization and that recovery runs
+/// from the re-deserialized full stream — exercising the tear-detection
+/// path, not just the happy path.
+pub fn run_point_with_flush(
+    app: &'static str,
+    trace: &Trace,
+    seed: u64,
+    fail_cycle: u64,
+    mid_flush: Option<u64>,
+) -> OracleOutcome {
     let cfg = CoreConfig::paper_default(PersistenceMode::Ppa);
     let mut mem = MemorySystem::new(MemConfig::memory_mode(), 1);
     let mut core = Core::new(cfg, 0);
@@ -83,14 +117,44 @@ pub fn run_point(app: &'static str, trace: &Trace, seed: u64, fail_cycle: u64) -
         }
     }
 
-    // Phase 2: JIT checkpoint + power failure.
+    // Phase 2: JIT checkpoint + power failure. The image travels to NVM
+    // through the controller FSM as a word stream whose completion marker
+    // lands last; a mid-flush interruption leaves a torn prefix durable.
     let image = core.jit_checkpoint();
     let committed = core.committed();
     let checkpoint_bytes = image.checkpoint_bytes(cfg.total_prf()) as usize;
+    let stream = serialize_images(std::slice::from_ref(&image));
+    let mut fsm = CheckpointController::new();
+    fsm.power_fail(stream.len() as u64 * 8);
+    let (torn_words, torn_prefix_rejected) = match mid_flush {
+        None => {
+            fsm.run_to_completion();
+            (0, true)
+        }
+        Some(interrupt) => {
+            for _ in 0..interrupt {
+                if !fsm.step() {
+                    break;
+                }
+            }
+            let torn = fsm.words_done();
+            let rejected = torn >= stream.len() as u64
+                || deserialize_images(&stream[..torn as usize]).is_none();
+            // The residual-energy window finishes the flush.
+            fsm.run_to_completion();
+            (torn, rejected)
+        }
+    };
     mem.power_failure();
 
-    // Phase 3: recovery — replay the CSQ into NVM, then diff against the
+    // Phase 3: recovery — deserialize the durable stream (recovery must
+    // trust nothing else), replay the CSQ into NVM, then diff against the
     // independent golden execution of the committed prefix.
+    let recovered_image = deserialize_images(&stream)
+        .and_then(|mut v| if v.len() == 1 { v.pop() } else { None })
+        .expect("a completed flush must deserialize to one image");
+    let stream_recovered = recovered_image == image;
+    let image = recovered_image;
     let golden_prefix = GoldenMemory::from_trace_prefix(trace, committed);
     let consistent_before_replay = golden_prefix.diff_nvm(mem.nvm_image()).is_empty();
     let report = replay_stores(&image, mem.nvm_image_mut());
@@ -116,6 +180,10 @@ pub fn run_point(app: &'static str, trace: &Trace, seed: u64, fail_cycle: u64) -
         committed,
         replayed: report.replayed_stores as u64,
         checkpoint_bytes,
+        mid_flush_interrupt: mid_flush,
+        torn_words,
+        torn_prefix_rejected,
+        stream_recovered,
         consistent_before_replay,
         recovery_mismatches,
         resumed_to_completion,
@@ -125,7 +193,9 @@ pub fn run_point(app: &'static str, trace: &Trace, seed: u64, fail_cycle: u64) -
 
 /// Runs `points` randomized injection points for one workload. Failure
 /// cycles are drawn uniformly from the first ~80% of the uninterrupted
-/// execution so the checkpoint lands mid-flight.
+/// execution so the checkpoint lands mid-flight. Every third point also
+/// interrupts the checkpoint flush itself partway through, exercising the
+/// torn-stream detection of §4.5's completion marker.
 pub fn run_app(app: &AppDescriptor, len: usize, seed: u64, points: usize) -> Vec<OracleOutcome> {
     let trace = app.generate(len, seed);
     // Baseline run to learn the workload's natural cycle count.
@@ -134,17 +204,21 @@ pub fn run_app(app: &AppDescriptor, len: usize, seed: u64, points: usize) -> Vec
     let mut core = Core::new(cfg, 0);
     let total_cycles = core.run(&trace, &mut mem);
 
-    // Draw every failure cycle up front so the RNG stream is identical
-    // at any job count, then fan the (app x failure-point) grid out
-    // across the pool.
+    // Draw every failure cycle (and flush-interruption offset) up front so
+    // the RNG stream is identical at any job count, then fan the
+    // (app x failure-point) grid out across the pool.
     let mut rng = Prng::seed_from_u64(seed ^ 0x07ac1e ^ app.name.len() as u64);
-    let fail_cycles: Vec<u64> = (0..points)
-        .map(|_| rng.random_range(10..total_cycles.saturating_mul(4) / 5))
+    let fail_points: Vec<(u64, Option<u64>)> = (0..points)
+        .map(|i| {
+            let fail_cycle = rng.random_range(10..total_cycles.saturating_mul(4) / 5);
+            let interrupt = rng.random_range(0..240);
+            (fail_cycle, (i % 3 == 2).then_some(interrupt))
+        })
         .collect();
     let name = app.name;
     let trace = &trace;
-    ppa_pool::par_map_ordered(fail_cycles, move |fail_cycle| {
-        run_point(name, trace, seed, fail_cycle)
+    ppa_pool::par_map_ordered(fail_points, move |(fail_cycle, mid_flush)| {
+        run_point_with_flush(name, trace, seed, fail_cycle, mid_flush)
     })
 }
 
@@ -189,6 +263,11 @@ mod tests {
                 .iter()
                 .any(|o| o.replayed > 0 || !o.consistent_before_replay),
             "all injection points were trivially consistent; the oracle is not exercising recovery"
+        );
+        // Every third point interrupts the checkpoint flush itself.
+        assert!(
+            outcomes.iter().any(|o| o.mid_flush_interrupt.is_some()),
+            "the sweep must include mid-flush failure points"
         );
     }
 }

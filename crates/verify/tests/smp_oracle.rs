@@ -1,0 +1,70 @@
+//! The §6 acceptance sweep: a seeded whole-machine crash-oracle run over
+//! the shared-memory multi-core machine — 2 cores, 20 failure points per
+//! shared workload (every third one tearing the checkpoint flush itself)
+//! — plus the persist-arbiter mutation self-tests.
+
+use ppa_verify::smp_oracle;
+use ppa_workloads::shared;
+
+#[test]
+fn seeded_sweep_recovers_consistently_on_every_shared_workload() {
+    const CORES: usize = 2;
+    const POINTS: usize = 20;
+    let outcomes = smp_oracle::run_smp_suite(CORES, 450, 1, POINTS);
+    assert_eq!(outcomes.len(), shared::all().len() * POINTS);
+
+    let mut failures = Vec::new();
+    for o in &outcomes {
+        if !o.passed() {
+            failures.push(format!(
+                "{} fail_cycle={} mid_flush={:?} validators={:?} recovery={:?} final={:?} resumed={}",
+                o.app,
+                o.fail_cycle,
+                o.mid_flush_interrupt,
+                o.validator_violations,
+                o.recovery_mismatches,
+                o.final_mismatches,
+                o.resumed_to_completion
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+
+    // The sweep must include mid-checkpoint-flush points on every app,
+    // and at least some of them must actually tear the stream.
+    for app in shared::all() {
+        let mid: Vec<_> = outcomes
+            .iter()
+            .filter(|o| o.app == app.name && o.mid_flush_interrupt.is_some())
+            .collect();
+        assert!(
+            mid.len() >= POINTS / 3,
+            "{}: only {} mid-flush points",
+            app.name,
+            mid.len()
+        );
+        assert!(
+            mid.iter().any(|o| o.torn_words > 0),
+            "{}: no mid-flush point left a torn prefix",
+            app.name
+        );
+    }
+
+    // The injections must exercise real recovery, not only idle points.
+    assert!(
+        outcomes.iter().any(|o| o.replayed > 0),
+        "no point replayed any checkpointed store"
+    );
+}
+
+#[test]
+fn arbiter_mutations_are_all_detected() {
+    for report in smp_oracle::run_arbiter_mutations(1_200, 1) {
+        assert!(
+            report.detected(),
+            "{:?} not detected; fired: {:?}",
+            report.fault,
+            report.fired_kinds()
+        );
+    }
+}

@@ -39,6 +39,7 @@
 mod app;
 mod generator;
 pub mod registry;
+pub mod shared;
 
 pub use app::{AppDescriptor, Suite};
 pub use generator::TraceGenerator;

@@ -1,0 +1,517 @@
+//! Shared-memory DRF workload generators for the §6 multi-core machine.
+//!
+//! The per-app generators in [`crate::TraceGenerator`] keep every
+//! thread's store footprint disjoint (`STORE_BASE + tid * STORE_STRIDE`),
+//! so a "multi-threaded" run never actually communicates. The workloads
+//! here do: threads read words other threads write, with the conflicting
+//! accesses separated by synchronisation micro-ops — the data-race-free
+//! discipline §6 assumes.
+//!
+//! All four patterns keep **writes single-owner per word** (and, because
+//! slots are line-aligned, per cache line): thread `t` is the only writer
+//! of the words it stores to, while reads range over every thread's data.
+//! That discipline is what makes multi-core recovery well-defined — the
+//! union of per-core committed-store prefixes is conflict-free, so replay
+//! order across cores cannot change the recovered image — and the
+//! `recovery-image-overlap` validator in `ppa-smp` checks it holds.
+//!
+//! Generation is deterministic: the same `(workload, len, seed, threads)`
+//! quadruple always yields the same per-thread traces, and every store
+//! carries a thread-tagged unique value so replayed data is attributable.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppa_workloads::shared;
+//!
+//! let app = shared::by_name("counters").expect("known workload");
+//! let traces = app.generate_threads(2_000, 1, 4);
+//! assert_eq!(traces.len(), 4);
+//! assert_eq!(traces[0].len(), 2_000);
+//! // Deterministic:
+//! assert_eq!(traces, app.generate_threads(2_000, 1, 4));
+//! ```
+
+use ppa_isa::{ArchReg, SyncKind, Trace, TraceBuilder, Uop};
+use ppa_prng::Prng;
+
+/// Base of the shared-data segment, clear of the private per-thread
+/// load/store regions and the kernel text used by [`crate::TraceGenerator`].
+pub const SHARED_BASE: u64 = 0x2000_0000_0000;
+
+const COUNTERS_BASE: u64 = SHARED_BASE;
+const RING_BASE: u64 = SHARED_BASE + 0x10_0000;
+const ACCUM_BASE: u64 = SHARED_BASE + 0x11_0000;
+const PHASE_BASE: u64 = SHARED_BASE + 0x20_0000;
+const STRIPE_BASE: u64 = SHARED_BASE + 0x30_0000;
+
+/// Bytes per phase block (one cache line, so the owner's eight-word
+/// publish coalesces into a single media write).
+const PHASE_BLOCK_BYTES: u64 = 64;
+/// Words of a halo stripe (eight cache lines, all owned by one thread).
+const STRIPE_WORDS: u64 = 64;
+
+/// The communication pattern a shared workload exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedKind {
+    /// Striped shared counters (LongAdder style): each thread increments
+    /// its own line-padded slot; atomic snapshot sweeps read every slot.
+    Counters,
+    /// Single producer filling a shared ring; consumers read slots under
+    /// lock handoff and fold into private accumulators.
+    ProducerConsumer,
+    /// Bulk-synchronous phases: one owner writes the phase block, everyone
+    /// reads the previous phase's block after the barrier.
+    BarrierPhases,
+    /// Stencil halo exchange: each thread updates its own stripe and reads
+    /// its neighbours' edge words between barriers.
+    HaloExchange,
+}
+
+/// A shared-memory DRF workload: a named pattern that generates one trace
+/// per thread over genuinely shared addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedApp {
+    /// Registry key (`counters`, `prodcons`, `barrier`, `halo`).
+    pub name: &'static str,
+    /// Which communication pattern the generator emits.
+    pub kind: SharedKind,
+    /// One-line description for reports.
+    pub description: &'static str,
+}
+
+/// All shared workloads, in registry order.
+pub fn all() -> Vec<SharedApp> {
+    vec![
+        SharedApp {
+            name: "counters",
+            kind: SharedKind::Counters,
+            description: "striped shared counters with atomic snapshot sweeps",
+        },
+        SharedApp {
+            name: "prodcons",
+            kind: SharedKind::ProducerConsumer,
+            description: "single producer, lock-handoff consumers over a shared ring",
+        },
+        SharedApp {
+            name: "barrier",
+            kind: SharedKind::BarrierPhases,
+            description: "bulk-synchronous phases with a rotating block owner",
+        },
+        SharedApp {
+            name: "halo",
+            kind: SharedKind::HaloExchange,
+            description: "stencil stripes exchanging halo words between barriers",
+        },
+    ]
+}
+
+/// Looks a shared workload up by name.
+pub fn by_name(name: &str) -> Option<SharedApp> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+impl SharedApp {
+    /// Generates one trace per thread, each exactly `len` micro-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn generate_threads(&self, len: usize, seed: u64, threads: usize) -> Vec<Trace> {
+        assert!(threads > 0, "a shared workload needs at least one thread");
+        (0..threads)
+            .map(|tid| self.generate_thread(len, seed, tid, threads))
+            .collect()
+    }
+
+    /// Generates the trace of one thread of an `threads`-thread run.
+    pub fn generate_thread(&self, len: usize, seed: u64, tid: usize, threads: usize) -> Trace {
+        let mut g = Gen::new(self.name, len, seed, tid, threads);
+        match self.kind {
+            SharedKind::Counters => g.counters(),
+            SharedKind::ProducerConsumer => g.producer_consumer(),
+            SharedKind::BarrierPhases => g.barrier_phases(),
+            SharedKind::HaloExchange => g.halo_exchange(),
+        }
+        g.finish(self.name)
+    }
+}
+
+/// Per-thread emitter: a [`TraceBuilder`] plus the bookkeeping that keeps
+/// the store-value invariant (every store reads a fresh definition, so one
+/// definition never feeds two differently-valued stores — the property
+/// register-based CSQ replay depends on).
+struct Gen {
+    b: TraceBuilder,
+    rng: Prng,
+    len: usize,
+    tid: usize,
+    threads: usize,
+    next_value: u64,
+}
+
+/// Integer register dedicated to store data (always freshly defined
+/// immediately before each store).
+const DATA: ArchReg = ArchReg::int(7);
+/// Integer register receiving shared loads.
+const LOADED: ArchReg = ArchReg::int(6);
+
+impl Gen {
+    fn new(name: &str, len: usize, seed: u64, tid: usize, threads: usize) -> Self {
+        // The same FNV-1a stream-splitting scheme as `TraceGenerator`,
+        // with the workload name prefixed so shared and private apps never
+        // share a stream.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in "shared:".bytes().chain(name.bytes()) {
+            mix(b);
+        }
+        for b in seed.to_le_bytes() {
+            mix(b);
+        }
+        for b in (tid as u64).to_le_bytes() {
+            mix(b);
+        }
+        Gen {
+            b: TraceBuilder::new(format!("{name}#{tid}")),
+            rng: Prng::seed_from_u64(hash),
+            len,
+            tid,
+            threads,
+            next_value: (tid as u64) << 48,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.b.len() >= self.len
+    }
+
+    /// A few pad ops modelling the compute between communication events.
+    /// Every other op is register-silent (a nop standing in for branches,
+    /// compares, stores of spilled temporaries and address checks — the
+    /// large fraction of a real mix that defines no integer register).
+    /// All-defining pads would overstate PRF pressure: a full ROB of them
+    /// outruns the free list, and with it the forced-region-end rate.
+    fn pads(&mut self, n: usize) {
+        for i in 0..n {
+            if i % 2 == 1 {
+                self.b.nop();
+            } else {
+                // Independent ops (no self-dependence): pad timing should
+                // come from width and register pressure, not from the
+                // accidental length of a serial chain.
+                let r = ArchReg::int(self.rng.random_range(0..6u32) as u8);
+                self.b.alu(r, &[]);
+            }
+        }
+    }
+
+    /// Defines the data register fresh and stores a unique value to `addr`.
+    fn fresh_store(&mut self, addr: u64) {
+        self.next_value += 1;
+        let v = self.next_value;
+        self.b.alu(DATA, &[]);
+        self.b.store(DATA, addr, v);
+    }
+
+    /// The compute tail every real DRF program has between its last store
+    /// and the synchronisation that publishes it (argument reduction,
+    /// loop bookkeeping, the next iteration's address math). Persists
+    /// drain in its shadow, so the sync boundary's drain wait models the
+    /// residue, not the whole write burst.
+    fn drain_shadow(&mut self) {
+        self.pads(24);
+    }
+
+    fn counters(&mut self) {
+        let slot = |t: usize| COUNTERS_BASE + t as u64 * 64;
+        // Snapshots get rarer as the machine grows: the sync's cross-core
+        // cost rises with the thread count, so a scalable reader amortises
+        // it over more increments (weak scaling).
+        let interval = 16 * (self.threads as u64 / 8).max(1);
+        let mut i = 0u64;
+        while !self.done() {
+            self.pads(4);
+            self.fresh_store(slot(self.tid));
+            i += 1;
+            if i.is_multiple_of(interval) {
+                // Atomic snapshot: sweep a bounded, rotating window of
+                // slots. Reading all N slots back-to-back would issue an
+                // N-wide load burst whose register demand grows with the
+                // thread count — scalable readers chunk the sweep, and the
+                // rotating start still visits every peer's slot over time.
+                self.drain_shadow();
+                self.b.sync(SyncKind::AtomicRmw);
+                let window = self.threads.min(8);
+                let start = (i / interval) as usize * window;
+                for k in 0..window {
+                    self.b.load(LOADED, slot((start + k) % self.threads));
+                    self.pads(1);
+                }
+            }
+        }
+    }
+
+    fn producer_consumer(&mut self) {
+        // Slots are word-sized and packed: the ring is the classic
+        // cache-friendly SPSC layout where a batch of eight slots spans
+        // one or two lines, so the write buffer and WPQ coalesce the
+        // batch instead of opening eight media writes.
+        let cap = (2 * self.threads) as u64;
+        let ring = |k: u64| RING_BASE + (k % cap) * 8;
+        if self.tid == 0 {
+            // Producer: fill ring slots in batches, publishing each batch
+            // with a release, then poll a consumer's accumulator for
+            // backpressure.
+            let mut k = 0u64;
+            while !self.done() {
+                for _ in 0..8 {
+                    self.pads(2);
+                    self.fresh_store(ring(k));
+                    k += 1;
+                }
+                self.drain_shadow();
+                self.b.sync(SyncKind::LockRelease);
+                if self.threads > 1 {
+                    let peer = 1 + (k as usize % (self.threads - 1));
+                    self.b.load(LOADED, ACCUM_BASE + peer as u64 * 64);
+                }
+            }
+        } else {
+            // Consumer: acquire, read a batch of slots, fold into a
+            // private line-padded accumulator. The batch grows with the
+            // thread count — at scale, consumers amortise the lock
+            // handoff over more slots, or the machine-wide sync rate
+            // (and with it the persist-arbiter port) saturates.
+            let acc = ACCUM_BASE + self.tid as u64 * 64;
+            let batch = 4.max(self.threads).min(32);
+            let mut j = self.tid as u64;
+            while !self.done() {
+                self.b.sync(SyncKind::LockAcquire);
+                for _ in 0..batch {
+                    self.b.load(LOADED, ring(j));
+                    j += self.threads as u64 - 1;
+                    self.pads(3);
+                }
+                self.fresh_store(acc);
+                self.drain_shadow();
+            }
+        }
+    }
+
+    fn barrier_phases(&mut self) {
+        // One phase block per thread: phase `p` is published by thread
+        // `p % threads` into its own block and read by everyone after the
+        // next barrier. A thread's publishes always target the same line
+        // (its publish buffer), so — like the counter stripes — the write
+        // set is fixed and hot rather than cycling through cold lines.
+        let n = self.threads as u64;
+        let block = |p: u64| PHASE_BASE + (p % n) * PHASE_BLOCK_BYTES;
+        let mut phase = 1u64;
+        while !self.done() {
+            let owner = (phase % n) as usize;
+            if owner == self.tid {
+                // The owner publishes this phase's eight words.
+                for w in 0..8u64 {
+                    self.fresh_store(block(phase) + w * 8);
+                    self.pads(1);
+                }
+            } else {
+                self.pads(24);
+            }
+            // The bulk of the phase's compute happens before the barrier;
+            // after it, threads only pick up the freshly published block.
+            // Keeping the post-barrier window short matters for the PPA
+            // machine: those loads miss (another core just wrote the
+            // line), and every register allocated in their shadow pushes
+            // the free list towards a forced region end.
+            self.pads(18);
+            self.drain_shadow();
+            self.b.sync(SyncKind::Fence);
+            for w in 0..2u64 {
+                self.b.load(LOADED, block(phase - 1) + w * 8);
+            }
+            self.pads(12);
+            phase += 1;
+        }
+    }
+
+    fn halo_exchange(&mut self) {
+        let stripe = |t: usize| STRIPE_BASE + t as u64 * STRIPE_WORDS * 8;
+        let left = (self.tid + self.threads - 1) % self.threads;
+        let right = (self.tid + 1) % self.threads;
+        let mut iter = 0u64;
+        while !self.done() {
+            // Read the neighbours' edge words (the halo).
+            self.b.load(LOADED, stripe(left) + (STRIPE_WORDS - 1) * 8);
+            self.b.load(LOADED, stripe(right));
+            self.pads(12);
+            // Update four words of the owned stripe. The sweep is blocked
+            // the way a real stencil's inner loop is: updates stay within
+            // one owned line for sixteen iterations before advancing, so
+            // the line is hot in the write path instead of every
+            // iteration opening a fresh media write.
+            let line = (iter / 32) % (STRIPE_WORDS / 8);
+            let base = stripe(self.tid) + line * 64;
+            for w in 0..4u64 {
+                self.fresh_store(base + ((iter * 4 + w) % 8) * 8);
+                self.pads(2);
+            }
+            // BSP step boundary.
+            self.drain_shadow();
+            self.b.sync(SyncKind::Fence);
+            iter += 1;
+        }
+    }
+
+    /// Truncates to exactly `len` micro-ops and builds the trace.
+    fn finish(self, name: &str) -> Trace {
+        let (tid, len) = (self.tid, self.len);
+        let uops: Vec<Uop> = self.b.build().into_uops().into_iter().take(len).collect();
+        Trace::from_uops(format!("{name}#{tid}"), uops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_isa::UopKind;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn four_workloads_are_registered() {
+        let names: Vec<_> = all().iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["counters", "prodcons", "barrier", "halo"]);
+        assert!(by_name("halo").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn traces_have_the_requested_length_and_are_deterministic() {
+        for app in all() {
+            let a = app.generate_threads(1_500, 7, 3);
+            let b = app.generate_threads(1_500, 7, 3);
+            assert_eq!(a, b, "{} must be deterministic", app.name);
+            for t in &a {
+                assert_eq!(t.len(), 1_500);
+            }
+        }
+    }
+
+    /// The single-writer discipline: across all threads, every stored word
+    /// has exactly one writing thread.
+    #[test]
+    fn written_words_are_single_owner() {
+        for app in all() {
+            let traces = app.generate_threads(3_000, 1, 4);
+            let mut owner: HashMap<u64, usize> = HashMap::new();
+            for (tid, t) in traces.iter().enumerate() {
+                for u in t.iter().filter(|u| u.kind.is_store()) {
+                    let addr = u.mem.expect("stores carry a ref").addr & !7;
+                    let prev = owner.insert(addr, tid);
+                    assert!(
+                        prev.is_none() || prev == Some(tid),
+                        "{}: word {addr:#x} written by threads {:?} and {tid}",
+                        app.name,
+                        prev
+                    );
+                }
+            }
+        }
+    }
+
+    /// The workloads actually share state: every thread loads words that
+    /// some *other* thread wrote.
+    #[test]
+    fn every_thread_reads_remotely_written_words() {
+        for app in all() {
+            let traces = app.generate_threads(3_000, 1, 4);
+            let mut written_by: HashMap<u64, usize> = HashMap::new();
+            for (tid, t) in traces.iter().enumerate() {
+                for u in t.iter().filter(|u| u.kind.is_store()) {
+                    written_by.insert(u.mem.expect("ref").addr & !7, tid);
+                }
+            }
+            for (tid, t) in traces.iter().enumerate() {
+                let reads_remote = t
+                    .iter()
+                    .filter(|u| u.kind == UopKind::Load)
+                    .filter_map(|u| u.mem)
+                    .any(|m| written_by.get(&(m.addr & !7)).is_some_and(|&w| w != tid));
+                assert!(
+                    reads_remote,
+                    "{} thread {tid} never reads another thread's data",
+                    app.name
+                );
+            }
+        }
+    }
+
+    /// Sync micro-ops are present in every thread (the DRF discipline
+    /// needs conflicting accesses separated by synchronisation).
+    #[test]
+    fn every_thread_synchronises() {
+        for app in all() {
+            for t in app.generate_threads(2_000, 1, 4) {
+                assert!(
+                    t.iter().any(|u| matches!(u.kind, UopKind::Sync(_))),
+                    "{}: {} has no sync ops",
+                    app.name,
+                    t.name()
+                );
+            }
+        }
+    }
+
+    /// The store-value invariant register-based replay relies on: no two
+    /// stores share one definition of the data register with different
+    /// values (each store is preceded by a fresh define).
+    #[test]
+    fn stores_never_share_a_definition() {
+        for app in all() {
+            for t in app.generate_threads(3_000, 1, 2) {
+                let mut defined_since_store = true;
+                for u in t.iter() {
+                    if u.dst == Some(DATA) {
+                        defined_since_store = true;
+                    }
+                    if u.kind.is_store() {
+                        assert!(
+                            defined_since_store,
+                            "{}: store at pc {:#x} reuses a definition",
+                            app.name, u.pc
+                        );
+                        defined_since_store = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Store values are unique per thread (thread-tagged), so a replayed
+    /// word is attributable to the store that produced it.
+    #[test]
+    fn store_values_are_unique() {
+        for app in all() {
+            let mut seen = HashSet::new();
+            for t in app.generate_threads(2_000, 1, 3) {
+                for u in t.iter().filter(|u| u.kind.is_store()) {
+                    let v = u.mem.expect("ref").value;
+                    assert!(seen.insert(v), "{}: value {v} stored twice", app.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_scales_the_footprint() {
+        let app = by_name("counters").unwrap();
+        for threads in [2, 8, 64] {
+            let traces = app.generate_threads(1_000, 1, threads);
+            assert_eq!(traces.len(), threads);
+        }
+    }
+}

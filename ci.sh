@@ -38,6 +38,15 @@ cargo test -p ppa-smp -q
 echo "== cargo test -p ppa-smp -p ppa-verify -q"
 cargo test -p ppa-smp -p ppa-verify -q
 
+# The grid on both feature graphs, same reasoning: the wire protocol,
+# coordinator, and worker must behave identically with and without
+# ppa-core's verify hooks in the dependency tree.
+echo "== cargo test -p ppa-grid -q"
+cargo test -p ppa-grid -q
+
+echo "== cargo test -p ppa-grid -p ppa-verify -q"
+cargo test -p ppa-grid -p ppa-verify -q
+
 # Parallel smoke run: auto-sized pool, reduced trace length, a mix of
 # simulation-heavy and static experiments. Timings land on stderr.
 echo "== PPA_JOBS=0 repro smoke (fig11 table4 ckpt)"
@@ -48,5 +57,37 @@ time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
 echo "== PPA_JOBS=0 repro fig19 smoke (multi-core machine)"
 time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
     cargo run -q -p ppa-bench --release --bin repro -- fig19 > /dev/null
+
+# Distributed smoke: the same experiments through a loopback grid must
+# be byte-identical to the local run above.
+echo "== repro loopback grid smoke (fig11 table4 ckpt, 2 workers)"
+PPA_JOBS=0 PPA_REPRO_LEN=1200 \
+    cargo run -q -p ppa-bench --release --bin repro -- fig11 table4 ckpt \
+    > /tmp/ppa_ci_local.txt 2> /dev/null
+time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
+    cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:2 fig11 table4 ckpt \
+    > /tmp/ppa_ci_grid.txt 2> /dev/null
+diff /tmp/ppa_ci_local.txt /tmp/ppa_ci_grid.txt
+
+# Same run with a worker killed mid-lease: the re-dispatch path must not
+# perturb a single output byte.
+echo "== repro loopback grid smoke with injected worker death"
+PPA_JOBS=0 PPA_REPRO_LEN=1200 PPA_GRID_DIE_AFTER=3 \
+    cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:3 fig11 table4 ckpt \
+    > /tmp/ppa_ci_grid_die.txt 2> /dev/null
+diff /tmp/ppa_ci_local.txt /tmp/ppa_ci_grid_die.txt
+
+# The crash oracle over the grid, same byte-identity bar.
+echo "== ppa-verify oracle loopback grid smoke (2 workers)"
+cargo run -q -p ppa-verify --release -- oracle --len 800 \
+    > /tmp/ppa_ci_oracle_local.txt 2> /dev/null
+time cargo run -q -p ppa-verify --release -- oracle --len 800 --grid loopback:2 \
+    > /tmp/ppa_ci_oracle_grid.txt 2> /dev/null
+diff /tmp/ppa_ci_oracle_local.txt /tmp/ppa_ci_oracle_grid.txt
+
+# Full-stack self-test: benchmark + oracle units over loopback TCP with
+# an injected mid-lease worker death.
+echo "== ppa-grid selftest (3 workers, one dies mid-lease)"
+time cargo run -q -p ppa-gridcli --release --bin ppa-grid -- selftest --workers 3 2> /dev/null
 
 echo "CI: all gates passed"

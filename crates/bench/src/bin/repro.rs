@@ -5,27 +5,40 @@
 //! cargo run -p ppa-bench --release --bin repro -- --jobs 8 all
 //! PPA_JOBS=8 cargo run -p ppa-bench --release --bin repro -- all
 //! PPA_REPRO_LEN=100000 cargo run -p ppa-bench --release --bin repro -- fig16
+//! cargo run -p ppa-bench --release --bin repro -- --grid loopback:2 all
 //! ```
 //!
 //! Parallelism (`--jobs N` / `PPA_JOBS=N`; `0` = one worker per CPU)
 //! fans per-app simulation out across the shared work-stealing pool and,
-//! for `all`, runs whole experiments concurrently. Tables always print
-//! to stdout in paper order and are byte-identical at any job count;
-//! wall-clock timings go to stderr so stdout stays deterministic.
+//! for `all`, runs whole experiments concurrently. With `--grid` (or
+//! `PPA_GRID`) the fan-out crosses hosts instead: `loopback:N` spawns N
+//! in-process workers, `serve:HOST:PORT` waits for external
+//! `ppa-grid work` processes. Tables always print to stdout in paper
+//! order and are byte-identical at any job count and any grid
+//! configuration; wall-clock timings go to stderr so stdout stays
+//! deterministic.
 
-use ppa_bench::experiments;
+use ppa_bench::{experiments, gridwork};
+use ppa_grid::{loopback, Coordinator, GridConfig, GridMode};
 use ppa_stats::fmt_duration;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--jobs N] <experiment>... | all | list");
+    eprintln!("usage: repro [--jobs N] [--grid MODE] <experiment>... | all | list");
     eprintln!();
     eprintln!("options:");
-    eprintln!("  --jobs N   worker threads for per-app fan-out (0 = auto,");
-    eprintln!("             default 1 = serial); PPA_JOBS=N is equivalent");
+    eprintln!("  --jobs N     worker threads for per-app fan-out (0 = auto,");
+    eprintln!("               default 1 = serial); PPA_JOBS=N is equivalent");
+    eprintln!("  --grid MODE  off (default), loopback:N (self-test with N");
+    eprintln!("               in-process workers), or serve:HOST:PORT (wait");
+    eprintln!("               for `ppa-grid work --connect` workers)");
     eprintln!();
     eprintln!("environment:");
     eprintln!("  PPA_JOBS=N        same as --jobs (the flag wins)");
+    eprintln!("  PPA_GRID=MODE     same as --grid (the flag wins)");
+    eprintln!("  PPA_GRID_DIE_AFTER=N  loopback fault injection: worker 0 drops");
+    eprintln!("                    its connection after N units (testing)");
     eprintln!("  PPA_REPRO_LEN=N   per-app trace length (default 40000)");
     eprintln!("  PPA_POOL_STATS=1  print pool counters to stderr on exit");
     eprintln!();
@@ -36,8 +49,70 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Attaches this process to the requested grid mode and installs the
+/// handle; returns whether a grid is active.
+fn attach_grid(mode: GridMode) -> bool {
+    match mode {
+        GridMode::Off => false,
+        GridMode::Loopback(n) => {
+            let jobs = ppa_pool::configured_jobs();
+            let mut workers = vec![
+                ppa_grid::WorkerOptions {
+                    jobs,
+                    ..Default::default()
+                };
+                n
+            ];
+            // Fault injection for the determinism checks: the first
+            // loopback worker drops its connection mid-lease after N
+            // units, and the output must still be byte-identical.
+            if let Some(k) = std::env::var("PPA_GRID_DIE_AFTER")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                workers[0].die_after = Some(k);
+            }
+            let lb = loopback::start(
+                workers,
+                Arc::new(gridwork::BenchExecutor),
+                GridConfig::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("repro: failed to start loopback grid: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "grid: loopback with {n} workers on {}",
+                lb.coordinator().local_addr()
+            );
+            gridwork::install(gridwork::GridHandle::Loopback(lb));
+            true
+        }
+        GridMode::Serve(addr) => {
+            let coord =
+                Coordinator::bind(addr.as_str(), GridConfig::default()).unwrap_or_else(|e| {
+                    eprintln!("repro: failed to bind {addr}: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!(
+                "grid: listening on {}; waiting for a worker...",
+                coord.local_addr()
+            );
+            let coord = Arc::new(coord);
+            if !coord.wait_for_workers(1, Duration::from_secs(600)) {
+                eprintln!("repro: no worker connected within 600s");
+                std::process::exit(1);
+            }
+            eprintln!("grid: {} worker(s) connected", coord.live_workers());
+            gridwork::install(gridwork::GridHandle::Serve(coord));
+            true
+        }
+    }
+}
+
 fn main() {
     let mut ids: Vec<String> = Vec::new();
+    let mut grid_flag: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,6 +123,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 ppa_pool::set_jobs(n);
             }
+            "--grid" => grid_flag = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => ids.push(arg),
         }
@@ -79,21 +155,61 @@ fn main() {
             .collect()
     };
 
+    let mode = match grid_flag {
+        Some(v) => ppa_grid::parse_grid_mode(&v),
+        None => ppa_grid::grid_mode_from_env(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("repro: {e}");
+        std::process::exit(2);
+    });
+    let grid_on = attach_grid(mode);
+
     // Run every selected experiment through the pool (serial unless jobs
     // were requested), buffering each rendered table so stdout comes out
-    // in paper order regardless of completion order.
+    // in paper order regardless of completion order. A grid failure
+    // (unit retries exhausted) panics with the failing unit's tag; turn
+    // that into a clean nonzero exit naming the culprit.
     let t0 = Instant::now();
-    let rendered = ppa_pool::par_map_ordered(selected, |(id, f)| {
-        let t = Instant::now();
-        let table = f().to_string();
-        (id, table, t.elapsed())
-    });
+    let run = || {
+        ppa_pool::par_map_ordered(selected, |(id, f)| {
+            let t = Instant::now();
+            let table = gridwork::render_experiment(id, f);
+            (id, table, t.elapsed())
+        })
+    };
+    let rendered = if grid_on {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("experiment panicked");
+                eprintln!("repro: {msg}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        run()
+    };
     for (id, table, took) in rendered {
         println!("=== {id} ===");
         println!("{table}");
         eprintln!("{id}: {}", fmt_duration(took));
     }
     eprintln!("total: {}", fmt_duration(t0.elapsed()));
+
+    if let Some(grid) = gridwork::active() {
+        let coord = grid.coordinator();
+        let s = coord.stats();
+        eprintln!(
+            "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+            s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
+        );
+        coord.shutdown();
+    }
 
     if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {
         if let Some(stats) = ppa_pool::global_stats() {

@@ -18,16 +18,27 @@ use ppa_sim::{inject_failure, Machine, SimReport, SystemConfig};
 use ppa_stats::{fmt_percent, fmt_slowdown, geomean, Cdf, TextTable};
 use ppa_workloads::{registry, AppDescriptor, Suite};
 
-fn len_for(app: &AppDescriptor) -> usize {
+fn len_for_base(app: &AppDescriptor, base: usize) -> usize {
     if app.threads > 1 {
-        (experiment_len() / 3).max(2_000)
+        (base / 3).max(2_000)
     } else {
-        experiment_len()
+        base
     }
+}
+
+fn len_for(app: &AppDescriptor) -> usize {
+    len_for_base(app, experiment_len())
 }
 
 fn run(cfg: SystemConfig, app: &AppDescriptor) -> SimReport {
     Machine::new(cfg).run_app_parallel(app, len_for(app), SEED)
+}
+
+/// Like [`run`] but with an explicit base length, so grid workers
+/// reproduce the coordinator's sizing without consulting their own
+/// environment.
+fn run_at(cfg: SystemConfig, app: &AppDescriptor, base: usize) -> SimReport {
+    Machine::new(cfg).run_app_parallel(app, len_for_base(app, base), SEED)
 }
 
 /// Order-preserving parallel map over applications: `f` runs on the
@@ -54,14 +65,17 @@ fn push_gmean(table: &mut TextTable, label: &str, cols: &[&[f64]]) {
 }
 
 /// Figure 1: ReplayCache's slowdown over the memory-mode baseline.
+pub(crate) fn fig1_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let base = run_at(SystemConfig::baseline(), app, base_len);
+    let rc = run_at(SystemConfig::replay_cache(), app, base_len);
+    vec![rc.cycles as f64 / base.cycles as f64]
+}
+
 pub fn fig1() -> TextTable {
     let mut t = TextTable::new(["app", "suite", "replaycache-slowdown"]);
     let mut slows = Vec::new();
-    for (app, s) in par_apps(registry::all(), |app| {
-        let base = run(SystemConfig::baseline(), app);
-        let rc = run(SystemConfig::replay_cache(), app);
-        rc.cycles as f64 / base.cycles as f64
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig1", registry::all(), fig1_cell) {
+        let s = v[0];
         slows.push(s);
         t.row([app.name.to_string(), app.suite.to_string(), fmt_slowdown(s)]);
     }
@@ -117,19 +131,22 @@ pub fn fig5() -> TextTable {
 }
 
 /// Figure 8: PPA and Capri slowdowns over the baseline, all 41 apps.
+pub(crate) fn fig8_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let base = run_at(SystemConfig::baseline(), app, base_len);
+    let ppa = run_at(SystemConfig::ppa(), app, base_len);
+    let cap = run_at(SystemConfig::capri(), app, base_len);
+    vec![
+        ppa.cycles as f64 / base.cycles as f64,
+        cap.cycles as f64 / base.cycles as f64,
+    ]
+}
+
 pub fn fig8() -> TextTable {
     let mut t = TextTable::new(["app", "suite", "ppa", "capri"]);
     let mut ppa_s = Vec::new();
     let mut cap_s = Vec::new();
-    for (app, (sp, sc)) in par_apps(registry::all(), |app| {
-        let base = run(SystemConfig::baseline(), app);
-        let ppa = run(SystemConfig::ppa(), app);
-        let cap = run(SystemConfig::capri(), app);
-        (
-            ppa.cycles as f64 / base.cycles as f64,
-            cap.cycles as f64 / base.cycles as f64,
-        )
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig8", registry::all(), fig8_cell) {
+        let (sp, sc) = (v[0], v[1]);
         ppa_s.push(sp);
         cap_s.push(sc);
         t.row([
@@ -145,19 +162,22 @@ pub fn fig8() -> TextTable {
 }
 
 /// Figure 9: PPA and the memory mode vs the 32 GB DRAM-only system.
+pub(crate) fn fig9_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let dram = run_at(SystemConfig::dram_only(), app, base_len);
+    let base = run_at(SystemConfig::baseline(), app, base_len);
+    let ppa = run_at(SystemConfig::ppa(), app, base_len);
+    vec![
+        base.cycles as f64 / dram.cycles as f64,
+        ppa.cycles as f64 / dram.cycles as f64,
+    ]
+}
+
 pub fn fig9() -> TextTable {
     let mut t = TextTable::new(["app", "memory-mode/dram", "ppa/dram"]);
     let mut base_s = Vec::new();
     let mut ppa_s = Vec::new();
-    for (app, (sb, sp)) in par_apps(registry::all(), |app| {
-        let dram = run(SystemConfig::dram_only(), app);
-        let base = run(SystemConfig::baseline(), app);
-        let ppa = run(SystemConfig::ppa(), app);
-        (
-            base.cycles as f64 / dram.cycles as f64,
-            ppa.cycles as f64 / dram.cycles as f64,
-        )
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig9", registry::all(), fig9_cell) {
+        let (sb, sp) = (v[0], v[1]);
         base_s.push(sb);
         ppa_s.push(sp);
         t.row([app.name.to_string(), fmt_slowdown(sb), fmt_slowdown(sp)]);
@@ -169,19 +189,22 @@ pub fn fig9() -> TextTable {
 
 /// Figure 10: PPA vs the ideal PSP (eADR/BBB) on the memory-intensive
 /// subset.
+pub(crate) fn fig10_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let base = run_at(SystemConfig::baseline(), app, base_len);
+    let ppa = run_at(SystemConfig::ppa(), app, base_len);
+    let psp = run_at(SystemConfig::eadr_bbb(), app, base_len);
+    vec![
+        ppa.cycles as f64 / base.cycles as f64,
+        psp.cycles as f64 / base.cycles as f64,
+    ]
+}
+
 pub fn fig10() -> TextTable {
     let mut t = TextTable::new(["app", "ppa", "eadr/bbb"]);
     let mut ppa_s = Vec::new();
     let mut psp_s = Vec::new();
-    for (app, (sp, se)) in par_apps(registry::memory_intensive(), |app| {
-        let base = run(SystemConfig::baseline(), app);
-        let ppa = run(SystemConfig::ppa(), app);
-        let psp = run(SystemConfig::eadr_bbb(), app);
-        (
-            ppa.cycles as f64 / base.cycles as f64,
-            psp.cycles as f64 / base.cycles as f64,
-        )
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig10", registry::memory_intensive(), fig10_cell) {
+        let (sp, se) = (v[0], v[1]);
         ppa_s.push(sp);
         psp_s.push(se);
         t.row([app.name.to_string(), fmt_slowdown(sp), fmt_slowdown(se)]);
@@ -192,12 +215,15 @@ pub fn fig10() -> TextTable {
 }
 
 /// Figure 11: stall cycles at region ends as a fraction of execution.
+pub(crate) fn fig11_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    vec![run_at(SystemConfig::ppa(), app, base_len).region_end_stall_fraction()]
+}
+
 pub fn fig11() -> TextTable {
     let mut t = TextTable::new(["app", "region-end stall"]);
     let mut fracs = Vec::new();
-    for (app, f) in par_apps(registry::all(), |app| {
-        run(SystemConfig::ppa(), app).region_end_stall_fraction()
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig11", registry::all(), fig11_cell) {
+        let f = v[0];
         fracs.push(f);
         t.row([app.name.to_string(), fmt_percent(f)]);
     }
@@ -211,17 +237,20 @@ pub fn fig11() -> TextTable {
 }
 
 /// Figure 12: extra rename-stage stall cycles from PRF exhaustion.
+pub(crate) fn fig12_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let base = run_at(SystemConfig::baseline(), app, base_len);
+    let ppa = run_at(SystemConfig::ppa(), app, base_len);
+    vec![
+        base.rename_noreg_stall_fraction(),
+        ppa.rename_noreg_stall_fraction(),
+    ]
+}
+
 pub fn fig12() -> TextTable {
     let mut t = TextTable::new(["app", "baseline", "ppa", "increase"]);
     let mut deltas = Vec::new();
-    for (app, (fb, fp)) in par_apps(registry::all(), |app| {
-        let base = run(SystemConfig::baseline(), app);
-        let ppa = run(SystemConfig::ppa(), app);
-        (
-            base.rename_noreg_stall_fraction(),
-            ppa.rename_noreg_stall_fraction(),
-        )
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig12", registry::all(), fig12_cell) {
+        let (fb, fp) = (v[0], v[1]);
         deltas.push((fp - fb).max(0.0));
         t.row([
             app.name.to_string(),
@@ -248,21 +277,24 @@ pub fn fig12() -> TextTable {
 
 /// Figure 13: stores and other instructions per dynamically formed
 /// region, plus Capri's compiler-formed region length for contrast.
+pub(crate) fn fig13_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let ppa = run_at(SystemConfig::ppa(), app, base_len);
+    let st = ppa.region_stores().mean();
+    let all = ppa.region_insts().mean();
+    let raw = app.generate(len_for_base(app, base_len).min(20_000), SEED);
+    let capri_trace = CapriPass::new().apply(&raw);
+    let lens = region_lengths(&capri_trace);
+    let cap = lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64;
+    vec![st, all, cap]
+}
+
 pub fn fig13() -> TextTable {
     let mut t = TextTable::new(["app", "stores/region", "others/region", "capri region"]);
     let mut stores = Vec::new();
     let mut others = Vec::new();
     let mut capri = Vec::new();
-    for (app, (st, all, cap)) in par_apps(registry::all(), |app| {
-        let ppa = run(SystemConfig::ppa(), app);
-        let st = ppa.region_stores().mean();
-        let all = ppa.region_insts().mean();
-        let raw = app.generate(len_for(app).min(20_000), SEED);
-        let capri_trace = CapriPass::new().apply(&raw);
-        let lens = region_lengths(&capri_trace);
-        let cap = lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64;
-        (st, all, cap)
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig13", registry::all(), fig13_cell) {
+        let (st, all, cap) = (v[0], v[1], v[2]);
         stores.push(st);
         others.push(all - st);
         capri.push(cap);
@@ -290,14 +322,21 @@ pub fn fig13() -> TextTable {
 }
 
 /// Figure 14: PPA's slowdown when an L3 sits atop the DRAM cache.
+pub(crate) fn fig14_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let base = run_at(
+        SystemConfig::baseline().with_deep_hierarchy(),
+        app,
+        base_len,
+    );
+    let ppa = run_at(SystemConfig::ppa().with_deep_hierarchy(), app, base_len);
+    vec![ppa.cycles as f64 / base.cycles as f64]
+}
+
 pub fn fig14() -> TextTable {
     let mut t = TextTable::new(["app", "ppa (deep hierarchy)"]);
     let mut slows = Vec::new();
-    for (app, s) in par_apps(registry::all(), |app| {
-        let base = run(SystemConfig::baseline().with_deep_hierarchy(), app);
-        let ppa = run(SystemConfig::ppa().with_deep_hierarchy(), app);
-        ppa.cycles as f64 / base.cycles as f64
-    }) {
+    for (app, v) in crate::gridwork::app_rows("fig14", registry::all(), fig14_cell) {
+        let s = v[0];
         slows.push(s);
         t.row([app.name.to_string(), fmt_slowdown(s)]);
     }
@@ -307,25 +346,27 @@ pub fn fig14() -> TextTable {
 }
 
 /// Figure 15: sensitivity to the NVM write-pending-queue depth.
+pub(crate) fn fig15_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    [8usize, 16, 24]
+        .iter()
+        .map(|&n| {
+            let nvm = NvmConfig::paper_default().with_wpq_entries(n);
+            let mut base_cfg = SystemConfig::baseline();
+            base_cfg.mem = base_cfg.mem.with_nvm(nvm);
+            let mut ppa_cfg = SystemConfig::ppa();
+            ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
+            let base = run_at(base_cfg, app, base_len);
+            let ppa = run_at(ppa_cfg, app, base_len);
+            ppa.cycles as f64 / base.cycles as f64
+        })
+        .collect()
+}
+
 pub fn fig15() -> TextTable {
-    let sizes = [8usize, 16, 24];
     let mut t = TextTable::new(["app", "wpq-8", "wpq-16 (default)", "wpq-24"]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for (app, slows) in par_apps(registry::memory_intensive(), |app| {
-        sizes
-            .iter()
-            .map(|&n| {
-                let nvm = NvmConfig::paper_default().with_wpq_entries(n);
-                let mut base_cfg = SystemConfig::baseline();
-                base_cfg.mem = base_cfg.mem.with_nvm(nvm);
-                let mut ppa_cfg = SystemConfig::ppa();
-                ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
-                let base = run(base_cfg, app);
-                let ppa = run(ppa_cfg, app);
-                ppa.cycles as f64 / base.cycles as f64
-            })
-            .collect::<Vec<f64>>()
-    }) {
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (app, slows) in crate::gridwork::app_rows("fig15", registry::memory_intensive(), fig15_cell)
+    {
         let mut row = vec![app.name.to_string()];
         for (i, s) in slows.into_iter().enumerate() {
             cols[i].push(s);
@@ -426,24 +467,27 @@ pub fn fig17() -> TextTable {
 }
 
 /// Figure 18: sensitivity to the NVM write bandwidth.
+pub(crate) fn fig18_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    [1.0f64, 2.3, 4.0, 6.0]
+        .iter()
+        .map(|&bw| {
+            let nvm = NvmConfig::paper_default().with_write_bandwidth_gbps(bw);
+            let mut base_cfg = SystemConfig::baseline();
+            base_cfg.mem = base_cfg.mem.with_nvm(nvm);
+            let mut ppa_cfg = SystemConfig::ppa();
+            ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
+            let base = run_at(base_cfg, app, base_len);
+            let ppa = run_at(ppa_cfg, app, base_len);
+            ppa.cycles as f64 / base.cycles as f64
+        })
+        .collect()
+}
+
 pub fn fig18() -> TextTable {
-    let bws = [1.0f64, 2.3, 4.0, 6.0];
     let mut t = TextTable::new(["app", "1GB/s", "2.3GB/s (default)", "4GB/s", "6GB/s"]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); bws.len()];
-    for (app, slows) in par_apps(registry::memory_intensive(), |app| {
-        bws.iter()
-            .map(|&bw| {
-                let nvm = NvmConfig::paper_default().with_write_bandwidth_gbps(bw);
-                let mut base_cfg = SystemConfig::baseline();
-                base_cfg.mem = base_cfg.mem.with_nvm(nvm);
-                let mut ppa_cfg = SystemConfig::ppa();
-                ppa_cfg.mem = ppa_cfg.mem.with_nvm(nvm);
-                let base = run(base_cfg, app);
-                let ppa = run(ppa_cfg, app);
-                ppa.cycles as f64 / base.cycles as f64
-            })
-            .collect::<Vec<f64>>()
-    }) {
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (app, slows) in crate::gridwork::app_rows("fig18", registry::memory_intensive(), fig18_cell)
+    {
         let mut row = vec![app.name.to_string()];
         for (i, s) in slows.into_iter().enumerate() {
             cols[i].push(s);
@@ -1029,6 +1073,37 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("os", os),
         ("cxl", cxl),
         ("ehs", ehs),
+    ]
+}
+
+/// A per-application cell kernel: given an application and the base trace
+/// length, produce that app's row of figure values. Experiments with a
+/// cell here decompose into one grid work unit per application;
+/// everything else ships as a whole-experiment unit.
+pub(crate) type AppCell = fn(&AppDescriptor, usize) -> Vec<f64>;
+
+/// One decomposable experiment: its id, the application set it iterates
+/// over, and the per-application cell kernel.
+pub(crate) type CellEntry = (&'static str, fn() -> Vec<AppDescriptor>, AppCell);
+
+/// Cell kernels for every decomposable experiment, with the application
+/// set each one iterates over.
+pub(crate) fn app_cells() -> Vec<CellEntry> {
+    vec![
+        (
+            "fig1",
+            registry::all as fn() -> Vec<AppDescriptor>,
+            fig1_cell as AppCell,
+        ),
+        ("fig8", registry::all, fig8_cell),
+        ("fig9", registry::all, fig9_cell),
+        ("fig10", registry::memory_intensive, fig10_cell),
+        ("fig11", registry::all, fig11_cell),
+        ("fig12", registry::all, fig12_cell),
+        ("fig13", registry::all, fig13_cell),
+        ("fig14", registry::all, fig14_cell),
+        ("fig15", registry::memory_intensive, fig15_cell),
+        ("fig18", registry::memory_intensive, fig18_cell),
     ]
 }
 

@@ -138,6 +138,13 @@ pub enum InvariantKind {
     /// is incoherent. Under the DRF single-writer discipline every
     /// checkpointed word has exactly one owning core.
     RecoveryImageOverlap,
+    /// The persist arbiter's grant port is not fair (§6): a certificate
+    /// went to a core other than the round-robin-first pending requester
+    /// (observed from the request lines recorded with each grant), or a
+    /// pending core was starved past the rotation bound. A biased port
+    /// turns the cross-core ordering cost from bounded to unbounded for
+    /// the losing cores.
+    ArbiterUnfair,
 }
 
 impl InvariantKind {
@@ -171,6 +178,7 @@ impl InvariantKind {
             InvariantKind::CrossCoreDrainOrder => "cross-core-drain-order",
             InvariantKind::PersistBeforeDependence => "persist-before-dependence",
             InvariantKind::RecoveryImageOverlap => "recovery-image-overlap",
+            InvariantKind::ArbiterUnfair => "arbiter-unfair",
         }
     }
 

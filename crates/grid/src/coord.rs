@@ -1,0 +1,695 @@
+//! The grid coordinator: leases work units to connected workers and
+//! survives their failures.
+//!
+//! Every submitted [`UnitSpec`] is leased to a worker with a deadline;
+//! liveness is tracked from worker heartbeats. A unit whose lease
+//! expires, whose worker disconnects, or whose execution fails is
+//! re-queued with a short backoff and re-dispatched (to any worker, not
+//! necessarily the original one) until [`GridConfig::max_attempts`] is
+//! exhausted, at which point the unit — and only that unit — completes
+//! as [`GridError::UnitFailed`] naming its tag. A late result from a
+//! superseded lease is suppressed (first result wins), so a unit's
+//! outcome is recorded exactly once no matter how many times it was
+//! in flight.
+//!
+//! Determinism: [`Coordinator::run_units`] returns outcomes **in
+//! submission order**, whatever the arrival order across workers, so
+//! callers assemble byte-identical output at any worker count.
+
+use crate::proto::{self, Msg};
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Coordinator tuning knobs. The defaults suit real experiment units
+/// (milliseconds to minutes each); tests shrink them to exercise the
+/// timeout paths quickly.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// How long a leased unit may run before it is re-dispatched.
+    pub lease_timeout: Duration,
+    /// A worker silent for this long is declared dead and its leases
+    /// re-queued. Workers beacon every [`super::WorkerOptions::heartbeat`].
+    pub heartbeat_timeout: Duration,
+    /// Total attempts (first dispatch included) before a unit fails.
+    pub max_attempts: u32,
+    /// Base re-queue delay; scaled by the attempt number.
+    pub retry_backoff: Duration,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            lease_timeout: Duration::from_secs(600),
+            heartbeat_timeout: Duration::from_secs(15),
+            max_attempts: 4,
+            retry_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One serializable work unit: an application-level `tag` routing it to
+/// the right executor, and an opaque payload.
+#[derive(Debug, Clone)]
+pub struct UnitSpec {
+    pub tag: String,
+    pub payload: Vec<u8>,
+}
+
+/// A completed unit's result.
+#[derive(Debug)]
+pub struct UnitOutcome {
+    /// The executor's result bytes.
+    pub payload: Vec<u8>,
+    /// Worker-measured execution time (the winning attempt).
+    pub elapsed_ns: u64,
+    /// How many dispatches this unit needed.
+    pub attempts: u32,
+}
+
+/// Why a unit (or run) did not produce a result.
+#[derive(Debug, Clone)]
+pub enum GridError {
+    /// The unit failed on every attempt; `message` is the last error.
+    UnitFailed {
+        tag: String,
+        attempts: u32,
+        message: String,
+    },
+    /// The coordinator was shut down before the unit completed.
+    Aborted,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::UnitFailed {
+                tag,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "unit '{tag}' failed after {attempts} attempts: {message}"
+            ),
+            GridError::Aborted => write!(f, "coordinator shut down before the unit completed"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Scheduler counters, mirrored on stderr by the CLI front-ends.
+#[derive(Debug, Default, Clone)]
+pub struct GridStats {
+    pub dispatched: u64,
+    pub completed: u64,
+    pub redispatched: u64,
+    pub duplicates: u64,
+    pub unit_errors: u64,
+    pub workers_joined: u64,
+    pub workers_lost: u64,
+}
+
+struct WorkerState {
+    stream: TcpStream,
+    jobs: usize,
+    outstanding: Vec<u64>,
+    last_seen: Instant,
+}
+
+struct LeaseState {
+    unit: u64,
+    worker: u64,
+    deadline: Instant,
+}
+
+struct UnitState {
+    spec: UnitSpec,
+    batch: u64,
+    index: usize,
+    attempts: u32,
+    last_error: String,
+    done: bool,
+    /// Worker of the most recent lease. Re-dispatches avoid it when any
+    /// other worker has capacity: a lease usually expires because its
+    /// holder is wedged, and a single-slot worker would otherwise queue
+    /// the retry behind the very execution that timed out.
+    last_worker: Option<u64>,
+}
+
+struct BatchState {
+    results: Vec<Option<Result<UnitOutcome, GridError>>>,
+    remaining: usize,
+}
+
+struct State {
+    pending: VecDeque<u64>,
+    delayed: Vec<(Instant, u64)>,
+    units: HashMap<u64, UnitState>,
+    leases: HashMap<u64, LeaseState>,
+    workers: HashMap<u64, WorkerState>,
+    batches: HashMap<u64, BatchState>,
+    next_unit: u64,
+    next_seq: u64,
+    next_batch: u64,
+    next_worker: u64,
+    stats: GridStats,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    cfg: GridConfig,
+}
+
+/// A listening coordinator. Clone-free: share it behind an `Arc` to
+/// submit batches from several threads at once.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    dispatch_thread: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds `addr` (e.g. `"0.0.0.0:7171"` or `"127.0.0.1:0"`) and
+    /// starts accepting workers.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: GridConfig) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: VecDeque::new(),
+                delayed: Vec::new(),
+                units: HashMap::new(),
+                leases: HashMap::new(),
+                workers: HashMap::new(),
+                batches: HashMap::new(),
+                next_unit: 0,
+                next_seq: 0,
+                next_batch: 0,
+                next_worker: 0,
+                stats: GridStats::default(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("grid-accept".into())
+                .spawn(move || accept_loop(shared, listener))
+                .expect("spawning the grid accept thread")
+        };
+        let dispatch_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("grid-dispatch".into())
+                .spawn(move || dispatch_loop(shared))
+                .expect("spawning the grid dispatch thread")
+        };
+        Ok(Coordinator {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            dispatch_thread: Some(dispatch_thread),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until at least `n` workers have connected, up to
+    /// `timeout`. Returns whether the quorum was reached.
+    pub fn wait_for_workers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.stats.workers_joined as usize >= n {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline || state.shutdown {
+                return false;
+            }
+            let (s, _) = self.shared.cv.wait_timeout(state, deadline - now).unwrap();
+            state = s;
+        }
+    }
+
+    /// Number of currently connected workers.
+    pub fn live_workers(&self) -> usize {
+        self.shared.state.lock().unwrap().workers.len()
+    }
+
+    /// A snapshot of the scheduler counters.
+    pub fn stats(&self) -> GridStats {
+        self.shared.state.lock().unwrap().stats.clone()
+    }
+
+    /// Submits a batch of units and blocks until every one has either a
+    /// result or a terminal error. Outcomes come back **in submission
+    /// order**; a failed unit yields `Err` for its slot only.
+    pub fn run_units(&self, units: Vec<UnitSpec>) -> Vec<Result<UnitOutcome, GridError>> {
+        if units.is_empty() {
+            return Vec::new();
+        }
+        let n = units.len();
+        let batch;
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            batch = state.next_batch;
+            state.next_batch += 1;
+            state.batches.insert(
+                batch,
+                BatchState {
+                    results: (0..n).map(|_| None).collect(),
+                    remaining: n,
+                },
+            );
+            for (index, spec) in units.into_iter().enumerate() {
+                let uid = state.next_unit;
+                state.next_unit += 1;
+                state.units.insert(
+                    uid,
+                    UnitState {
+                        spec,
+                        batch,
+                        index,
+                        attempts: 0,
+                        last_error: String::new(),
+                        done: false,
+                        last_worker: None,
+                    },
+                );
+                state.pending.push_back(uid);
+            }
+            self.shared.cv.notify_all();
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            let done = state.batches.get(&batch).is_none_or(|b| b.remaining == 0);
+            if done || state.shutdown {
+                break;
+            }
+            state = self.shared.cv.wait(state).unwrap();
+        }
+        let b = state
+            .batches
+            .remove(&batch)
+            .expect("batch exists until collected");
+        b.results
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(GridError::Aborted)))
+            .collect()
+    }
+
+    /// Signals shutdown: workers receive [`Msg::Shutdown`], in-flight
+    /// batches complete as [`GridError::Aborted`], the accept loop
+    /// stops. Threads are joined on drop.
+    pub fn shutdown(&self) {
+        let streams: Vec<TcpStream>;
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            streams = state
+                .workers
+                .values()
+                .filter_map(|w| w.stream.try_clone().ok())
+                .collect();
+            self.shared.cv.notify_all();
+        }
+        for mut s in streams {
+            let _ = proto::write_msg(&mut s, &Msg::Shutdown);
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatch_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.state.lock().unwrap().shutdown {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(shared.cfg.heartbeat_timeout * 2));
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("grid-worker-conn".into())
+                    .spawn(move || reader_loop(shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
+    // The handshake: the first frame must be Hello, announcing capacity.
+    let jobs = match proto::read_msg(&mut stream) {
+        Ok(Msg::Hello { jobs }) => (jobs as usize).max(1),
+        _ => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let wid;
+    {
+        let mut state = shared.state.lock().unwrap();
+        if state.shutdown {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        wid = state.next_worker;
+        state.next_worker += 1;
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        state.workers.insert(
+            wid,
+            WorkerState {
+                stream: writer,
+                jobs,
+                outstanding: Vec::new(),
+                last_seen: Instant::now(),
+            },
+        );
+        state.stats.workers_joined += 1;
+        shared.cv.notify_all();
+    }
+    while let Ok(msg) = proto::read_msg(&mut stream) {
+        if !handle_worker_msg(&shared, wid, msg) {
+            break;
+        }
+    }
+    worker_gone(&shared, wid);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Returns whether the connection should stay open.
+fn handle_worker_msg(shared: &Arc<Shared>, wid: u64, msg: Msg) -> bool {
+    let mut state = shared.state.lock().unwrap();
+    if let Some(w) = state.workers.get_mut(&wid) {
+        w.last_seen = Instant::now();
+    } else {
+        return false; // already declared dead
+    }
+    match msg {
+        Msg::Heartbeat => {}
+        Msg::UnitResult {
+            seq,
+            payload,
+            elapsed_ns,
+            ..
+        } => {
+            if let Some(lease) = state.leases.remove(&seq) {
+                if let Some(w) = state.workers.get_mut(&lease.worker) {
+                    w.outstanding.retain(|&s| s != seq);
+                }
+                let (batch, index, attempts) = {
+                    let u = state
+                        .units
+                        .get_mut(&lease.unit)
+                        .expect("leased unit exists");
+                    u.done = true;
+                    (u.batch, u.index, u.attempts)
+                };
+                state.stats.completed += 1;
+                complete(
+                    &mut state,
+                    batch,
+                    index,
+                    Ok(UnitOutcome {
+                        payload,
+                        elapsed_ns,
+                        attempts,
+                    }),
+                );
+                shared.cv.notify_all();
+            } else {
+                // A superseded lease finished after re-dispatch: the
+                // first recorded result won, drop this one.
+                state.stats.duplicates += 1;
+            }
+        }
+        Msg::UnitError { seq, message, .. } => {
+            if let Some(lease) = state.leases.remove(&seq) {
+                if let Some(w) = state.workers.get_mut(&lease.worker) {
+                    w.outstanding.retain(|&s| s != seq);
+                }
+                state.stats.unit_errors += 1;
+                requeue_or_fail(shared, &mut state, lease.unit, message);
+            } else {
+                state.stats.duplicates += 1;
+            }
+        }
+        Msg::Shutdown => return false,
+        // Hello twice, or coordinator-only frames: protocol misuse.
+        Msg::Hello { .. } | Msg::Lease { .. } => return false,
+    }
+    true
+}
+
+fn worker_gone(shared: &Arc<Shared>, wid: u64) {
+    let mut state = shared.state.lock().unwrap();
+    let Some(w) = state.workers.remove(&wid) else {
+        return;
+    };
+    state.stats.workers_lost += 1;
+    let _ = w.stream.shutdown(Shutdown::Both);
+    for seq in w.outstanding {
+        if let Some(lease) = state.leases.remove(&seq) {
+            state.stats.redispatched += 1;
+            requeue_or_fail(
+                shared,
+                &mut state,
+                lease.unit,
+                "worker connection lost".into(),
+            );
+        }
+    }
+    shared.cv.notify_all();
+}
+
+/// A unit's current attempt ended without a recorded result: either
+/// schedule another dispatch (after a backoff) or give up.
+fn requeue_or_fail(shared: &Arc<Shared>, state: &mut State, uid: u64, message: String) {
+    let (batch, index, give_up, tag, attempts) = {
+        let u = state
+            .units
+            .get_mut(&uid)
+            .expect("unit exists while incomplete");
+        if u.done {
+            return;
+        }
+        u.last_error = message;
+        (
+            u.batch,
+            u.index,
+            u.attempts >= shared.cfg.max_attempts,
+            u.spec.tag.clone(),
+            u.attempts,
+        )
+    };
+    if give_up {
+        let message = {
+            let u = state.units.get_mut(&uid).expect("unit exists");
+            u.done = true;
+            u.last_error.clone()
+        };
+        complete(
+            state,
+            batch,
+            index,
+            Err(GridError::UnitFailed {
+                tag,
+                attempts,
+                message,
+            }),
+        );
+        shared.cv.notify_all();
+    } else {
+        let delay = shared.cfg.retry_backoff * attempts.max(1);
+        state.delayed.push((Instant::now() + delay, uid));
+    }
+}
+
+fn complete(state: &mut State, batch: u64, index: usize, result: Result<UnitOutcome, GridError>) {
+    if let Some(b) = state.batches.get_mut(&batch) {
+        if b.results[index].is_none() {
+            b.results[index] = Some(result);
+            b.remaining -= 1;
+        }
+    }
+}
+
+fn dispatch_loop(shared: Arc<Shared>) {
+    loop {
+        let mut outbox: Vec<(u64, TcpStream, Msg)> = Vec::new();
+        {
+            let mut state = shared.state.lock().unwrap();
+            if state.shutdown {
+                return;
+            }
+            let now = Instant::now();
+
+            // Backed-off units whose delay has elapsed become pending
+            // again, oldest first.
+            let mut due: Vec<u64> = Vec::new();
+            state.delayed.retain(|&(ready, uid)| {
+                if ready <= now {
+                    due.push(uid);
+                    false
+                } else {
+                    true
+                }
+            });
+            for uid in due {
+                state.pending.push_back(uid);
+            }
+
+            // Expired leases are re-dispatched elsewhere.
+            let expired: Vec<u64> = state
+                .leases
+                .iter()
+                .filter(|(_, l)| l.deadline <= now)
+                .map(|(&seq, _)| seq)
+                .collect();
+            for seq in expired {
+                if let Some(lease) = state.leases.remove(&seq) {
+                    if let Some(w) = state.workers.get_mut(&lease.worker) {
+                        w.outstanding.retain(|&s| s != seq);
+                    }
+                    state.stats.redispatched += 1;
+                    requeue_or_fail(
+                        &shared,
+                        &mut state,
+                        lease.unit,
+                        "lease deadline expired".into(),
+                    );
+                }
+            }
+
+            // Workers that stopped heartbeating are dead; their leases
+            // move on. (An EOF on the connection catches most failures
+            // faster — this is the backstop for wedged-but-open pipes.)
+            let stale: Vec<u64> = state
+                .workers
+                .iter()
+                .filter(|(_, w)| now.duration_since(w.last_seen) > shared.cfg.heartbeat_timeout)
+                .map(|(&wid, _)| wid)
+                .collect();
+            for wid in stale {
+                if let Some(w) = state.workers.remove(&wid) {
+                    state.stats.workers_lost += 1;
+                    let _ = w.stream.shutdown(Shutdown::Both);
+                    for seq in w.outstanding {
+                        if let Some(lease) = state.leases.remove(&seq) {
+                            state.stats.redispatched += 1;
+                            requeue_or_fail(
+                                &shared,
+                                &mut state,
+                                lease.unit,
+                                "worker stopped heartbeating".into(),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Lease pending units to the least-loaded workers with
+            // spare capacity.
+            while let Some(&uid) = state.pending.front() {
+                let avoid = state.units.get(&uid).and_then(|u| u.last_worker);
+                let target = state
+                    .workers
+                    .iter()
+                    .filter(|(_, w)| w.outstanding.len() < w.jobs)
+                    .min_by_key(|(&wid, w)| (Some(wid) == avoid, w.outstanding.len(), wid))
+                    .map(|(&wid, _)| wid);
+                let Some(wid) = target else { break };
+                state.pending.pop_front();
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                let (tag, payload, attempt) = {
+                    let u = state.units.get_mut(&uid).expect("pending unit exists");
+                    u.attempts += 1;
+                    u.last_worker = Some(wid);
+                    (u.spec.tag.clone(), u.spec.payload.clone(), u.attempts)
+                };
+                state.leases.insert(
+                    seq,
+                    LeaseState {
+                        unit: uid,
+                        worker: wid,
+                        deadline: now + shared.cfg.lease_timeout,
+                    },
+                );
+                state.stats.dispatched += 1;
+                let w = state.workers.get_mut(&wid).expect("target worker exists");
+                w.outstanding.push(seq);
+                if let Ok(stream) = w.stream.try_clone() {
+                    outbox.push((
+                        wid,
+                        stream,
+                        Msg::Lease {
+                            seq,
+                            attempt,
+                            tag,
+                            payload,
+                        },
+                    ));
+                }
+            }
+        }
+
+        // Socket writes happen outside the state lock; a failed write
+        // means the worker is gone and its leases re-queue.
+        let mut failed: Vec<u64> = Vec::new();
+        for (wid, mut stream, msg) in outbox {
+            if proto::write_msg(&mut stream, &msg).is_err() {
+                failed.push(wid);
+            }
+        }
+        for wid in failed {
+            worker_gone(&shared, wid);
+        }
+
+        let state = shared.state.lock().unwrap();
+        if state.shutdown {
+            return;
+        }
+        let _ = shared
+            .cv
+            .wait_timeout(state, Duration::from_millis(25))
+            .unwrap();
+    }
+}

@@ -1,0 +1,477 @@
+//! The grid wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is
+//!
+//! ```text
+//! [magic u32][version u16][type u8][flags u8][payload len u32]
+//! [payload ...][checksum u32]
+//! ```
+//!
+//! all little-endian, with the checksum (FNV-1a over header + payload)
+//! trailing so a torn write is always detectable. Decoding is total:
+//! every malformed input — wrong magic, stale version, oversized or
+//! truncated frame, flipped payload bits, unknown message type, garbage
+//! inside a payload — maps to a typed [`ProtoError`], never a panic and
+//! never a silently accepted frame. The property tests in
+//! `tests/proto.rs` fuzz exactly these cases with `ppa-prng`.
+//!
+//! Payload contents use the same primitive encoding ([`ByteWriter`] /
+//! [`ByteReader`]), which `ppa-bench` and `ppa-verify` reuse for their
+//! work-unit payloads so the whole stack shares one set of typed decode
+//! errors.
+
+use std::io::{Read, Write};
+
+/// Frame magic: `"PPAG"` as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"PPAG");
+
+/// Current protocol version. A coordinator and worker must match
+/// exactly; there is no negotiation.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a frame payload. Larger lengths are rejected before
+/// any allocation, so a corrupt length prefix cannot OOM the peer.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+const HEADER_LEN: usize = 12;
+
+/// Why a frame (or payload) failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic(u32),
+    /// The peer speaks a different protocol version.
+    BadVersion(u16),
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The input ends before the frame does.
+    Truncated,
+    /// The trailing checksum does not match the frame contents.
+    BadChecksum { expected: u32, found: u32 },
+    /// The frame is intact but its message type is unknown.
+    UnknownType(u8),
+    /// A payload field failed to parse (bad UTF-8, trailing bytes, ...).
+    Malformed(&'static str),
+    /// The underlying socket failed.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
+            }
+            ProtoError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            ProtoError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// FNV-1a over `bytes`; the per-frame checksum.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Worker -> coordinator, first frame on a connection: how many
+    /// units the worker wants in flight at once.
+    Hello { jobs: u32 },
+    /// Coordinator -> worker: run one work unit. `seq` identifies this
+    /// lease (not the unit — a re-dispatched unit gets a fresh `seq`).
+    Lease {
+        seq: u64,
+        attempt: u32,
+        tag: String,
+        payload: Vec<u8>,
+    },
+    /// Worker -> coordinator: the unit finished, result attached.
+    UnitResult {
+        seq: u64,
+        attempt: u32,
+        elapsed_ns: u64,
+        payload: Vec<u8>,
+    },
+    /// Worker -> coordinator: the unit failed (execution error or
+    /// panic); the coordinator decides whether to retry.
+    UnitError {
+        seq: u64,
+        attempt: u32,
+        message: String,
+    },
+    /// Worker -> coordinator liveness beacon.
+    Heartbeat,
+    /// Coordinator -> worker: drain and disconnect.
+    Shutdown,
+}
+
+const TY_HELLO: u8 = 1;
+const TY_LEASE: u8 = 2;
+const TY_RESULT: u8 = 3;
+const TY_ERROR: u8 = 4;
+const TY_HEARTBEAT: u8 = 5;
+const TY_SHUTDOWN: u8 = 6;
+
+/// Encodes one message as a complete frame.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut body = ByteWriter::new();
+    let ty = match msg {
+        Msg::Hello { jobs } => {
+            body.put_u32(*jobs);
+            TY_HELLO
+        }
+        Msg::Lease {
+            seq,
+            attempt,
+            tag,
+            payload,
+        } => {
+            body.put_u64(*seq);
+            body.put_u32(*attempt);
+            body.put_str(tag);
+            body.put_bytes(payload);
+            TY_LEASE
+        }
+        Msg::UnitResult {
+            seq,
+            attempt,
+            elapsed_ns,
+            payload,
+        } => {
+            body.put_u64(*seq);
+            body.put_u32(*attempt);
+            body.put_u64(*elapsed_ns);
+            body.put_bytes(payload);
+            TY_RESULT
+        }
+        Msg::UnitError {
+            seq,
+            attempt,
+            message,
+        } => {
+            body.put_u64(*seq);
+            body.put_u32(*attempt);
+            body.put_str(message);
+            TY_ERROR
+        }
+        Msg::Heartbeat => TY_HEARTBEAT,
+        Msg::Shutdown => TY_SHUTDOWN,
+    };
+    let body = body.into_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(ty);
+    out.push(0); // flags, reserved
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    let ck = checksum(&out);
+    out.extend_from_slice(&ck.to_le_bytes());
+    out
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Decodes one frame from the front of `buf`, returning the message and
+/// the number of bytes consumed. Validation order: magic, version,
+/// length bounds, completeness, checksum, message type, payload fields.
+pub fn decode(buf: &[u8]) -> Result<(Msg, usize), ProtoError> {
+    if buf.len() < HEADER_LEN {
+        return Err(ProtoError::Truncated);
+    }
+    let magic = le_u32(&buf[0..4]);
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let version = le_u16(&buf[4..6]);
+    if version != VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let ty = buf[6];
+    let len = le_u32(&buf[8..12]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized(len));
+    }
+    let total = HEADER_LEN + len as usize + 4;
+    if buf.len() < total {
+        return Err(ProtoError::Truncated);
+    }
+    let found = le_u32(&buf[total - 4..total]);
+    let expected = checksum(&buf[..total - 4]);
+    if found != expected {
+        return Err(ProtoError::BadChecksum { expected, found });
+    }
+    let mut r = ByteReader::new(&buf[HEADER_LEN..total - 4]);
+    let msg = match ty {
+        TY_HELLO => Msg::Hello { jobs: r.u32()? },
+        TY_LEASE => Msg::Lease {
+            seq: r.u64()?,
+            attempt: r.u32()?,
+            tag: r.str()?,
+            payload: r.bytes()?.to_vec(),
+        },
+        TY_RESULT => Msg::UnitResult {
+            seq: r.u64()?,
+            attempt: r.u32()?,
+            elapsed_ns: r.u64()?,
+            payload: r.bytes()?.to_vec(),
+        },
+        TY_ERROR => Msg::UnitError {
+            seq: r.u64()?,
+            attempt: r.u32()?,
+            message: r.str()?,
+        },
+        TY_HEARTBEAT => Msg::Heartbeat,
+        TY_SHUTDOWN => Msg::Shutdown,
+        other => return Err(ProtoError::UnknownType(other)),
+    };
+    r.finish()?;
+    Ok((msg, total))
+}
+
+/// Reads exactly one frame from a stream. A clean EOF (or any socket
+/// failure) surfaces as [`ProtoError::Io`].
+pub fn read_msg(r: &mut impl Read) -> Result<Msg, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)
+        .map_err(|e| ProtoError::Io(e.kind()))?;
+    // Validate the header before trusting the length prefix.
+    let magic = le_u32(&header[0..4]);
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let version = le_u16(&header[4..6]);
+    if version != VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let len = le_u32(&header[8..12]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized(len));
+    }
+    let mut frame = vec![0u8; HEADER_LEN + len as usize + 4];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    r.read_exact(&mut frame[HEADER_LEN..])
+        .map_err(|e| ProtoError::Io(e.kind()))?;
+    let (msg, consumed) = decode(&frame)?;
+    debug_assert_eq!(consumed, frame.len());
+    Ok(msg)
+}
+
+/// Writes one frame to a stream.
+pub fn write_msg(w: &mut impl Write, msg: &Msg) -> Result<(), ProtoError> {
+    let frame = encode(msg);
+    w.write_all(&frame).map_err(|e| ProtoError::Io(e.kind()))?;
+    w.flush().map_err(|e| ProtoError::Io(e.kind()))
+}
+
+/// Little-endian primitive writer for frame and work-unit payloads.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Stores the exact bit pattern, so results round-trip bit-for-bit.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian primitive reader; every method fails typed, never
+/// panics, on short or garbage input.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(le_u32(self.take(4)?))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_PAYLOAD as usize {
+            return Err(ProtoError::Oversized(n as u32));
+        }
+        self.take(n)
+    }
+
+    pub fn str(&mut self) -> Result<String, ProtoError> {
+        let b = self.bytes()?;
+        std::str::from_utf8(b)
+            .map(str::to_owned)
+            .map_err(|_| ProtoError::Malformed("invalid utf-8 in string field"))
+    }
+
+    /// Rejects trailing garbage: a valid payload is consumed exactly.
+    pub fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Msg {
+        Msg::Lease {
+            seq: 7,
+            attempt: 2,
+            tag: "repro.app".into(),
+            payload: vec![1, 2, 3, 250],
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for msg in [
+            Msg::Hello { jobs: 8 },
+            sample(),
+            Msg::UnitResult {
+                seq: 7,
+                attempt: 2,
+                elapsed_ns: 123,
+                payload: vec![9; 100],
+            },
+            Msg::UnitError {
+                seq: 1,
+                attempt: 4,
+                message: "sim panicked".into(),
+            },
+            Msg::Heartbeat,
+            Msg::Shutdown,
+        ] {
+            let frame = encode(&msg);
+            let (back, used) = decode(&frame).expect("round trip");
+            assert_eq!(back, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn stale_version_is_rejected() {
+        let mut frame = encode(&Msg::Heartbeat);
+        frame[4] = VERSION as u8 + 1;
+        assert_eq!(decode(&frame), Err(ProtoError::BadVersion(VERSION + 1)));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_rejected() {
+        let frame = encode(&sample());
+        let mut bad = frame.clone();
+        bad[HEADER_LEN + 3] ^= 0x40;
+        assert!(matches!(decode(&bad), Err(ProtoError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let frame = encode(&sample());
+        for cut in [0, 3, HEADER_LEN, frame.len() - 1] {
+            assert_eq!(decode(&frame[..cut]), Err(ProtoError::Truncated));
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut frame = encode(&Msg::Heartbeat);
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&frame), Err(ProtoError::Oversized(u32::MAX)));
+    }
+
+    #[test]
+    fn streamed_read_matches_buffer_decode() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode(&Msg::Hello { jobs: 3 }));
+        stream.extend_from_slice(&encode(&Msg::Heartbeat));
+        let mut cursor = &stream[..];
+        assert_eq!(read_msg(&mut cursor).unwrap(), Msg::Hello { jobs: 3 });
+        assert_eq!(read_msg(&mut cursor).unwrap(), Msg::Heartbeat);
+        assert!(matches!(read_msg(&mut cursor), Err(ProtoError::Io(_))));
+    }
+}

@@ -1,0 +1,177 @@
+//! The grid worker: connects to a coordinator, executes leased units on
+//! a local `ppa-pool`, and streams results (with timing) back.
+//!
+//! The read loop runs inside a pool scope: each incoming lease is
+//! spawned as a pool job, so up to [`WorkerOptions::jobs`] units execute
+//! concurrently (the coordinator throttles dispatch to the advertised
+//! capacity) while the socket keeps draining. A heartbeat thread beacons
+//! liveness every [`WorkerOptions::heartbeat`]. A unit that panics is
+//! confined by the pool and reported as a [`Msg::UnitError`] carrying
+//! the panic message, so the coordinator can retry it — or fail the run
+//! naming the unit — instead of waiting out the lease.
+//!
+//! [`WorkerOptions::die_after`] is the fault-injection hook the
+//! loopback self-tests use: after accepting that many leases the worker
+//! drops its connection cold, mid-lease, exactly like a crashed host.
+
+use crate::proto::{self, Msg, ProtoError};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// An application-level unit executor: maps a `(tag, payload)` work
+/// unit to result bytes. Implementations dispatch on the tag prefix
+/// (`"repro."`, `"oracle."`, ...).
+pub trait Executor: Send + Sync {
+    fn execute(&self, tag: &str, payload: &[u8]) -> Result<Vec<u8>, String>;
+}
+
+/// Worker tuning and fault-injection knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Units to run concurrently (advertised to the coordinator).
+    pub jobs: usize,
+    /// Liveness beacon interval; must be well under the coordinator's
+    /// heartbeat timeout.
+    pub heartbeat: Duration,
+    /// Fault injection: accept this many leases, then drop the
+    /// connection without completing the next one.
+    pub die_after: Option<usize>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            jobs: 1,
+            heartbeat: Duration::from_secs(2),
+            die_after: None,
+        }
+    }
+}
+
+/// What a worker did before disconnecting.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Units executed to a successful result.
+    pub executed: usize,
+    /// Whether the worker died via [`WorkerOptions::die_after`].
+    pub died: bool,
+}
+
+/// Runs one worker until the coordinator shuts it down (or the
+/// connection drops). Blocks the calling thread.
+pub fn run_worker(
+    addr: impl ToSocketAddrs,
+    opts: WorkerOptions,
+    exec: Arc<dyn Executor>,
+) -> Result<WorkerReport, ProtoError> {
+    let stream = TcpStream::connect(addr).map_err(|e| ProtoError::Io(e.kind()))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream.try_clone().map_err(|e| ProtoError::Io(e.kind()))?;
+    let writer = Arc::new(Mutex::new(
+        stream.try_clone().map_err(|e| ProtoError::Io(e.kind()))?,
+    ));
+    proto::write_msg(
+        &mut *writer.lock().unwrap(),
+        &Msg::Hello {
+            jobs: opts.jobs.max(1) as u32,
+        },
+    )?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat_thread = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        let interval = opts.heartbeat;
+        std::thread::Builder::new()
+            .name("grid-heartbeat".into())
+            .spawn(move || {
+                let mut last = Instant::now();
+                while !stop.load(Ordering::SeqCst) {
+                    if last.elapsed() >= interval {
+                        let ok = proto::write_msg(&mut *writer.lock().unwrap(), &Msg::Heartbeat);
+                        if ok.is_err() {
+                            return;
+                        }
+                        last = Instant::now();
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            })
+            .expect("spawning the worker heartbeat thread")
+    };
+
+    let pool = ppa_pool::ThreadPool::new(opts.jobs.max(1));
+    let executed = AtomicUsize::new(0);
+    let mut received = 0usize;
+    let mut died = false;
+    pool.scope(|s| {
+        loop {
+            match proto::read_msg(&mut reader) {
+                Ok(Msg::Lease {
+                    seq,
+                    attempt,
+                    tag,
+                    payload,
+                }) => {
+                    received += 1;
+                    if opts.die_after.is_some_and(|n| received > n) {
+                        // Crash injection: vanish mid-lease, no result,
+                        // no goodbye — the coordinator must recover.
+                        died = true;
+                        let _ = stream.shutdown(Shutdown::Both);
+                        break;
+                    }
+                    let writer = Arc::clone(&writer);
+                    let exec = Arc::clone(&exec);
+                    let executed = &executed;
+                    s.spawn(move |_ctx| {
+                        let t0 = Instant::now();
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| exec.execute(&tag, &payload)))
+                                .unwrap_or_else(|payload| {
+                                    let msg =
+                                        if let Some(s) = payload.downcast_ref::<&'static str>() {
+                                            (*s).to_string()
+                                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                                            s.clone()
+                                        } else {
+                                            "opaque panic payload".to_string()
+                                        };
+                                    Err(format!("unit panicked: {msg}"))
+                                });
+                        let msg = match result {
+                            Ok(bytes) => {
+                                executed.fetch_add(1, Ordering::SeqCst);
+                                Msg::UnitResult {
+                                    seq,
+                                    attempt,
+                                    elapsed_ns: t0.elapsed().as_nanos() as u64,
+                                    payload: bytes,
+                                }
+                            }
+                            Err(message) => Msg::UnitError {
+                                seq,
+                                attempt,
+                                message,
+                            },
+                        };
+                        let _ = proto::write_msg(&mut *writer.lock().unwrap(), &msg);
+                    });
+                }
+                Ok(Msg::Shutdown) => break,
+                Ok(_) => {}      // tolerate unexpected-but-valid frames
+                Err(_) => break, // disconnect or protocol violation
+            }
+        }
+    });
+    stop.store(true, Ordering::SeqCst);
+    let _ = heartbeat_thread.join();
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(WorkerReport {
+        executed: executed.load(Ordering::SeqCst),
+        died,
+    })
+}

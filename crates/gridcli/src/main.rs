@@ -1,0 +1,299 @@
+//! `ppa-grid` — the standalone grid front-end.
+//!
+//! ```text
+//! # host A: serve the full paper reproduction to remote workers
+//! ppa-grid serve --listen 0.0.0.0:7171 --min-workers 2 all
+//!
+//! # hosts B, C: execute work units until host A finishes
+//! ppa-grid work --connect hostA:7171 --jobs 8
+//!
+//! # single host: loopback self-test of the whole stack
+//! ppa-grid selftest --workers 3
+//! ```
+//!
+//! `serve` renders the selected experiments exactly like `repro` does
+//! (stdout is byte-identical to a local run); `work` executes both the
+//! benchmark (`repro.*`) and oracle (`oracle.*`) unit vocabularies, so
+//! one worker process serves `repro --grid serve:...` and
+//! `ppa-verify oracle --grid serve:...` alike. `selftest` runs a
+//! loopback grid — including an injected mid-lease worker death — and
+//! checks the transported results byte-for-byte against local
+//! execution.
+
+use ppa_bench::{experiments, gridwork};
+use ppa_grid::coord::{Coordinator, GridConfig};
+use ppa_grid::loopback;
+use ppa_grid::worker::{run_worker, Executor, WorkerOptions};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Routes both harnesses' unit vocabularies to their dispatchers.
+struct CombinedExecutor;
+
+impl Executor for CombinedExecutor {
+    fn execute(&self, tag: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
+        if tag.starts_with("repro.") {
+            gridwork::execute(tag, payload)
+        } else if tag.starts_with("oracle.") {
+            ppa_verify::grid::execute(tag, payload)
+        } else {
+            Err(format!("unknown unit tag '{tag}'"))
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ppa-grid <serve|work|selftest> [options]");
+    eprintln!();
+    eprintln!("  serve --listen HOST:PORT [--min-workers N] <experiment>...|all");
+    eprintln!("      bind a coordinator, wait for N workers (default 1), then");
+    eprintln!("      render the selected experiments across them (stdout is");
+    eprintln!("      byte-identical to a local `repro` run)");
+    eprintln!();
+    eprintln!("  work --connect HOST:PORT [--jobs N]");
+    eprintln!("      execute work units for a coordinator until it shuts down;");
+    eprintln!("      N concurrent units (default: PPA_JOBS, else 1; 0 = auto)");
+    eprintln!();
+    eprintln!("  selftest [--workers N] [--jobs N]");
+    eprintln!("      loopback smoke test: distribute representative benchmark");
+    eprintln!("      and oracle units over N in-process workers (default 2),");
+    eprintln!("      kill one mid-lease, and diff every result against local");
+    eprintln!("      execution");
+    std::process::exit(2)
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut min_workers = 1usize;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = it.next().cloned(),
+            "--min-workers" => {
+                min_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--jobs" => ppa_pool::set_jobs(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage()),
+            ),
+            _ => ids.push(a.clone()),
+        }
+    }
+    let listen = listen.unwrap_or_else(|| usage());
+    if ids.is_empty() {
+        usage();
+    }
+    let registry = experiments::all_experiments();
+    let selected: Vec<(&'static str, experiments::Experiment)> = if ids.iter().any(|i| i == "all") {
+        registry
+    } else {
+        ids.iter()
+            .map(|id| {
+                registry
+                    .iter()
+                    .find(|(n, _)| n == id)
+                    .copied()
+                    .unwrap_or_else(|| {
+                        eprintln!("ppa-grid: unknown experiment '{id}'");
+                        std::process::exit(2);
+                    })
+            })
+            .collect()
+    };
+
+    let coord = match Coordinator::bind(listen.as_str(), GridConfig::default()) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("ppa-grid: failed to bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ppa-grid: listening on {}; waiting for {min_workers} worker(s)...",
+        coord.local_addr()
+    );
+    if !coord.wait_for_workers(min_workers, Duration::from_secs(600)) {
+        eprintln!("ppa-grid: {min_workers} worker(s) did not connect within 600s");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("ppa-grid: {} worker(s) connected", coord.live_workers());
+    gridwork::install(gridwork::GridHandle::Serve(Arc::clone(&coord)));
+
+    let render =
+        || ppa_pool::par_map_ordered(selected, |(id, f)| (id, gridwork::render_experiment(id, f)));
+    let rendered = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(render)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("experiment panicked");
+            eprintln!("ppa-grid: {msg}");
+            coord.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    for (id, table) in rendered {
+        println!("=== {id} ===");
+        println!("{table}");
+    }
+    let s = coord.stats();
+    eprintln!(
+        "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+        s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
+    );
+    coord.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn cmd_work(args: &[String]) -> ExitCode {
+    let mut connect: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = it.next().cloned(),
+            "--jobs" => ppa_pool::set_jobs(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage()),
+            ),
+            _ => usage(),
+        }
+    }
+    let connect = connect.unwrap_or_else(|| usage());
+    let jobs = ppa_pool::configured_jobs();
+    eprintln!("ppa-grid: connecting to {connect} with {jobs} job slot(s)");
+    match run_worker(
+        connect.as_str(),
+        WorkerOptions {
+            jobs,
+            ..WorkerOptions::default()
+        },
+        Arc::new(CombinedExecutor),
+    ) {
+        Ok(report) => {
+            eprintln!("ppa-grid: done; executed {} unit(s)", report.executed);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ppa-grid: worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_selftest(args: &[String]) -> ExitCode {
+    let mut workers = 2usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--jobs" => ppa_pool::set_jobs(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage()),
+            ),
+            _ => usage(),
+        }
+    }
+    let workers = workers.max(2); // one dies; at least one must survive
+
+    // Representative traffic: every fig11 app cell (one per workload)
+    // plus a small oracle plan/cell batch, at trace lengths that keep
+    // the self-test in the seconds range.
+    let mut units = gridwork::units_for("fig11", 4_000).expect("fig11 decomposes");
+    units.extend(ppa_verify::grid::selftest_units());
+    let expected: Vec<Vec<u8>> = units
+        .iter()
+        .map(|u| {
+            CombinedExecutor
+                .execute(&u.tag, &u.payload)
+                .expect("selftest units execute locally")
+        })
+        .collect();
+
+    // Worker 0 drops its connection mid-lease after a few units; the
+    // coordinator must re-dispatch its outstanding leases to survivors.
+    let mut opts = vec![WorkerOptions {
+        die_after: Some(3),
+        ..WorkerOptions::default()
+    }];
+    opts.extend(vec![WorkerOptions::default(); workers - 1]);
+    let exec: Arc<dyn Executor> = Arc::new(CombinedExecutor);
+    let lb = match loopback::start(opts, exec, GridConfig::default()) {
+        Ok(lb) => lb,
+        Err(e) => {
+            eprintln!("ppa-grid: selftest failed to start loopback grid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ppa-grid: selftest with {workers} loopback workers on {} ({} units, worker 0 dies mid-lease)",
+        lb.coordinator().local_addr(),
+        units.len()
+    );
+    let results = lb.run_units(units.clone());
+    let stats = lb.coordinator().stats();
+    let reports = lb.shutdown();
+
+    let mut ok = true;
+    for ((unit, exp), res) in units.iter().zip(&expected).zip(results) {
+        match res {
+            Ok(outcome) if outcome.payload == *exp => {}
+            Ok(_) => {
+                eprintln!("ppa-grid: selftest MISMATCH for unit '{}'", unit.tag);
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("ppa-grid: selftest unit '{}' failed: {e}", unit.tag);
+                ok = false;
+            }
+        }
+    }
+    if !reports.iter().any(|r| r.died) {
+        eprintln!("ppa-grid: selftest expected an injected worker death; none occurred");
+        ok = false;
+    }
+    if stats.workers_lost == 0 || stats.redispatched == 0 {
+        eprintln!(
+            "ppa-grid: selftest expected the coordinator to lose a worker and re-dispatch (lost={}, redispatched={})",
+            stats.workers_lost, stats.redispatched
+        );
+        ok = false;
+    }
+    eprintln!(
+        "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+        stats.dispatched, stats.completed, stats.redispatched, stats.duplicates, stats.unit_errors, stats.workers_joined, stats.workers_lost
+    );
+    if ok {
+        println!(
+            "ppa-grid: selftest passed (all transported results byte-identical to local execution)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("ppa-grid: selftest FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("work") => cmd_work(&args[1..]),
+        Some("selftest") => cmd_selftest(&args[1..]),
+        _ => usage(),
+    }
+}

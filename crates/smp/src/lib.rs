@@ -19,9 +19,11 @@
 //!   replay order is correct under data-race-freedom) and restarts every
 //!   core after its LCPC;
 //! * **cross-core validators** — [`check_drain_log`] (drain-order and
-//!   persist-before-dependence) and [`check_images`] (recovery-image
-//!   coherence), with [`ArbiterFault`] mutations to prove they catch a
-//!   deliberately broken arbiter.
+//!   persist-before-dependence), [`check_arbiter_fairness`] (round-robin
+//!   rotation and starvation-freedom, judged from the request lines each
+//!   certificate records rather than asserted by construction) and
+//!   [`check_images`] (recovery-image coherence), with [`ArbiterFault`]
+//!   mutations to prove they catch a deliberately broken arbiter.
 //!
 //! Baseline (non-PPA) machines never end sync regions, so the arbiter
 //! naturally no-ops and the interconnect is the only difference from the
@@ -30,5 +32,7 @@
 mod arbiter;
 mod system;
 
-pub use arbiter::{check_drain_log, ArbiterFault, DrainGrant, PersistArbiter};
+pub use arbiter::{
+    check_arbiter_fairness, check_drain_log, ArbiterFault, DrainGrant, PersistArbiter,
+};
 pub use system::{check_images, MachineCheckpoint, SmpReport, SmpSystem};

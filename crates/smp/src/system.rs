@@ -1,7 +1,9 @@
 //! The shared-memory multi-core machine: N cores, one memory hierarchy,
 //! a deterministic interconnect, and whole-machine checkpoint/recovery.
 
-use crate::arbiter::{check_drain_log, ArbiterFault, DrainGrant, PersistArbiter};
+use crate::arbiter::{
+    check_arbiter_fairness, check_drain_log, ArbiterFault, DrainGrant, PersistArbiter,
+};
 use ppa_core::verify::{InvariantKind, Violation};
 use ppa_core::{
     deserialize_images, replay_stores, serialize_images, CheckpointImage, Core, CoreStats,
@@ -302,14 +304,16 @@ impl SmpSystem {
     }
 
     /// Runs the machine-level validators: the drain-log total-order and
-    /// persist-before-dependence checks, plus recovery-image coherence on
-    /// a checkpoint taken now. Empty on a correct machine.
+    /// persist-before-dependence checks, the grant port's observed
+    /// round-robin fairness, plus recovery-image coherence on a
+    /// checkpoint taken now. Empty on a correct machine.
     pub fn validate(&self) -> Vec<Violation> {
         let mut v = check_drain_log(
             self.arbiter.log(),
             self.cores.len(),
             self.arbiter.grants_per_cycle(),
         );
+        v.extend(check_arbiter_fairness(self.arbiter.log(), self.cores.len()));
         v.extend(check_images(&self.jit_checkpoint().images));
         v
     }

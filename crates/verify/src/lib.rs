@@ -39,6 +39,7 @@
 //! ```
 
 pub mod golden;
+pub mod grid;
 pub mod lint;
 pub mod mutation;
 pub mod oracle;

@@ -16,7 +16,7 @@
 
 use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
 use ppa_verify::lint::{LintProfile, Severity};
-use ppa_verify::{lint_trace, mutation, oracle, runner, smp_oracle};
+use ppa_verify::{grid, lint_trace, mutation, oracle, runner, smp_oracle};
 use ppa_workloads::registry;
 use std::process::ExitCode;
 
@@ -25,6 +25,7 @@ struct Options {
     seed: u64,
     points: usize,
     cores: usize,
+    grid: Option<String>,
 }
 
 impl Default for Options {
@@ -40,13 +41,14 @@ impl Default for Options {
             seed: 1,
             points,
             cores: 2,
+            grid: None,
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ppa-verify <check|lint|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N]"
+        "usage: ppa-verify <check|lint|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N] [--grid MODE]"
     );
     eprintln!();
     eprintln!("  check   run cycle-level invariant checks on all workloads (PPA mode)");
@@ -56,14 +58,17 @@ fn usage() -> ! {
     eprintln!("  mutate  self-test: injected hardware bugs must be caught by name");
     eprintln!("  all     everything above, in order");
     eprintln!();
-    eprintln!("  --len N     uops per workload trace (default 2000)");
-    eprintln!("  --seed N    base RNG seed (default 1)");
-    eprintln!("  --points N  failure injections per workload for `oracle`/`smp` (default 3)");
-    eprintln!("  --cores N   cores for the `smp` oracle machine (default 2)");
-    eprintln!("  --jobs N    worker threads for the fan-out (0 = auto, default 1 = serial)");
+    eprintln!("  --len N      uops per workload trace (default 2000)");
+    eprintln!("  --seed N     base RNG seed (default 1)");
+    eprintln!("  --points N   failure injections per workload for `oracle`/`smp` (default 3)");
+    eprintln!("  --cores N    cores for the `smp` oracle machine (default 2)");
+    eprintln!("  --jobs N     worker threads for the fan-out (0 = auto, default 1 = serial)");
+    eprintln!("  --grid MODE  distribute the `oracle` grid: off (default), loopback:N,");
+    eprintln!("               or serve:HOST:PORT for `ppa-grid work --connect` workers");
     eprintln!();
     eprintln!("environment:");
     eprintln!("  PPA_JOBS=N           same as --jobs (the flag wins)");
+    eprintln!("  PPA_GRID=MODE        same as --grid (the flag wins)");
     eprintln!("  PPA_ORACLE_POINTS=N  default for --points");
     eprintln!("  PPA_POOL_STATS=1     print pool counters to stderr on exit");
     std::process::exit(2)
@@ -84,6 +89,7 @@ fn parse_args() -> (String, Options) {
             "--points" => opts.points = value.parse().unwrap_or_else(|_| usage()),
             "--cores" => opts.cores = value.parse().unwrap_or_else(|_| usage()),
             "--jobs" => ppa_pool::set_jobs(value.parse().unwrap_or_else(|_| usage())),
+            "--grid" => opts.grid = Some(value),
             _ => usage(),
         }
     }
@@ -187,8 +193,9 @@ fn cmd_lint(opts: &Options) -> bool {
     ok
 }
 
-/// `ppa-verify oracle`: randomized crash injections across all workloads.
-fn cmd_oracle(opts: &Options) -> bool {
+/// `ppa-verify oracle`: randomized crash injections across all
+/// workloads, distributed over the grid when one is attached.
+fn cmd_oracle(opts: &Options, grid_handle: Option<&grid::GridHandle>) -> bool {
     println!(
         "== oracle: {} injections x {} workloads, len={} seed={}",
         opts.points,
@@ -196,36 +203,34 @@ fn cmd_oracle(opts: &Options) -> bool {
         opts.len,
         opts.seed
     );
-    let outcomes = oracle::run_suite(opts.len, opts.seed, opts.points);
+    let rows: Vec<grid::OracleRow> = match grid_handle {
+        Some(h) => match grid::oracle_rows(h.coordinator(), opts.len, opts.seed, opts.points) {
+            Ok(rows) => rows,
+            Err(e) => {
+                println!("  grid: {e}");
+                return false;
+            }
+        },
+        None => oracle::run_suite(opts.len, opts.seed, opts.points)
+            .iter()
+            .map(grid::OracleRow::from_outcome)
+            .collect(),
+    };
     let mut ok = true;
     let mut exercised = 0usize;
-    for o in &outcomes {
-        if o.replayed > 0 || !o.consistent_before_replay {
+    for row in &rows {
+        if row.exercised {
             exercised += 1;
         }
-        if !o.passed() {
+        if !row.passed {
             ok = false;
-            println!(
-                "  FAIL {:<16} fail_cycle={} committed={} replayed={} ckpt={}B resumed={}",
-                o.app,
-                o.fail_cycle,
-                o.committed,
-                o.replayed,
-                o.checkpoint_bytes,
-                o.resumed_to_completion
-            );
-            for m in o.recovery_mismatches.iter().take(5) {
-                println!("       recovery: {m:?}");
-            }
-            for m in o.final_mismatches.iter().take(5) {
-                println!("       final:    {m:?}");
-            }
+            println!("{}", row.failure);
         }
     }
     println!(
         "  {} / {} points passed; {} exercised non-trivial recovery",
-        outcomes.iter().filter(|o| o.passed()).count(),
-        outcomes.len(),
+        rows.iter().filter(|r| r.passed).count(),
+        rows.len(),
         exercised
     );
     ok
@@ -324,10 +329,25 @@ fn cmd_mutate(_opts: &Options) -> bool {
 
 fn main() -> ExitCode {
     let (cmd, opts) = parse_args();
+    // The grid (if requested) distributes the `oracle` stage; the other
+    // stages always run locally.
+    let mode = match &opts.grid {
+        Some(v) => ppa_grid::parse_grid_mode(v),
+        None => ppa_grid::grid_mode_from_env(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("ppa-verify: {e}");
+        std::process::exit(2);
+    });
+    let grid_handle =
+        grid::attach(mode, std::sync::Arc::new(grid::VerifyExecutor)).unwrap_or_else(|e| {
+            eprintln!("ppa-verify: {e}");
+            std::process::exit(1);
+        });
     let ok = match cmd.as_str() {
         "check" => cmd_check(&opts),
         "lint" => cmd_lint(&opts),
-        "oracle" => cmd_oracle(&opts),
+        "oracle" => cmd_oracle(&opts, grid_handle.as_ref()),
         "smp" => cmd_smp(&opts),
         "mutate" => cmd_mutate(&opts),
         "all" => {
@@ -335,13 +355,22 @@ fn main() -> ExitCode {
             // the full picture.
             let c = cmd_check(&opts);
             let l = cmd_lint(&opts);
-            let o = cmd_oracle(&opts);
+            let o = cmd_oracle(&opts, grid_handle.as_ref());
             let s = cmd_smp(&opts);
             let m = cmd_mutate(&opts);
             c && l && o && s && m
         }
         _ => usage(),
     };
+    if let Some(h) = &grid_handle {
+        let coord = h.coordinator();
+        let s = coord.stats();
+        eprintln!(
+            "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+            s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
+        );
+        coord.shutdown();
+    }
     if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {
         if let Some(stats) = ppa_pool::global_stats() {
             eprintln!("{}", stats.table());

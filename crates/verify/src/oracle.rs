@@ -84,6 +84,34 @@ impl OracleOutcome {
     }
 }
 
+/// Renders the `ppa-verify oracle` FAIL block for a failing outcome
+/// (empty string for a passing one). Lives here rather than in the
+/// binary so grid workers render failure reports byte-identically to a
+/// local run.
+pub fn render_failure(o: &OracleOutcome) -> String {
+    if o.passed() {
+        return String::new();
+    }
+    let mut lines = vec![format!(
+        "  FAIL {:<16} fail_cycle={} committed={} replayed={} ckpt={}B resumed={}",
+        o.app, o.fail_cycle, o.committed, o.replayed, o.checkpoint_bytes, o.resumed_to_completion
+    )];
+    for m in o.recovery_mismatches.iter().take(5) {
+        lines.push(format!("       recovery: {m:?}"));
+    }
+    for m in o.final_mismatches.iter().take(5) {
+        lines.push(format!("       final:    {m:?}"));
+    }
+    lines.join("\n")
+}
+
+/// Whether this outcome exercised non-trivial recovery (replayed stores
+/// or repaired a pre-replay inconsistency) — the statistic the oracle
+/// summary line reports.
+pub fn exercised_recovery(o: &OracleOutcome) -> bool {
+    o.replayed > 0 || !o.consistent_before_replay
+}
+
 /// Runs one failure injection at `fail_cycle` on a single-core PPA
 /// machine executing `trace`. The checkpoint flush completes within the
 /// residual-energy window (the §4.5 guarantee).

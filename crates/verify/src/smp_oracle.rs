@@ -259,16 +259,19 @@ pub fn run_arbiter_mutations(len: usize, seed: u64) -> Vec<SmpMutationReport> {
             ArbiterFault::DuplicateImageEntry,
             InvariantKind::RecoveryImageOverlap,
         ),
+        (ArbiterFault::BiasedPort, InvariantKind::ArbiterUnfair),
     ];
     ppa_pool::par_map_ordered(cases.to_vec(), move |(fault, expected)| {
-        let app = shared::by_name("counters").expect("counters is registered");
         // Two cores suffice for an image overlap; the ordering faults need
-        // enough cores for the round-robin to matter.
-        let cores = if fault == ArbiterFault::DuplicateImageEntry {
-            2
-        } else {
-            4
+        // enough cores for the round-robin to matter; the biased port only
+        // shows once enough cores contend for the grant slot at the same
+        // time, which the barrier workload's sync storms guarantee.
+        let (app_name, cores) = match fault {
+            ArbiterFault::DuplicateImageEntry => ("counters", 2),
+            ArbiterFault::BiasedPort => ("barrier", 8),
+            _ => ("counters", 4),
         };
+        let app = shared::by_name(app_name).expect("shared workload is registered");
         let cfg = SystemConfig::ppa().with_threads(cores);
         let mut sys = SmpSystem::new(cfg, app.generate_threads(len, seed, cores));
         sys.inject_arbiter_fault(fault);

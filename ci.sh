@@ -90,4 +90,38 @@ diff /tmp/ppa_ci_oracle_local.txt /tmp/ppa_ci_oracle_grid.txt
 echo "== ppa-grid selftest (3 workers, one dies mid-lease)"
 time cargo run -q -p ppa-gridcli --release --bin ppa-grid -- selftest --workers 3 2> /dev/null
 
+# Telemetry must never perturb stdout: the worker-death grid run again,
+# now with every telemetry surface on, must match the local run byte
+# for byte while also producing the metrics and trace files.
+echo "== repro telemetry smoke (stdout identity under --metrics/--trace-out)"
+PPA_JOBS=0 PPA_REPRO_LEN=1200 PPA_GRID_DIE_AFTER=3 \
+    cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:3 \
+    --metrics --metrics-json /tmp/ppa_ci_metrics.json --trace-out /tmp/ppa_ci_trace.json \
+    fig11 table4 ckpt > /tmp/ppa_ci_grid_telem.txt 2> /dev/null
+diff /tmp/ppa_ci_local.txt /tmp/ppa_ci_grid_telem.txt
+
+# The checker merges its verify.check.* metrics into the same snapshot
+# (this is exactly how results/bench_baseline.json is regenerated).
+echo "== ppa-verify check --metrics-json-merge"
+cargo run -q -p ppa-verify --release -- check --len 600 \
+    --metrics-json-merge /tmp/ppa_ci_metrics.json > /dev/null 2> /dev/null
+
+# Smoke-validate the emitted JSON with an independent parser: it must
+# parse, be non-empty, and contain the expected metric families; the
+# trace must be sorted Chrome trace_event JSON of complete events.
+echo "== telemetry JSON validation (python3)"
+python3 - <<'EOF'
+import json
+m = json.load(open("/tmp/ppa_ci_metrics.json"))
+assert m, "metrics JSON is empty"
+for fam in ("grid.coord.", "verify.check.", "pool.", "sim.", "span.experiment."):
+    assert any(k.startswith(fam) for k in m), f"no {fam}* metrics"
+assert all(isinstance(v, (int, float)) for v in m.values()), "non-numeric metric value"
+ev = json.load(open("/tmp/ppa_ci_trace.json"))["traceEvents"]
+assert ev, "trace is empty"
+assert all(e["ph"] == "X" for e in ev), "non-complete trace event"
+assert all(a["ts"] <= b["ts"] for a, b in zip(ev, ev[1:])), "trace not ts-sorted"
+print(f"telemetry ok: {len(m)} metrics, {len(ev)} trace events")
+EOF
+
 echo "CI: all gates passed"

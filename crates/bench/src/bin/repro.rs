@@ -6,6 +6,7 @@
 //! PPA_JOBS=8 cargo run -p ppa-bench --release --bin repro -- all
 //! PPA_REPRO_LEN=100000 cargo run -p ppa-bench --release --bin repro -- fig16
 //! cargo run -p ppa-bench --release --bin repro -- --grid loopback:2 all
+//! cargo run -p ppa-bench --release --bin repro -- --metrics-json m.json all
 //! ```
 //!
 //! Parallelism (`--jobs N` / `PPA_JOBS=N`; `0` = one worker per CPU)
@@ -15,24 +16,30 @@
 //! in-process workers, `serve:HOST:PORT` waits for external
 //! `ppa-grid work` processes. Tables always print to stdout in paper
 //! order and are byte-identical at any job count and any grid
-//! configuration; wall-clock timings go to stderr so stdout stays
-//! deterministic.
+//! configuration; all telemetry — timings, `--metrics` tables,
+//! `--metrics-json` / `--trace-out` files — goes to stderr or to the
+//! named files so stdout stays deterministic.
 
 use ppa_bench::{experiments, gridwork};
 use ppa_grid::{loopback, Coordinator, GridConfig, GridMode};
 use ppa_stats::fmt_duration;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--jobs N] [--grid MODE] <experiment>... | all | list");
+    eprintln!("usage: repro [OPTIONS] <experiment>... | all | list");
     eprintln!();
     eprintln!("options:");
-    eprintln!("  --jobs N     worker threads for per-app fan-out (0 = auto,");
-    eprintln!("               default 1 = serial); PPA_JOBS=N is equivalent");
-    eprintln!("  --grid MODE  off (default), loopback:N (self-test with N");
-    eprintln!("               in-process workers), or serve:HOST:PORT (wait");
-    eprintln!("               for `ppa-grid work --connect` workers)");
+    eprintln!("  --jobs N            worker threads for per-app fan-out (0 = auto,");
+    eprintln!("                      default 1 = serial); PPA_JOBS=N is equivalent");
+    eprintln!("  --grid MODE         off (default), loopback:N (self-test with N");
+    eprintln!("                      in-process workers), or serve:HOST:PORT (wait");
+    eprintln!("                      for `ppa-grid work --connect` workers)");
+    eprintln!("  --metrics           print the metrics registry to stderr on exit");
+    eprintln!("  --metrics-json FILE write the metrics registry as flat JSON");
+    eprintln!("  --trace-out FILE    write a Chrome trace_event timeline (open in");
+    eprintln!("                      chrome://tracing or https://ui.perfetto.dev)");
     eprintln!();
     eprintln!("environment:");
     eprintln!("  PPA_JOBS=N        same as --jobs (the flag wins)");
@@ -40,6 +47,7 @@ fn usage() -> ! {
     eprintln!("  PPA_GRID_DIE_AFTER=N  loopback fault injection: worker 0 drops");
     eprintln!("                    its connection after N units (testing)");
     eprintln!("  PPA_REPRO_LEN=N   per-app trace length (default 40000)");
+    eprintln!("  PPA_LOG=LEVEL     stderr log level: error|warn|info|debug");
     eprintln!("  PPA_POOL_STATS=1  print pool counters to stderr on exit");
     eprintln!();
     eprintln!("experiments:");
@@ -81,8 +89,9 @@ fn attach_grid(mode: GridMode) -> bool {
                 eprintln!("repro: failed to start loopback grid: {e}");
                 std::process::exit(1);
             });
-            eprintln!(
-                "grid: loopback with {n} workers on {}",
+            ppa_obs::info!(
+                "grid",
+                "loopback with {n} workers on {}",
                 lb.coordinator().local_addr()
             );
             gridwork::install(gridwork::GridHandle::Loopback(lb));
@@ -94,8 +103,9 @@ fn attach_grid(mode: GridMode) -> bool {
                     eprintln!("repro: failed to bind {addr}: {e}");
                     std::process::exit(1);
                 });
-            eprintln!(
-                "grid: listening on {}; waiting for a worker...",
+            ppa_obs::info!(
+                "grid",
+                "listening on {}; waiting for a worker...",
                 coord.local_addr()
             );
             let coord = Arc::new(coord);
@@ -103,7 +113,7 @@ fn attach_grid(mode: GridMode) -> bool {
                 eprintln!("repro: no worker connected within 600s");
                 std::process::exit(1);
             }
-            eprintln!("grid: {} worker(s) connected", coord.live_workers());
+            ppa_obs::info!("grid", "{} worker(s) connected", coord.live_workers());
             gridwork::install(gridwork::GridHandle::Serve(coord));
             true
         }
@@ -113,6 +123,9 @@ fn attach_grid(mode: GridMode) -> bool {
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut grid_flag: Option<String> = None;
+    let mut metrics_table = false;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -124,12 +137,22 @@ fn main() {
                 ppa_pool::set_jobs(n);
             }
             "--grid" => grid_flag = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_table = true,
+            "--metrics-json" => {
+                metrics_json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             _ => ids.push(arg),
         }
     }
     if ids.is_empty() {
         usage();
+    }
+    if trace_out.is_some() {
+        ppa_obs::span::enable_trace();
     }
 
     let registry = experiments::all_experiments();
@@ -172,10 +195,11 @@ fn main() {
     // that into a clean nonzero exit naming the culprit.
     let t0 = Instant::now();
     let run = || {
+        let _run_span = ppa_obs::span("repro.run");
         ppa_pool::par_map_ordered(selected, |(id, f)| {
-            let t = Instant::now();
+            let _span = ppa_obs::span(&format!("experiment.{id}"));
             let table = gridwork::render_experiment(id, f);
-            (id, table, t.elapsed())
+            (id, table)
         })
     };
     let rendered = if grid_on {
@@ -194,18 +218,24 @@ fn main() {
     } else {
         run()
     };
-    for (id, table, took) in rendered {
+    let wall = t0.elapsed();
+    for (id, table) in rendered {
         println!("=== {id} ===");
         println!("{table}");
-        eprintln!("{id}: {}", fmt_duration(took));
     }
-    eprintln!("total: {}", fmt_duration(t0.elapsed()));
+    // One stable per-experiment timing format (aggregated from the
+    // spans; sorted by label, not completion order).
+    for line in ppa_obs::span::timing_lines("experiment.") {
+        eprintln!("{line}");
+    }
+    eprintln!("total: {}", fmt_duration(wall));
 
     if let Some(grid) = gridwork::active() {
         let coord = grid.coordinator();
         let s = coord.stats();
-        eprintln!(
-            "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+        ppa_obs::info!(
+            "grid",
+            "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
             s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
         );
         coord.shutdown();
@@ -214,6 +244,38 @@ fn main() {
     if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {
         if let Some(stats) = ppa_pool::global_stats() {
             eprintln!("{}", stats.table());
+        }
+    }
+
+    // Telemetry exports happen after all result output: fold the pool
+    // counters in, derive throughput, then render/write the snapshot.
+    if metrics_table || metrics_json.is_some() {
+        ppa_pool::export_metrics();
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            let snap = ppa_obs::snapshot();
+            if let Some(ppa_obs::registry::Value::Counter(cycles)) = snap.get("sim.cycles.total") {
+                ppa_obs::registry::gauge("sim.cycles_per_sec").set(*cycles as f64 / secs);
+            }
+        }
+        let snap = ppa_obs::snapshot();
+        if metrics_table {
+            eprint!("{}", snap.to_table());
+        }
+        if let Some(path) = &metrics_json {
+            if let Err(e) = snap.write_json_file(path, false) {
+                eprintln!("repro: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &trace_out {
+        match ppa_obs::span::write_trace(path) {
+            Ok(n) => ppa_obs::info!("trace", "wrote {n} events to {}", path.display()),
+            Err(e) => {
+                eprintln!("repro: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -1,0 +1,143 @@
+//! The telemetry acceptance contract for `repro`: stdout stays
+//! byte-identical whether or not metrics/tracing are requested, the
+//! metrics JSON is machine-readable, the trace file is a structurally
+//! valid Chrome trace, and the stderr timing lines follow the one
+//! stable format. Drives the real compiled binary.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn repro(dir: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig5"])
+        .args(extra)
+        .env("PPA_REPRO_LEN", "600")
+        .env_remove("PPA_JOBS")
+        .env_remove("PPA_GRID")
+        .env_remove("PPA_LOG")
+        .current_dir(dir)
+        .output()
+        .expect("repro runs")
+}
+
+#[test]
+fn telemetry_flags_do_not_perturb_stdout_and_emit_valid_artifacts() {
+    let dir = std::env::temp_dir().join("ppa_bench_telemetry_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("metrics.json");
+    let trace_path = dir.join("trace.json");
+
+    let plain = repro(&dir, &[]);
+    assert!(plain.status.success(), "plain run failed: {plain:?}");
+
+    let telem = repro(
+        &dir,
+        &[
+            "--metrics",
+            "--metrics-json",
+            metrics_path.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ],
+    );
+    assert!(telem.status.success(), "telemetry run failed: {telem:?}");
+
+    // The determinism invariant: simulated results on stdout are
+    // byte-identical no matter what telemetry was requested.
+    assert_eq!(
+        plain.stdout, telem.stdout,
+        "telemetry flags perturbed stdout"
+    );
+    assert!(
+        String::from_utf8_lossy(&plain.stdout).contains("=== fig5 ==="),
+        "stdout lost the result table"
+    );
+
+    // Metrics JSON: parses with the crate's own strict parser, is
+    // non-empty, and contains the expected metric families.
+    let metrics_text = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let metrics = ppa_obs::json::parse_flat(&metrics_text).expect("metrics JSON parses");
+    assert!(!metrics.is_empty(), "metrics JSON is empty");
+    let has = |key: &str| metrics.iter().any(|(k, _)| k == key);
+    let family = |prefix: &str| metrics.iter().any(|(k, _)| k.starts_with(prefix));
+    assert!(has("sim.machine.runs"), "missing sim.machine.runs");
+    assert!(has("sim.cycles.total"), "missing sim.cycles.total");
+    assert!(has("sim.cycles_per_sec"), "missing sim.cycles_per_sec");
+    assert!(family("pool."), "missing pool.* family");
+    assert!(
+        has("span.experiment.fig5.count"),
+        "missing per-experiment span summary"
+    );
+
+    // Trace file: structurally valid Chrome trace_event JSON with at
+    // least the run-level and per-experiment spans.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let events = ppa_obs::span::validate_trace(&trace_text).expect("trace validates");
+    assert!(events >= 2, "expected >= 2 trace events, got {events}");
+    assert!(trace_text.contains("\"name\":\"experiment.fig5\""));
+
+    // The stderr timing lines use the one stable aggregated format.
+    let stderr = String::from_utf8_lossy(&telem.stderr);
+    let timing = stderr
+        .lines()
+        .find(|l| l.starts_with("experiment.fig5: "))
+        .unwrap_or_else(|| panic!("no timing line for fig5 in stderr:\n{stderr}"));
+    let rest = timing.strip_prefix("experiment.fig5: ").unwrap();
+    let fields: Vec<&str> = rest.split(' ').collect();
+    assert_eq!(fields.len(), 4, "timing line drifted: {timing:?}");
+    for (field, key) in fields.iter().zip(["total=", "count=", "min=", "max="]) {
+        assert!(field.starts_with(key), "field {field:?} in {timing:?}");
+    }
+    assert_eq!(fields[1], "count=1");
+    // The --metrics stderr table renders the registry, stable-sorted.
+    assert!(
+        stderr.contains("sim.machine.runs"),
+        "--metrics table missing from stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn metrics_json_from_a_grid_run_includes_coordinator_metrics() {
+    let dir = std::env::temp_dir().join("ppa_bench_telemetry_grid_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics_path = dir.join("grid_metrics.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--grid",
+            "loopback:2",
+            "--metrics-json",
+            metrics_path.to_str().unwrap(),
+            "fig5",
+        ])
+        .env("PPA_REPRO_LEN", "600")
+        .env_remove("PPA_JOBS")
+        .env_remove("PPA_GRID")
+        .env_remove("PPA_LOG")
+        .current_dir(&dir)
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "grid run failed: {out:?}");
+
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let metrics = ppa_obs::json::parse_flat(&text).expect("metrics JSON parses");
+    let get = |key: &str| {
+        metrics
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_f64())
+    };
+    let dispatched = get("grid.coord.units.dispatched").expect("grid dispatch counter present");
+    let completed = get("grid.coord.units.completed").expect("grid completion counter present");
+    assert!(dispatched >= 1.0 && completed >= 1.0);
+    assert!(
+        get("grid.coord.worker.joined").unwrap_or(0.0) >= 2.0,
+        "both loopback workers must have joined: {metrics:?}"
+    );
+    assert!(
+        metrics
+            .iter()
+            .any(|(k, _)| k.starts_with("grid.coord.unit.elapsed_ns.")),
+        "per-unit latency summary missing"
+    );
+}

@@ -108,6 +108,9 @@ pub struct Core {
     /// Attached cycle-level checks (the `verify` feature's hook).
     #[cfg(feature = "verify")]
     validators: Vec<Box<dyn Validator>>,
+    /// Per-validator cost accounting, aligned with `validators`.
+    #[cfg(feature = "verify")]
+    validator_timing: Vec<crate::verify::ValidatorTiming>,
     /// Violations the attached validators have reported so far.
     #[cfg(feature = "verify")]
     violations: Vec<Violation>,
@@ -158,6 +161,8 @@ impl Core {
             event_log: None,
             #[cfg(feature = "verify")]
             validators: Vec::new(),
+            #[cfg(feature = "verify")]
+            validator_timing: Vec::new(),
             #[cfg(feature = "verify")]
             violations: Vec::new(),
             #[cfg(feature = "verify")]
@@ -770,6 +775,8 @@ impl Core {
             #[cfg(feature = "verify")]
             validators: Vec::new(),
             #[cfg(feature = "verify")]
+            validator_timing: Vec::new(),
+            #[cfg(feature = "verify")]
             violations: Vec::new(),
             #[cfg(feature = "verify")]
             faults: Vec::new(),
@@ -831,14 +838,19 @@ impl Core {
         // Detach the validator list so the checks can borrow `self`
         // immutably through the view.
         let mut validators = std::mem::take(&mut self.validators);
+        let mut timing = std::mem::take(&mut self.validator_timing);
         let mut violations = std::mem::take(&mut self.violations);
         {
             let view = self.verify_view(now);
-            for v in validators.iter_mut() {
+            for (v, t) in validators.iter_mut().zip(timing.iter_mut()) {
+                let t0 = std::time::Instant::now();
                 v.check(&view, &mut violations);
+                t.elapsed += t0.elapsed();
+                t.cycles += 1;
             }
         }
         self.validators = validators;
+        self.validator_timing = timing;
         self.violations = violations;
     }
 }
@@ -850,19 +862,30 @@ impl Core {
 impl Core {
     /// Attaches one cycle-level check.
     pub fn attach_validator(&mut self, v: Box<dyn Validator>) {
+        self.validator_timing
+            .push(crate::verify::ValidatorTiming::new(v.name()));
         self.validators.push(v);
     }
 
     /// Attaches the full built-in suite ([`crate::verify::default_validators`]).
     pub fn attach_default_validators(&mut self) {
         for v in crate::verify::default_validators() {
-            self.validators.push(v);
+            self.attach_validator(v);
         }
     }
 
     /// Violations reported so far by attached validators.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// Per-validator cost accounting: how many cycles each attached
+    /// validator has checked and how much wall time it spent doing so.
+    /// `ppa-verify check` aggregates these into the
+    /// `verify.check.validator.<name>.*` metrics, the measurement
+    /// baseline for the ROADMAP's dirty-set optimization.
+    pub fn validator_timings(&self) -> &[crate::verify::ValidatorTiming] {
+        &self.validator_timing
     }
 
     /// Drains the recorded violations.

@@ -403,6 +403,9 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
             },
         );
         state.stats.workers_joined += 1;
+        ppa_obs::registry::counter("grid.coord.worker.joined").inc();
+        ppa_obs::registry::gauge("grid.coord.workers.live").set(state.workers.len() as f64);
+        ppa_obs::info!("grid.coord", "worker {wid} joined with {jobs} job slot(s)");
         shared.cv.notify_all();
     }
     while let Ok(msg) = proto::read_msg(&mut stream) {
@@ -423,7 +426,13 @@ fn handle_worker_msg(shared: &Arc<Shared>, wid: u64, msg: Msg) -> bool {
         return false; // already declared dead
     }
     match msg {
-        Msg::Heartbeat => {}
+        Msg::Heartbeat { inflight, executed } => {
+            // Per-worker load gauges, carried on the liveness beacon.
+            ppa_obs::registry::gauge(&format!("grid.coord.worker.{wid}.inflight"))
+                .set(f64::from(inflight));
+            ppa_obs::registry::gauge(&format!("grid.coord.worker.{wid}.executed"))
+                .set(executed as f64);
+        }
         Msg::UnitResult {
             seq,
             payload,
@@ -443,6 +452,8 @@ fn handle_worker_msg(shared: &Arc<Shared>, wid: u64, msg: Msg) -> bool {
                     (u.batch, u.index, u.attempts)
                 };
                 state.stats.completed += 1;
+                ppa_obs::registry::counter("grid.coord.units.completed").inc();
+                ppa_obs::registry::summary("grid.coord.unit.elapsed_ns").record(elapsed_ns as f64);
                 complete(
                     &mut state,
                     batch,
@@ -458,6 +469,7 @@ fn handle_worker_msg(shared: &Arc<Shared>, wid: u64, msg: Msg) -> bool {
                 // A superseded lease finished after re-dispatch: the
                 // first recorded result won, drop this one.
                 state.stats.duplicates += 1;
+                ppa_obs::registry::counter("grid.coord.units.duplicate").inc();
             }
         }
         Msg::UnitError { seq, message, .. } => {
@@ -466,9 +478,15 @@ fn handle_worker_msg(shared: &Arc<Shared>, wid: u64, msg: Msg) -> bool {
                     w.outstanding.retain(|&s| s != seq);
                 }
                 state.stats.unit_errors += 1;
+                ppa_obs::registry::counter("grid.coord.units.failed").inc();
+                ppa_obs::warn!(
+                    "grid.coord",
+                    "unit seq={seq} failed on worker {wid}: {message}"
+                );
                 requeue_or_fail(shared, &mut state, lease.unit, message);
             } else {
                 state.stats.duplicates += 1;
+                ppa_obs::registry::counter("grid.coord.units.duplicate").inc();
             }
         }
         Msg::Shutdown => return false,
@@ -484,10 +502,18 @@ fn worker_gone(shared: &Arc<Shared>, wid: u64) {
         return;
     };
     state.stats.workers_lost += 1;
+    ppa_obs::registry::counter("grid.coord.worker.lost").inc();
+    ppa_obs::registry::gauge("grid.coord.workers.live").set(state.workers.len() as f64);
+    ppa_obs::warn!(
+        "grid.coord",
+        "worker {wid} disconnected with {} unit(s) in flight",
+        w.outstanding.len()
+    );
     let _ = w.stream.shutdown(Shutdown::Both);
     for seq in w.outstanding {
         if let Some(lease) = state.leases.remove(&seq) {
             state.stats.redispatched += 1;
+            ppa_obs::registry::counter("grid.coord.units.redispatched").inc();
             requeue_or_fail(
                 shared,
                 &mut state,
@@ -525,6 +551,11 @@ fn requeue_or_fail(shared: &Arc<Shared>, state: &mut State, uid: u64, message: S
             u.done = true;
             u.last_error.clone()
         };
+        ppa_obs::registry::counter("grid.coord.units.exhausted").inc();
+        ppa_obs::error!(
+            "grid.coord",
+            "unit '{tag}' failed after {attempts} attempts: {message}"
+        );
         complete(
             state,
             batch,
@@ -537,6 +568,7 @@ fn requeue_or_fail(shared: &Arc<Shared>, state: &mut State, uid: u64, message: S
         );
         shared.cv.notify_all();
     } else {
+        ppa_obs::registry::counter("grid.coord.units.retried").inc();
         let delay = shared.cfg.retry_backoff * attempts.max(1);
         state.delayed.push((Instant::now() + delay, uid));
     }
@@ -589,6 +621,13 @@ fn dispatch_loop(shared: Arc<Shared>) {
                         w.outstanding.retain(|&s| s != seq);
                     }
                     state.stats.redispatched += 1;
+                    ppa_obs::registry::counter("grid.coord.lease.expired").inc();
+                    ppa_obs::registry::counter("grid.coord.units.redispatched").inc();
+                    ppa_obs::warn!(
+                        "grid.coord",
+                        "lease seq={seq} expired on worker {}; re-dispatching",
+                        lease.worker
+                    );
                     requeue_or_fail(
                         &shared,
                         &mut state,
@@ -610,10 +649,19 @@ fn dispatch_loop(shared: Arc<Shared>) {
             for wid in stale {
                 if let Some(w) = state.workers.remove(&wid) {
                     state.stats.workers_lost += 1;
+                    ppa_obs::registry::counter("grid.coord.worker.lost").inc();
+                    ppa_obs::registry::counter("grid.coord.worker.heartbeat_lost").inc();
+                    ppa_obs::registry::gauge("grid.coord.workers.live")
+                        .set(state.workers.len() as f64);
+                    ppa_obs::warn!(
+                        "grid.coord",
+                        "worker {wid} stopped heartbeating; declared dead"
+                    );
                     let _ = w.stream.shutdown(Shutdown::Both);
                     for seq in w.outstanding {
                         if let Some(lease) = state.leases.remove(&seq) {
                             state.stats.redispatched += 1;
+                            ppa_obs::registry::counter("grid.coord.units.redispatched").inc();
                             requeue_or_fail(
                                 &shared,
                                 &mut state,
@@ -654,6 +702,7 @@ fn dispatch_loop(shared: Arc<Shared>) {
                     },
                 );
                 state.stats.dispatched += 1;
+                ppa_obs::registry::counter("grid.coord.units.dispatched").inc();
                 let w = state.workers.get_mut(&wid).expect("target worker exists");
                 w.outstanding.push(seq);
                 if let Ok(stream) = w.stream.try_clone() {

@@ -26,8 +26,9 @@ use std::io::{Read, Write};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"PPAG");
 
 /// Current protocol version. A coordinator and worker must match
-/// exactly; there is no negotiation.
-pub const VERSION: u16 = 1;
+/// exactly; there is no negotiation. Bumped to 2 when [`Msg::Heartbeat`]
+/// grew the `inflight`/`executed` telemetry fields.
+pub const VERSION: u16 = 2;
 
 /// Upper bound on a frame payload. Larger lengths are rejected before
 /// any allocation, so a corrupt length prefix cannot OOM the peer.
@@ -116,8 +117,11 @@ pub enum Msg {
         attempt: u32,
         message: String,
     },
-    /// Worker -> coordinator liveness beacon.
-    Heartbeat,
+    /// Worker -> coordinator liveness beacon, carrying a telemetry
+    /// snapshot: units currently leased to the worker and units it has
+    /// finished since connecting. The coordinator mirrors these into
+    /// the `grid.coord.worker.<id>.*` gauges.
+    Heartbeat { inflight: u32, executed: u64 },
     /// Coordinator -> worker: drain and disconnect.
     Shutdown,
 }
@@ -171,7 +175,11 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             body.put_str(message);
             TY_ERROR
         }
-        Msg::Heartbeat => TY_HEARTBEAT,
+        Msg::Heartbeat { inflight, executed } => {
+            body.put_u32(*inflight);
+            body.put_u64(*executed);
+            TY_HEARTBEAT
+        }
         Msg::Shutdown => TY_SHUTDOWN,
     };
     let body = body.into_bytes();
@@ -244,7 +252,10 @@ pub fn decode(buf: &[u8]) -> Result<(Msg, usize), ProtoError> {
             attempt: r.u32()?,
             message: r.str()?,
         },
-        TY_HEARTBEAT => Msg::Heartbeat,
+        TY_HEARTBEAT => Msg::Heartbeat {
+            inflight: r.u32()?,
+            executed: r.u64()?,
+        },
         TY_SHUTDOWN => Msg::Shutdown,
         other => return Err(ProtoError::UnknownType(other)),
     };
@@ -424,7 +435,10 @@ mod tests {
                 attempt: 4,
                 message: "sim panicked".into(),
             },
-            Msg::Heartbeat,
+            Msg::Heartbeat {
+                inflight: 3,
+                executed: 41,
+            },
             Msg::Shutdown,
         ] {
             let frame = encode(&msg);
@@ -436,7 +450,7 @@ mod tests {
 
     #[test]
     fn stale_version_is_rejected() {
-        let mut frame = encode(&Msg::Heartbeat);
+        let mut frame = encode(&Msg::Shutdown);
         frame[4] = VERSION as u8 + 1;
         assert_eq!(decode(&frame), Err(ProtoError::BadVersion(VERSION + 1)));
     }
@@ -459,7 +473,7 @@ mod tests {
 
     #[test]
     fn oversized_length_prefix_is_rejected_without_allocating() {
-        let mut frame = encode(&Msg::Heartbeat);
+        let mut frame = encode(&Msg::Shutdown);
         frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode(&frame), Err(ProtoError::Oversized(u32::MAX)));
     }
@@ -468,10 +482,10 @@ mod tests {
     fn streamed_read_matches_buffer_decode() {
         let mut stream = Vec::new();
         stream.extend_from_slice(&encode(&Msg::Hello { jobs: 3 }));
-        stream.extend_from_slice(&encode(&Msg::Heartbeat));
+        stream.extend_from_slice(&encode(&Msg::Shutdown));
         let mut cursor = &stream[..];
         assert_eq!(read_msg(&mut cursor).unwrap(), Msg::Hello { jobs: 3 });
-        assert_eq!(read_msg(&mut cursor).unwrap(), Msg::Heartbeat);
+        assert_eq!(read_msg(&mut cursor).unwrap(), Msg::Shutdown);
         assert!(matches!(read_msg(&mut cursor), Err(ProtoError::Io(_))));
     }
 }

@@ -17,7 +17,7 @@
 use crate::proto::{self, Msg, ProtoError};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -81,9 +81,15 @@ pub fn run_worker(
     )?;
 
     let stop = Arc::new(AtomicBool::new(false));
+    // Telemetry the heartbeat beacons to the coordinator: units leased
+    // but not yet answered, and units executed to a successful result.
+    let inflight = Arc::new(AtomicU32::new(0));
+    let executed = Arc::new(AtomicU64::new(0));
     let heartbeat_thread = {
         let writer = Arc::clone(&writer);
         let stop = Arc::clone(&stop);
+        let inflight = Arc::clone(&inflight);
+        let executed = Arc::clone(&executed);
         let interval = opts.heartbeat;
         std::thread::Builder::new()
             .name("grid-heartbeat".into())
@@ -91,7 +97,11 @@ pub fn run_worker(
                 let mut last = Instant::now();
                 while !stop.load(Ordering::SeqCst) {
                     if last.elapsed() >= interval {
-                        let ok = proto::write_msg(&mut *writer.lock().unwrap(), &Msg::Heartbeat);
+                        let beat = Msg::Heartbeat {
+                            inflight: inflight.load(Ordering::SeqCst),
+                            executed: executed.load(Ordering::SeqCst),
+                        };
+                        let ok = proto::write_msg(&mut *writer.lock().unwrap(), &beat);
                         if ok.is_err() {
                             return;
                         }
@@ -104,7 +114,6 @@ pub fn run_worker(
     };
 
     let pool = ppa_pool::ThreadPool::new(opts.jobs.max(1));
-    let executed = AtomicUsize::new(0);
     let mut received = 0usize;
     let mut died = false;
     pool.scope(|s| {
@@ -117,6 +126,7 @@ pub fn run_worker(
                     payload,
                 }) => {
                     received += 1;
+                    ppa_obs::debug!("grid.worker", "lease seq={seq} attempt={attempt} tag={tag}");
                     if opts.die_after.is_some_and(|n| received > n) {
                         // Crash injection: vanish mid-lease, no result,
                         // no goodbye — the coordinator must recover.
@@ -124,9 +134,11 @@ pub fn run_worker(
                         let _ = stream.shutdown(Shutdown::Both);
                         break;
                     }
+                    inflight.fetch_add(1, Ordering::SeqCst);
                     let writer = Arc::clone(&writer);
                     let exec = Arc::clone(&exec);
-                    let executed = &executed;
+                    let executed = Arc::clone(&executed);
+                    let inflight = Arc::clone(&inflight);
                     s.spawn(move |_ctx| {
                         let t0 = Instant::now();
                         let result =
@@ -145,6 +157,7 @@ pub fn run_worker(
                         let msg = match result {
                             Ok(bytes) => {
                                 executed.fetch_add(1, Ordering::SeqCst);
+                                ppa_obs::registry::counter("grid.worker.units.executed").inc();
                                 Msg::UnitResult {
                                     seq,
                                     attempt,
@@ -152,12 +165,20 @@ pub fn run_worker(
                                     payload: bytes,
                                 }
                             }
-                            Err(message) => Msg::UnitError {
-                                seq,
-                                attempt,
-                                message,
-                            },
+                            Err(message) => {
+                                ppa_obs::registry::counter("grid.worker.units.failed").inc();
+                                ppa_obs::warn!(
+                                    "grid.worker",
+                                    "unit seq={seq} attempt={attempt} failed: {message}"
+                                );
+                                Msg::UnitError {
+                                    seq,
+                                    attempt,
+                                    message,
+                                }
+                            }
                         };
+                        inflight.fetch_sub(1, Ordering::SeqCst);
                         let _ = proto::write_msg(&mut *writer.lock().unwrap(), &msg);
                     });
                 }
@@ -171,7 +192,7 @@ pub fn run_worker(
     let _ = heartbeat_thread.join();
     let _ = stream.shutdown(Shutdown::Both);
     Ok(WorkerReport {
-        executed: executed.load(Ordering::SeqCst),
+        executed: executed.load(Ordering::SeqCst) as usize,
         died,
     })
 }

@@ -212,3 +212,33 @@ fn expired_leases_are_redispatched_and_duplicates_suppressed() {
     assert_eq!(stats.completed, 1, "stats: {stats:?}");
     lb.shutdown();
 }
+
+/// The coordinator instruments its dispatch loop with `grid.coord.*`
+/// metrics. Because the `ppa-obs` registry is process-global (and these
+/// tests run concurrently), assert on the diff since a pre-run
+/// snapshot with `>=` bounds rather than exact counts.
+#[test]
+fn loopback_run_populates_coordinator_metrics() {
+    let before = ppa_obs::snapshot();
+    let lb = loopback::start_uniform(2, 1, Arc::new(EchoExecutor), GridConfig::default())
+        .expect("loopback grid starts");
+    let batch = units(12);
+    let results = lb.run_units(batch);
+    assert!(results.iter().all(Result::is_ok));
+    lb.shutdown();
+
+    let delta = ppa_obs::snapshot().diff(&before);
+    let counter = |name: &str| match delta.get(name) {
+        Some(ppa_obs::registry::Value::Counter(v)) => *v,
+        other => panic!("{name} missing or wrong kind: {other:?}"),
+    };
+    assert!(counter("grid.coord.units.dispatched") >= 12);
+    assert!(counter("grid.coord.units.completed") >= 12);
+    assert!(counter("grid.coord.worker.joined") >= 2);
+    assert!(counter("grid.worker.units.executed") >= 12);
+    let Some(ppa_obs::registry::Value::Summary(elapsed)) = delta.get("grid.coord.unit.elapsed_ns")
+    else {
+        panic!("unit latency summary missing");
+    };
+    assert!(elapsed.count() >= 12, "got {}", elapsed.count());
+}

@@ -43,7 +43,10 @@ fn random_msg(rng: &mut Prng) -> Msg {
             attempt: rng.next_u64() as u32,
             message: random_string(rng, 120),
         },
-        4 => Msg::Heartbeat,
+        4 => Msg::Heartbeat {
+            inflight: rng.random_range(0u32..64),
+            executed: rng.random_range(0u64..10_000),
+        },
         _ => Msg::Shutdown,
     }
 }
@@ -174,7 +177,7 @@ fn random_garbage_never_panics() {
 fn unknown_types_survive_a_valid_envelope() {
     let mut rng = Prng::seed_from_u64(0xF0A7);
     for _ in 0..100 {
-        let mut frame = proto::encode(&Msg::Heartbeat);
+        let mut frame = proto::encode(&Msg::Shutdown);
         let ty = 7 + rng.random_below(248) as u8;
         frame[6] = ty;
         let end = frame.len() - 4;

@@ -46,7 +46,8 @@ impl Executor for CombinedExecutor {
 fn usage() -> ! {
     eprintln!("usage: ppa-grid <serve|work|selftest> [options]");
     eprintln!();
-    eprintln!("  serve --listen HOST:PORT [--min-workers N] <experiment>...|all");
+    eprintln!("  serve --listen HOST:PORT [--min-workers N] [--metrics-json FILE]");
+    eprintln!("        <experiment>...|all");
     eprintln!("      bind a coordinator, wait for N workers (default 1), then");
     eprintln!("      render the selected experiments across them (stdout is");
     eprintln!("      byte-identical to a local `repro` run)");
@@ -60,12 +61,29 @@ fn usage() -> ! {
     eprintln!("      and oracle units over N in-process workers (default 2),");
     eprintln!("      kill one mid-lease, and diff every result against local");
     eprintln!("      execution");
+    eprintln!();
+    eprintln!("  verbosity: -q (errors only), -v (info), -vv (debug);");
+    eprintln!("      default prints warnings only. PPA_LOG=LEVEL is equivalent");
+    eprintln!("      (the flag wins).");
     std::process::exit(2)
+}
+
+/// Consumes a `-q`/`-v`/`-vv` verbosity flag if `a` is one.
+fn verbosity_flag(a: &str) -> bool {
+    let level = match a {
+        "-q" | "--quiet" => ppa_obs::Level::Error,
+        "-v" | "--verbose" => ppa_obs::Level::Info,
+        "-vv" => ppa_obs::Level::Debug,
+        _ => return false,
+    };
+    ppa_obs::log::set_level(level);
+    true
 }
 
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut listen: Option<String> = None;
     let mut min_workers = 1usize;
+    let mut metrics_json: Option<std::path::PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,6 +100,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage()),
             ),
+            "--metrics-json" => {
+                metrics_json = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
+            a if verbosity_flag(a) => {}
             _ => ids.push(a.clone()),
         }
     }
@@ -114,15 +138,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "ppa-grid: listening on {}; waiting for {min_workers} worker(s)...",
+    ppa_obs::info!(
+        "grid",
+        "listening on {}; waiting for {min_workers} worker(s)...",
         coord.local_addr()
     );
     if !coord.wait_for_workers(min_workers, Duration::from_secs(600)) {
         eprintln!("ppa-grid: {min_workers} worker(s) did not connect within 600s");
         return ExitCode::FAILURE;
     }
-    eprintln!("ppa-grid: {} worker(s) connected", coord.live_workers());
+    ppa_obs::info!("grid", "{} worker(s) connected", coord.live_workers());
     gridwork::install(gridwork::GridHandle::Serve(Arc::clone(&coord)));
 
     let render =
@@ -145,11 +170,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         println!("{table}");
     }
     let s = coord.stats();
-    eprintln!(
-        "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+    ppa_obs::info!(
+        "grid",
+        "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
         s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
     );
     coord.shutdown();
+    if let Some(path) = &metrics_json {
+        ppa_pool::export_metrics();
+        if let Err(e) = ppa_obs::snapshot().write_json_file(path, false) {
+            eprintln!("ppa-grid: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -164,12 +197,13 @@ fn cmd_work(args: &[String]) -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage()),
             ),
+            a if verbosity_flag(a) => {}
             _ => usage(),
         }
     }
     let connect = connect.unwrap_or_else(|| usage());
     let jobs = ppa_pool::configured_jobs();
-    eprintln!("ppa-grid: connecting to {connect} with {jobs} job slot(s)");
+    ppa_obs::info!("grid", "connecting to {connect} with {jobs} job slot(s)");
     match run_worker(
         connect.as_str(),
         WorkerOptions {
@@ -179,7 +213,7 @@ fn cmd_work(args: &[String]) -> ExitCode {
         Arc::new(CombinedExecutor),
     ) {
         Ok(report) => {
-            eprintln!("ppa-grid: done; executed {} unit(s)", report.executed);
+            ppa_obs::info!("grid", "done; executed {} unit(s)", report.executed);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -205,6 +239,7 @@ fn cmd_selftest(args: &[String]) -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage()),
             ),
+            a if verbosity_flag(a) => {}
             _ => usage(),
         }
     }
@@ -239,8 +274,9 @@ fn cmd_selftest(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "ppa-grid: selftest with {workers} loopback workers on {} ({} units, worker 0 dies mid-lease)",
+    ppa_obs::info!(
+        "grid",
+        "selftest with {workers} loopback workers on {} ({} units, worker 0 dies mid-lease)",
         lb.coordinator().local_addr(),
         units.len()
     );
@@ -273,8 +309,9 @@ fn cmd_selftest(args: &[String]) -> ExitCode {
         );
         ok = false;
     }
-    eprintln!(
-        "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+    ppa_obs::info!(
+        "grid",
+        "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
         stats.dispatched, stats.completed, stats.redispatched, stats.duplicates, stats.unit_errors, stats.workers_joined, stats.workers_lost
     );
     if ok {

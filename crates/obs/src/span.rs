@@ -1,0 +1,314 @@
+//! Scoped wall-clock tracing spans.
+//!
+//! A [`span`] is an RAII timer: it measures from construction to drop,
+//! nests naturally (inner guards drop first), and is safe to open on
+//! any thread — `repro` opens one per experiment inside pool workers.
+//! Closing a span does two things:
+//!
+//! 1. **Aggregates** the duration into the metrics registry under
+//!    `span.<label>` (a [`ppa_stats::Summary`] in nanoseconds), from
+//!    which [`timing_lines`] renders the one stable stderr format the
+//!    harnesses print and tests assert.
+//! 2. **Records a trace event** when a sink has been armed with
+//!    [`enable_trace`]: a Chrome `trace_event` "complete" (`ph:"X"`)
+//!    entry with microsecond `ts`/`dur` relative to a process-global
+//!    epoch and a small dense `tid`. [`write_trace`] emits the sorted
+//!    timeline as JSON that loads directly in `chrome://tracing` or
+//!    [Perfetto](https://ui.perfetto.dev) (`--trace-out FILE` on
+//!    `repro`).
+//!
+//! Raw timings are inherently nondeterministic; determinism here means
+//! *shape*: labels are stable, [`timing_lines`] sorts by label, and
+//! [`write_trace`] sorts by timestamp, so runs are comparable even
+//! though the numbers differ.
+
+use crate::registry;
+use ppa_stats::fmt_duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The process-global epoch all trace timestamps are relative to
+/// (armed on first use, so `ts` 0 is "first telemetry activity").
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Dense per-thread ids for the trace timeline (OS thread ids are
+/// neither small nor stable across runs).
+fn trace_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: String,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+fn sink() -> &'static Mutex<Option<Vec<TraceEvent>>> {
+    static SINK: OnceLock<Mutex<Option<Vec<TraceEvent>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Arms the trace sink: spans closed from now on are recorded as
+/// trace events (off by default — aggregation alone costs one summary
+/// update per span, the timeline costs memory per event).
+pub fn enable_trace() {
+    let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    if guard.is_none() {
+        *guard = Some(Vec::new());
+    }
+    epoch(); // pin ts 0 at (or before) the first recorded span
+}
+
+/// An open span; the measured region ends when this guard drops.
+#[must_use = "a span measures until dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    label: String,
+    start: Instant,
+}
+
+/// Opens a span labelled `label`. Labels are dotted like metric names
+/// (`experiment.fig11`); every close folds into `span.<label>` in the
+/// registry.
+pub fn span(label: &str) -> SpanGuard {
+    SpanGuard {
+        label: label.to_string(),
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = Instant::now();
+        let dur = end.duration_since(self.start);
+        registry::summary(&format!("span.{}", self.label)).record(dur.as_nanos() as f64);
+        let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(events) = guard.as_mut() {
+            let ts_us = self.start.saturating_duration_since(epoch()).as_micros() as u64;
+            events.push(TraceEvent {
+                name: self.label.clone(),
+                ts_us,
+                dur_us: dur.as_micros() as u64,
+                tid: trace_tid(),
+            });
+        }
+    }
+}
+
+/// Renders the recorded timeline as Chrome `trace_event` JSON: a
+/// `traceEvents` array of complete (`ph:"X"`) events, one per line,
+/// sorted by `ts` then `tid`. Returns the number of events written.
+pub fn write_trace(path: &std::path::Path) -> std::io::Result<usize> {
+    let events: Vec<TraceEvent> = {
+        let guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+        guard.as_ref().cloned().unwrap_or_default()
+    };
+    let mut events = events;
+    events.sort_by_key(|e| (e.ts_us, e.tid, e.name.clone()));
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        let comma = if i + 1 == events.len() { "" } else { "," };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}{comma}\n",
+            crate::json::escape(&e.name),
+            e.ts_us,
+            e.dur_us,
+            e.tid,
+        ));
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)?;
+    Ok(events.len())
+}
+
+/// Structurally validates a timeline written by [`write_trace`]:
+/// the `traceEvents` envelope, one complete (`ph:"X"`) event per line
+/// with `ts`/`dur`/`pid`/`tid` fields, and non-decreasing `ts`.
+/// Returns the event count. The trace-out acceptance test and ci.sh
+/// both call this instead of eyeballing Perfetto.
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some("{\"traceEvents\":[") {
+        return Err("missing {\"traceEvents\":[ envelope".into());
+    }
+    let body: Vec<&str> = lines.collect();
+    let Some((last, events)) = body.split_last() else {
+        return Err("truncated file".into());
+    };
+    if *last != "]}" {
+        return Err(format!("bad closing line {last:?}"));
+    }
+    let mut prev_ts = 0u64;
+    for (i, line) in events.iter().enumerate() {
+        let line = line.strip_suffix(',').unwrap_or(line);
+        if !line.starts_with("{\"name\":\"") || !line.ends_with('}') {
+            return Err(format!("event {i} is not an object: {line:?}"));
+        }
+        if !line.contains("\"ph\":\"X\"") {
+            return Err(format!("event {i} is not a complete (X) event"));
+        }
+        let field = |key: &str| -> Result<u64, String> {
+            let pat = format!("\"{key}\":");
+            let at = line
+                .find(&pat)
+                .ok_or_else(|| format!("event {i} missing {key}"))?;
+            let digits: String = line[at + pat.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits
+                .parse()
+                .map_err(|_| format!("event {i} has non-numeric {key}"))
+        };
+        let ts = field("ts")?;
+        field("dur")?;
+        field("pid")?;
+        field("tid")?;
+        if ts < prev_ts {
+            return Err(format!("event {i} ts {ts} < previous {prev_ts} (unsorted)"));
+        }
+        prev_ts = ts;
+    }
+    Ok(events.len())
+}
+
+/// Renders one aggregated timing line per span label matching
+/// `prefix`, sorted by label — THE stable stderr timing format:
+///
+/// ```text
+/// <label>: total=<dur> count=<n> min=<dur> max=<dur>
+/// ```
+///
+/// Durations use [`ppa_stats::fmt_duration`]; `repro` prints these
+/// after a run in place of its former free-form per-experiment lines.
+pub fn timing_lines(prefix: &str) -> Vec<String> {
+    let snap = registry::snapshot();
+    let mut out = Vec::new();
+    for (name, value) in snap.entries() {
+        let registry::Value::Summary(s) = value else {
+            continue;
+        };
+        let Some(label) = name.strip_prefix("span.") else {
+            continue;
+        };
+        if !label.starts_with(prefix) || s.is_empty() {
+            continue;
+        }
+        out.push(fmt_timing_line(label, s));
+    }
+    out
+}
+
+fn fmt_timing_line(label: &str, s: &ppa_stats::Summary) -> String {
+    let ns = |v: f64| fmt_duration(Duration::from_nanos(v as u64));
+    format!(
+        "{label}: total={} count={} min={} max={}",
+        ns(s.sum()),
+        s.count(),
+        ns(s.min()),
+        ns(s.max()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_into_the_registry() {
+        for _ in 0..3 {
+            let _s = span("test.span.agg");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = registry::snapshot();
+        let Some(registry::Value::Summary(s)) = snap.get("span.test.span.agg") else {
+            panic!("span summary not registered");
+        };
+        assert_eq!(s.count(), 3);
+        assert!(s.min() >= 1_000_000.0, "min below 1ms: {}", s.min());
+        assert!(s.sum() >= s.max());
+    }
+
+    #[test]
+    fn timing_line_has_the_stable_format() {
+        {
+            let _s = span("test.span.format");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let lines = timing_lines("test.span.format");
+        assert_eq!(lines.len(), 1, "got {lines:?}");
+        let line = &lines[0];
+        // Exactly: "<label>: total=<dur> count=<n> min=<dur> max=<dur>"
+        let (label, rest) = line.split_once(": ").expect("label separator");
+        assert_eq!(label, "test.span.format");
+        let parts: Vec<&str> = rest.split(' ').collect();
+        assert_eq!(parts.len(), 4, "wrong field count in {line:?}");
+        for (part, key) in parts.iter().zip(["total=", "count=", "min=", "max="]) {
+            assert!(
+                part.starts_with(key),
+                "field {part:?} missing {key} in {line:?}"
+            );
+        }
+        assert_eq!(parts[1], "count=1");
+        for dur_field in [parts[0], parts[2], parts[3]] {
+            let v = dur_field.split_once('=').unwrap().1;
+            assert!(
+                v.ends_with("ms") || v.ends_with('s'),
+                "duration field {v:?} not fmt_duration-formatted"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_round_trip_validates() {
+        enable_trace();
+        {
+            let _outer = span("test.trace.outer");
+            let _inner = span("test.trace.inner");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let dir = std::env::temp_dir().join("ppa_obs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let written = write_trace(&path).expect("trace writes");
+        assert!(
+            written >= 2,
+            "expected at least our 2 events, got {written}"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let validated = validate_trace(&text).expect("trace validates");
+        assert_eq!(validated, written);
+        assert!(text.contains("\"name\":\"test.trace.inner\""));
+    }
+
+    #[test]
+    fn validate_trace_rejects_structural_damage() {
+        enable_trace();
+        {
+            let _s = span("test.trace.damage");
+        }
+        let dir = std::env::temp_dir().join("ppa_obs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damage.json");
+        write_trace(&path).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+        assert!(validate_trace("").is_err());
+        assert!(validate_trace("{\"traceEvents\":[\n]}").is_ok());
+        assert!(validate_trace(&good.replace("\"ph\":\"X\"", "\"ph\":\"B\"")).is_err());
+        assert!(validate_trace(&good.replace("\"ts\":", "\"xx\":")).is_err());
+        let unsorted = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"ph\":\"X\",\"ts\":9,\"dur\":1,\"pid\":1,\"tid\":1},\n\
+            {\"name\":\"b\",\"ph\":\"X\",\"ts\":3,\"dur\":1,\"pid\":1,\"tid\":1}\n\
+            ]}";
+        assert!(validate_trace(unsorted).is_err(), "unsorted ts accepted");
+    }
+}

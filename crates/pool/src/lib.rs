@@ -603,6 +603,23 @@ pub fn global_stats() -> Option<PoolStats> {
     GLOBAL.get().map(ThreadPool::stats)
 }
 
+/// Mirrors [`global_stats`] into the `ppa-obs` registry as `pool.*`
+/// metrics (counters overwritten with the cumulative totals, `idle`
+/// in nanoseconds). Harness front-ends call this right before
+/// snapshotting so `--metrics-json` always reflects the final pool
+/// state. Serial runs, where the shared pool never spins up, export
+/// an all-zero family so the JSON shape is stable across job counts.
+pub fn export_metrics() {
+    let stats = global_stats().unwrap_or_default();
+    ppa_obs::registry::gauge("pool.workers").set(stats.workers as f64);
+    ppa_obs::registry::counter("pool.jobs_run").set(stats.jobs_run);
+    ppa_obs::registry::counter("pool.local_pops").set(stats.local_pops);
+    ppa_obs::registry::counter("pool.steals").set(stats.steals);
+    ppa_obs::registry::counter("pool.panics").set(stats.panics);
+    ppa_obs::registry::counter("pool.cancelled").set(stats.cancelled);
+    ppa_obs::registry::counter("pool.idle_ns").set(stats.idle.as_nanos() as u64);
+}
+
 /// Order-preserving parallel map over the ambient pool: the enclosing
 /// worker's pool when called from inside a job (nested fan-out), the
 /// shared [`global`] pool otherwise — or a plain serial loop when

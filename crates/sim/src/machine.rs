@@ -144,6 +144,11 @@ impl Machine {
             .unwrap_or(0);
         let committed = cores.iter().map(Core::committed).sum();
         let consistent = mem.nvm_image().diff(mem.arch_mem()).is_empty();
+        // Once-per-run telemetry (never per-cycle): total simulated
+        // work, from which `repro` derives `sim.cycles_per_sec`.
+        ppa_obs::registry::counter("sim.machine.runs").inc();
+        ppa_obs::registry::counter("sim.cycles.total").add(cycles);
+        ppa_obs::registry::counter("sim.uops.committed").add(committed);
         SimReport {
             cycles,
             committed,

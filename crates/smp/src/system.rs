@@ -237,9 +237,16 @@ impl SmpSystem {
             .map(|c| c.finished_at().expect("all cores finished"))
             .max()
             .unwrap_or(0);
+        let committed: u64 = self.cores.iter().map(Core::committed).sum();
+        // Once-per-run telemetry, mirroring the single-core machine's
+        // sim.* counters for the multi-core path.
+        ppa_obs::registry::counter("smp.machine.runs").inc();
+        ppa_obs::registry::counter("smp.cycles.total").add(cycles);
+        ppa_obs::registry::counter("smp.uops.committed").add(committed);
+        ppa_obs::registry::counter("smp.drain.grants").add(self.arbiter.log().len() as u64);
         SmpReport {
             cycles,
-            committed: self.cores.iter().map(Core::committed).sum(),
+            committed,
             consistent: self.consistent(),
             drain_grants: self.arbiter.log().len(),
             core_stats: self.cores.iter().map(|c| c.stats().clone()).collect(),

@@ -1,0 +1,155 @@
+//! Edge-case behaviour of the stats primitives: empty accumulators,
+//! single samples, and out-of-range samples saturating into edge
+//! buckets. The telemetry layer (`ppa-obs`) renders these types in its
+//! snapshots, so "what does an empty Summary report" is API surface,
+//! not an implementation detail.
+
+use ppa_stats::{Cdf, Histogram, Summary};
+
+#[test]
+fn empty_summary_reports_zeroes_not_infinities() {
+    let s = Summary::new();
+    assert!(s.is_empty());
+    assert_eq!(s.count(), 0);
+    assert_eq!(s.sum(), 0.0);
+    assert_eq!(s.mean(), 0.0);
+    assert_eq!(s.std_dev(), 0.0);
+    // min/max of an empty summary are defined as 0.0 (never ±inf), so
+    // renderers can emit them as finite JSON numbers unconditionally.
+    assert_eq!(s.min(), 0.0);
+    assert_eq!(s.max(), 0.0);
+}
+
+#[test]
+fn single_sample_summary_is_degenerate_but_exact() {
+    let mut s = Summary::new();
+    s.record(42.5);
+    assert!(!s.is_empty());
+    assert_eq!(s.count(), 1);
+    assert_eq!(s.sum(), 42.5);
+    assert_eq!(s.mean(), 42.5);
+    assert_eq!(s.min(), 42.5);
+    assert_eq!(s.max(), 42.5);
+    assert_eq!(s.std_dev(), 0.0);
+}
+
+#[test]
+fn merging_an_empty_summary_is_identity_both_ways() {
+    let mut s = Summary::new();
+    s.record(3.0);
+    s.record(9.0);
+    let snapshot = s;
+    s.merge(&Summary::new());
+    assert_eq!(s.count(), snapshot.count());
+    assert_eq!(s.sum(), snapshot.sum());
+    assert_eq!(s.min(), snapshot.min());
+    assert_eq!(s.max(), snapshot.max());
+
+    let mut empty = Summary::new();
+    empty.merge(&snapshot);
+    assert_eq!(empty.count(), 2);
+    assert_eq!(empty.min(), 3.0);
+    assert_eq!(empty.max(), 9.0);
+}
+
+#[test]
+fn empty_cdf_is_well_defined_where_it_can_be() {
+    let cdf = Cdf::with_max_value(16);
+    assert_eq!(cdf.total(), 0);
+    assert_eq!(cdf.max_value(), 16);
+    assert_eq!(cdf.fraction_at_or_below(0), 0.0);
+    assert_eq!(cdf.fraction_at_or_below(16), 0.0);
+    assert!(cdf.points().is_empty());
+}
+
+#[test]
+#[should_panic(expected = "empty CDF")]
+fn empty_cdf_quantile_panics() {
+    Cdf::with_max_value(4).quantile(0.5);
+}
+
+#[test]
+fn single_sample_cdf_puts_all_mass_on_one_value() {
+    let mut cdf = Cdf::with_max_value(8);
+    cdf.record(5);
+    assert_eq!(cdf.total(), 1);
+    assert_eq!(cdf.fraction_at_or_below(4), 0.0);
+    assert_eq!(cdf.fraction_at_or_below(5), 1.0);
+    for q in [0.01, 0.5, 1.0] {
+        assert_eq!(cdf.quantile(q), 5);
+    }
+    assert_eq!(cdf.points(), vec![(5, 1.0)]);
+}
+
+#[test]
+fn cdf_saturates_oversized_samples_into_the_top_bucket() {
+    let mut cdf = Cdf::with_max_value(4);
+    cdf.record(1_000_000);
+    cdf.record(u64::MAX);
+    cdf.record(4);
+    assert_eq!(cdf.total(), 3);
+    // All three landed at the maximum value; nothing was dropped.
+    assert_eq!(cdf.fraction_at_or_below(3), 0.0);
+    assert_eq!(cdf.fraction_at_or_below(4), 1.0);
+    assert_eq!(cdf.quantile(1.0), 4);
+    assert_eq!(cdf.points(), vec![(4, 1.0)]);
+}
+
+#[test]
+fn zero_width_value_range_cdf_still_works() {
+    // max_value 0 means the only recordable value is 0.
+    let mut cdf = Cdf::with_max_value(0);
+    cdf.record(0);
+    cdf.record(7); // clamps to 0
+    assert_eq!(cdf.total(), 2);
+    assert_eq!(cdf.quantile(1.0), 0);
+    assert_eq!(cdf.fraction_at_or_below(0), 1.0);
+}
+
+#[test]
+fn empty_histogram_has_zero_everywhere() {
+    let h = Histogram::new(0.0, 10.0, 4);
+    assert_eq!(h.total(), 0);
+    assert_eq!(h.bin_len(), 4);
+    for i in 0..h.bin_len() {
+        assert_eq!(h.bin_count(i), 0);
+    }
+    assert_eq!(h.iter().map(|(_, c)| c).sum::<u64>(), 0);
+}
+
+#[test]
+fn single_sample_histogram_lands_in_exactly_one_bin() {
+    let mut h = Histogram::new(0.0, 10.0, 5);
+    h.record(4.0);
+    assert_eq!(h.total(), 1);
+    assert_eq!(h.bin_count(2), 1);
+    assert_eq!(h.iter().map(|(_, c)| c).sum::<u64>(), 1);
+}
+
+#[test]
+fn histogram_saturates_out_of_range_samples_into_edge_bins() {
+    let mut h = Histogram::new(0.0, 10.0, 5);
+    h.record(-1e18);
+    h.record(-0.001);
+    h.record(10.0); // hi is exclusive: clamps into the last bin
+    h.record(1e18);
+    h.record(f64::INFINITY);
+    h.record(f64::NEG_INFINITY);
+    assert_eq!(h.total(), 6, "no out-of-range sample may be dropped");
+    assert_eq!(h.bin_count(0), 3);
+    assert_eq!(h.bin_count(4), 3);
+    for i in 1..4 {
+        assert_eq!(h.bin_count(i), 0);
+    }
+}
+
+#[test]
+fn one_bin_histogram_absorbs_everything() {
+    let mut h = Histogram::new(0.0, 1.0, 1);
+    for v in [-5.0, 0.0, 0.5, 0.999, 1.0, 99.0] {
+        h.record(v);
+    }
+    assert_eq!(h.total(), 6);
+    assert_eq!(h.bin_count(0), 6);
+    assert_eq!(h.bin_lo(0), 0.0);
+}

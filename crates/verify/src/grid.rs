@@ -243,8 +243,9 @@ pub fn attach(mode: GridMode, exec: Arc<dyn Executor>) -> Result<Option<GridHand
                 GridConfig::default(),
             )
             .map_err(|e| format!("failed to start loopback grid: {e}"))?;
-            eprintln!(
-                "grid: loopback with {n} workers on {}",
+            ppa_obs::info!(
+                "grid",
+                "loopback with {n} workers on {}",
                 lb.coordinator().local_addr()
             );
             Ok(Some(GridHandle::Loopback(lb)))
@@ -252,15 +253,16 @@ pub fn attach(mode: GridMode, exec: Arc<dyn Executor>) -> Result<Option<GridHand
         GridMode::Serve(addr) => {
             let coord = Coordinator::bind(addr.as_str(), GridConfig::default())
                 .map_err(|e| format!("failed to bind {addr}: {e}"))?;
-            eprintln!(
-                "grid: listening on {}; waiting for a worker...",
+            ppa_obs::info!(
+                "grid",
+                "listening on {}; waiting for a worker...",
                 coord.local_addr()
             );
             let coord = Arc::new(coord);
             if !coord.wait_for_workers(1, Duration::from_secs(600)) {
                 return Err("no worker connected within 600s".into());
             }
-            eprintln!("grid: {} worker(s) connected", coord.live_workers());
+            ppa_obs::info!("grid", "{} worker(s) connected", coord.live_workers());
             Ok(Some(GridHandle::Serve(coord)))
         }
     }

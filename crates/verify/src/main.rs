@@ -26,6 +26,11 @@ struct Options {
     points: usize,
     cores: usize,
     grid: Option<String>,
+    /// Write a flat metrics-JSON snapshot here on exit; `merge` folds
+    /// into an existing file (how the validator-share numbers join the
+    /// `results/bench_baseline.json` that `repro` wrote) instead of
+    /// replacing it.
+    metrics_json: Option<(std::path::PathBuf, bool)>,
 }
 
 impl Default for Options {
@@ -42,6 +47,7 @@ impl Default for Options {
             points,
             cores: 2,
             grid: None,
+            metrics_json: None,
         }
     }
 }
@@ -65,12 +71,15 @@ fn usage() -> ! {
     eprintln!("  --jobs N     worker threads for the fan-out (0 = auto, default 1 = serial)");
     eprintln!("  --grid MODE  distribute the `oracle` grid: off (default), loopback:N,");
     eprintln!("               or serve:HOST:PORT for `ppa-grid work --connect` workers");
+    eprintln!("  --metrics-json FILE        write a metrics snapshot (flat JSON) on exit");
+    eprintln!("  --metrics-json-merge FILE  like --metrics-json, but merge into FILE");
     eprintln!();
     eprintln!("environment:");
     eprintln!("  PPA_JOBS=N           same as --jobs (the flag wins)");
     eprintln!("  PPA_GRID=MODE        same as --grid (the flag wins)");
     eprintln!("  PPA_ORACLE_POINTS=N  default for --points");
     eprintln!("  PPA_POOL_STATS=1     print pool counters to stderr on exit");
+    eprintln!("  PPA_LOG=LEVEL        stderr log level: error|warn|info|debug (default warn)");
     std::process::exit(2)
 }
 
@@ -90,6 +99,8 @@ fn parse_args() -> (String, Options) {
             "--cores" => opts.cores = value.parse().unwrap_or_else(|_| usage()),
             "--jobs" => ppa_pool::set_jobs(value.parse().unwrap_or_else(|_| usage())),
             "--grid" => opts.grid = Some(value),
+            "--metrics-json" => opts.metrics_json = Some((value.into(), false)),
+            "--metrics-json-merge" => opts.metrics_json = Some((value.into(), true)),
             _ => usage(),
         }
     }
@@ -104,8 +115,33 @@ fn cmd_check(opts: &Options) -> bool {
         opts.len,
         opts.seed
     );
+    let t0 = std::time::Instant::now();
+    let reports = {
+        let _span = ppa_obs::span("verify.check");
+        runner::check_all(opts.len, opts.seed)
+    };
+    // What fraction of the check's wall time went to the validators
+    // themselves (vs simulation)? At --jobs 1 this is a true share;
+    // with a pool it can exceed 1.0 since validator time sums across
+    // workers. Either way it is the ROADMAP perf item's baseline.
+    let wall_ns = t0.elapsed().as_nanos() as f64;
+    let validator_ns: u64 = ppa_obs::registry::snapshot()
+        .entries()
+        .iter()
+        .filter_map(|(name, v)| match v {
+            ppa_obs::registry::Value::Counter(c)
+                if name.starts_with("verify.check.validator.") && name.ends_with(".ns") =>
+            {
+                Some(*c)
+            }
+            _ => None,
+        })
+        .sum();
+    if wall_ns > 0.0 {
+        ppa_obs::registry::gauge("verify.check.validator_share").set(validator_ns as f64 / wall_ns);
+    }
     let mut ok = true;
-    for report in runner::check_all(opts.len, opts.seed) {
+    for report in reports {
         if report.is_clean() {
             println!(
                 "  ok   {:<16} threads={} cycles={}",
@@ -365,8 +401,9 @@ fn main() -> ExitCode {
     if let Some(h) = &grid_handle {
         let coord = h.coordinator();
         let s = coord.stats();
-        eprintln!(
-            "grid: dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+        ppa_obs::info!(
+            "grid",
+            "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
             s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
         );
         coord.shutdown();
@@ -374,6 +411,16 @@ fn main() -> ExitCode {
     if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {
         if let Some(stats) = ppa_pool::global_stats() {
             eprintln!("{}", stats.table());
+        }
+    }
+    if let Some((path, merge)) = &opts.metrics_json {
+        ppa_pool::export_metrics();
+        if let Err(e) = ppa_obs::snapshot().write_json_file(path, *merge) {
+            eprintln!(
+                "ppa-verify: cannot write metrics to {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
         }
     }
     if ok {

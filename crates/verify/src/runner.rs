@@ -71,13 +71,33 @@ pub fn check_app(app: &AppDescriptor, len: usize, seed: u64) -> CheckReport {
         })
         .collect();
     let (cycles, finished) = run_cores(&mut cores, &traces, &mut mem);
-    let violations = cores.iter_mut().flat_map(Core::take_violations).collect();
+    record_check_metrics(&cores, cycles);
+    let violations: Vec<Violation> = cores.iter_mut().flat_map(Core::take_violations).collect();
+    ppa_obs::registry::counter("verify.check.violations").add(violations.len() as u64);
     CheckReport {
         app: app.name,
         threads: app.threads,
         cycles,
         violations,
         finished,
+    }
+}
+
+/// Lifts the cores' [`ppa_core::verify::ValidatorTiming`] accounting
+/// into `verify.check.*` metrics: cycles scanned per validator, wall
+/// time per validator, and run totals. This is the measurement
+/// baseline for the ROADMAP's "check is O(validators × ROB) per
+/// cycle" optimization — before this existed the cost could not even
+/// be observed.
+fn record_check_metrics(cores: &[Core], cycles: u64) {
+    ppa_obs::registry::counter("verify.check.apps").inc();
+    ppa_obs::registry::counter("verify.check.cycles_scanned").add(cycles);
+    for core in cores {
+        for t in core.validator_timings() {
+            let base = format!("verify.check.validator.{}", t.name);
+            ppa_obs::registry::counter(&format!("{base}.cycles")).add(t.cycles);
+            ppa_obs::registry::counter(&format!("{base}.ns")).add(t.elapsed.as_nanos() as u64);
+        }
     }
 }
 

@@ -47,6 +47,15 @@ cargo test -p ppa-grid -q
 echo "== cargo test -p ppa-grid -p ppa-verify -q"
 cargo test -p ppa-grid -p ppa-verify -q
 
+# The shared-workload generators feeding the race detector, on both
+# feature graphs: the exported trace sets must be identical with and
+# without ppa-core's verify hooks in the tree.
+echo "== cargo test -p ppa-workloads -q"
+cargo test -p ppa-workloads -q
+
+echo "== cargo test -p ppa-workloads -p ppa-verify -q"
+cargo test -p ppa-workloads -p ppa-verify -q
+
 # Parallel smoke run: auto-sized pool, reduced trace length, a mix of
 # simulation-heavy and static experiments. Timings land on stderr.
 echo "== PPA_JOBS=0 repro smoke (fig11 table4 ckpt)"
@@ -62,10 +71,10 @@ time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
 # be byte-identical to the local run above.
 echo "== repro loopback grid smoke (fig11 table4 ckpt, 2 workers)"
 PPA_JOBS=0 PPA_REPRO_LEN=1200 \
-    cargo run -q -p ppa-bench --release --bin repro -- fig11 table4 ckpt \
+    cargo run -q -p ppa-bench --release --bin repro -- fig11 table4 ckpt autopersist \
     > /tmp/ppa_ci_local.txt 2> /dev/null
 time PPA_JOBS=0 PPA_REPRO_LEN=1200 \
-    cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:2 fig11 table4 ckpt \
+    cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:2 fig11 table4 ckpt autopersist \
     > /tmp/ppa_ci_grid.txt 2> /dev/null
 diff /tmp/ppa_ci_local.txt /tmp/ppa_ci_grid.txt
 
@@ -73,9 +82,43 @@ diff /tmp/ppa_ci_local.txt /tmp/ppa_ci_grid.txt
 # perturb a single output byte.
 echo "== repro loopback grid smoke with injected worker death"
 PPA_JOBS=0 PPA_REPRO_LEN=1200 PPA_GRID_DIE_AFTER=3 \
-    cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:3 fig11 table4 ckpt \
+    cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:3 fig11 table4 ckpt autopersist \
     > /tmp/ppa_ci_grid_die.txt 2> /dev/null
 diff /tmp/ppa_ci_local.txt /tmp/ppa_ci_grid_die.txt
+
+# The static persist-ordering analysis engine, fixed seed: all 41
+# workloads must lint clean under AutoPersist (exit code enforces it,
+# including the fewer-barriers-than-capri bound), the race detector must
+# pass all four shared generators and catch the injected defects, and the
+# soundness cross-check must report zero static-clean-but-divergent
+# mutants. The output must also be byte-identical at any job count.
+echo "== ppa-verify lint + analyze (static persist-ordering engine)"
+cargo run -q -p ppa-verify --release -- lint --len 1200 > /dev/null 2> /dev/null
+cargo run -q -p ppa-verify --release -- analyze --len 1200 \
+    > /tmp/ppa_ci_analyze.txt 2> /dev/null
+grep -q "unsound=0" /tmp/ppa_ci_analyze.txt
+grep -q "second writer caught" /tmp/ppa_ci_analyze.txt
+grep -q "race judges: agree" /tmp/ppa_ci_analyze.txt
+PPA_JOBS=0 cargo run -q -p ppa-verify --release -- analyze --len 1200 \
+    > /tmp/ppa_ci_analyze_jobs.txt 2> /dev/null
+diff /tmp/ppa_ci_analyze.txt /tmp/ppa_ci_analyze_jobs.txt
+
+# lint --json: every emitted diagnostic must be one valid JSON object
+# with the full field set, validated by an independent parser.
+echo "== ppa-verify lint --json validation (python3)"
+cargo run -q -p ppa-verify --release -- lint --len 1200 --json \
+    > /tmp/ppa_ci_lint_json.txt 2> /dev/null
+python3 - <<'EOF'
+import json
+lines = [l for l in open("/tmp/ppa_ci_lint_json.txt") if l.startswith("{")]
+assert lines, "no JSON diagnostics emitted"
+for line in lines:
+    d = json.loads(line)
+    for k in ("app", "profile", "rule", "severity", "pos", "pc", "message"):
+        assert k in d, f"missing {k}: {d}"
+    assert d["severity"] in ("error", "warning"), d
+print(f"lint --json ok: {len(lines)} diagnostics")
+EOF
 
 # The crash oracle over the grid, same byte-identity bar.
 echo "== ppa-verify oracle loopback grid smoke (2 workers)"
@@ -97,7 +140,7 @@ echo "== repro telemetry smoke (stdout identity under --metrics/--trace-out)"
 PPA_JOBS=0 PPA_REPRO_LEN=1200 PPA_GRID_DIE_AFTER=3 \
     cargo run -q -p ppa-bench --release --bin repro -- --grid loopback:3 \
     --metrics --metrics-json /tmp/ppa_ci_metrics.json --trace-out /tmp/ppa_ci_trace.json \
-    fig11 table4 ckpt > /tmp/ppa_ci_grid_telem.txt 2> /dev/null
+    fig11 table4 ckpt autopersist > /tmp/ppa_ci_grid_telem.txt 2> /dev/null
 diff /tmp/ppa_ci_local.txt /tmp/ppa_ci_grid_telem.txt
 
 # The checker merges its verify.check.* metrics into the same snapshot
@@ -114,7 +157,7 @@ python3 - <<'EOF'
 import json
 m = json.load(open("/tmp/ppa_ci_metrics.json"))
 assert m, "metrics JSON is empty"
-for fam in ("grid.coord.", "verify.check.", "pool.", "sim.", "span.experiment."):
+for fam in ("grid.coord.", "verify.check.", "pool.", "sim.", "span.experiment.", "lint.autopersist."):
     assert any(k.startswith(fam) for k in m), f"no {fam}* metrics"
 assert all(isinstance(v, (int, float)) for v in m.values()), "non-numeric metric value"
 ev = json.load(open("/tmp/ppa_ci_trace.json"))["traceEvents"]

@@ -12,7 +12,7 @@
 
 use crate::{experiment_len, SEED};
 use ppa_core::{CoreConfig, PersistenceMode};
-use ppa_isa::transform::{region_lengths, CapriPass, TracePass};
+use ppa_isa::transform::{region_lengths, AutoPersistPass, CapriPass, ReplayCachePass, TracePass};
 use ppa_mem::NvmConfig;
 use ppa_sim::{inject_failure, Machine, SimReport, SystemConfig};
 use ppa_stats::{fmt_percent, fmt_slowdown, geomean, Cdf, TextTable};
@@ -1040,6 +1040,64 @@ pub fn ehs() -> TextTable {
     t
 }
 
+/// AutoPersist placement economy: persist barriers emitted by the
+/// dependence-driven flush/fence insertion vs the two region-bounded
+/// software baselines, on the same raw trace. AutoPersist fences only
+/// where the static dependence graph proves it must (dependence
+/// crossings, publication points, the trace-end seal), so its count is
+/// the *lower bound* the compile-time schemes pay region-formation
+/// overhead above.
+pub(crate) fn autopersist_cell(app: &AppDescriptor, base_len: usize) -> Vec<f64> {
+    let raw = app.generate(len_for_base(app, base_len).min(20_000), SEED);
+    let ap = AutoPersistPass::new().apply(&raw).mix().barriers as f64;
+    let capri = CapriPass::new().apply(&raw).mix().barriers as f64;
+    let rc = ReplayCachePass::new().apply(&raw).mix().barriers as f64;
+    vec![ap, capri, rc]
+}
+
+pub fn autopersist() -> TextTable {
+    let mut t = TextTable::new(["app", "autopersist", "capri", "replaycache", "capri-delta"]);
+    let (mut ap_total, mut capri_total, mut rc_total) = (0.0f64, 0.0f64, 0.0f64);
+    let mut cheaper = 0usize;
+    for (app, v) in crate::gridwork::app_rows("autopersist", registry::all(), autopersist_cell) {
+        let (ap, capri, rc) = (v[0], v[1], v[2]);
+        ap_total += ap;
+        capri_total += capri;
+        rc_total += rc;
+        if ap < capri {
+            cheaper += 1;
+        }
+        ppa_obs::registry::gauge(&format!("lint.autopersist.barriers.{}", app.name)).set(ap);
+        ppa_obs::registry::gauge(&format!("lint.autopersist.capri_delta.{}", app.name))
+            .set(capri - ap);
+        t.row([
+            app.name.to_string(),
+            format!("{ap:.0}"),
+            format!("{capri:.0}"),
+            format!("{rc:.0}"),
+            format!("{:.0}", capri - ap),
+        ]);
+    }
+    ppa_obs::registry::gauge("lint.autopersist.barriers.total").set(ap_total);
+    ppa_obs::registry::gauge("lint.autopersist.capri_delta.total").set(capri_total - ap_total);
+    ppa_obs::registry::gauge("lint.autopersist.apps_cheaper").set(cheaper as f64);
+    t.row([
+        "total".to_string(),
+        format!("{ap_total:.0}"),
+        format!("{capri_total:.0}"),
+        format!("{rc_total:.0}"),
+        format!("{:.0}", capri_total - ap_total),
+    ]);
+    t.row([
+        "apps cheaper than capri".to_string(),
+        format!("{cheaper}"),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
 /// A named experiment generator.
 pub type Experiment = fn() -> TextTable;
 
@@ -1073,6 +1131,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("os", os),
         ("cxl", cxl),
         ("ehs", ehs),
+        ("autopersist", autopersist),
     ]
 }
 
@@ -1104,6 +1163,7 @@ pub(crate) fn app_cells() -> Vec<CellEntry> {
         ("fig14", registry::all, fig14_cell),
         ("fig15", registry::memory_intensive, fig15_cell),
         ("fig18", registry::memory_intensive, fig18_cell),
+        ("autopersist", registry::all, autopersist_cell),
     ]
 }
 
@@ -1115,9 +1175,34 @@ mod tests {
     fn experiment_registry_is_complete() {
         let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
         for expected in [
-            "fig1", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "fig17", "fig18", "fig19", "table1", "table2", "table3", "table4", "table5",
-            "table6", "ckpt", "ablation", "mc", "inorder", "os", "cxl", "ehs",
+            "fig1",
+            "fig5",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "ckpt",
+            "ablation",
+            "mc",
+            "inorder",
+            "os",
+            "cxl",
+            "ehs",
+            "autopersist",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }

@@ -41,5 +41,15 @@ fn simulation_experiments_render_at_reduced_length() {
     let ablation = experiments::ablation();
     assert_eq!(ablation.len(), 6, "six ablation variants");
 
+    // Dependence-driven insertion must beat Capri on every app: the
+    // "apps cheaper" row counts all 41.
+    let ap = experiments::autopersist();
+    assert_eq!(ap.len(), 43, "41 apps + total + cheaper rows");
+    let ap_text = ap.to_string();
+    assert!(
+        ap_text.contains("apps cheaper than capri") && ap_text.contains("41"),
+        "autopersist table:\n{ap_text}"
+    );
+
     std::env::remove_var("PPA_REPRO_LEN");
 }

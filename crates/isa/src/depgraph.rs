@@ -1,0 +1,638 @@
+//! Static persist-dependence graph over a committed-path [`Trace`].
+//!
+//! The graph makes persist ordering a *dataflow* property rather than a
+//! peephole one: its nodes are the persist-relevant micro-ops (stores,
+//! loads, `clwb`s, persist barriers, synchronisation primitives) and its
+//! edges capture the three ways one micro-op's durability can constrain
+//! another's:
+//!
+//! * **Same-line persist order** — stores and `clwb`s to one cache line
+//!   drain to NVM in trace order, so consecutive accesses to a line chain
+//!   together.
+//! * **Register dataflow** — a load observes a stored value and the value
+//!   flows through register def-use into a later store. If the later store
+//!   becomes durable while the earlier one is still volatile, recovery can
+//!   observe an effect without its cause.
+//! * **Recovery observability** — a post-crash read of a word can observe
+//!   the last store to that word out of prefix order unless the store was
+//!   sealed (flushed and fenced) first.
+//!
+//! The derived [`PersistDependence`] pairs are what the `AutoPersist`
+//! transform ([`crate::transform::AutoPersistPass`]) and the `ppa-verify`
+//! analysis engine consume: each pair names the source store, the load
+//! that observed it, the intermediate register-defining hops, and the
+//! dependent store — the *why* behind a required flush/fence, not just the
+//! position.
+//!
+//! Everything here is plain `std` (this crate has no dependencies), so the
+//! verification crate can reuse the exact same model the transform used to
+//! place its flushes.
+
+use crate::line_of;
+use crate::reg::ArchReg;
+use crate::trace::Trace;
+use crate::uop::UopKind;
+use std::collections::{HashMap, HashSet};
+
+/// Persistent-memory word granularity: recovery compares 8-byte words.
+pub const WORD_BYTES: u64 = 8;
+
+/// The 8-byte word an address falls into.
+pub const fn word_of(addr: u64) -> u64 {
+    addr & !(WORD_BYTES - 1)
+}
+
+/// Maximum register-dataflow hops recorded per dependence path. Longer
+/// chains are truncated (the endpoints are always exact); the cap keeps the
+/// graph linear in trace length.
+pub const MAX_PATH_HOPS: usize = 6;
+
+/// Kind of a persist-relevant node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepNodeKind {
+    /// A store, with the word and cache line it writes.
+    Store {
+        /// 8-byte word written.
+        word: u64,
+        /// Cache line written.
+        line: u64,
+    },
+    /// A load, with the word it reads.
+    Load {
+        /// 8-byte word read.
+        word: u64,
+    },
+    /// A `clwb`, with the line it flushes.
+    Clwb {
+        /// Cache line flushed.
+        line: u64,
+    },
+    /// A persist barrier (fences all earlier flushes).
+    Barrier,
+    /// A synchronisation primitive (cross-thread publication point).
+    Sync,
+}
+
+/// One node of the dependence graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepNode {
+    /// Trace position of the micro-op.
+    pub pos: usize,
+    /// Program counter of the micro-op.
+    pub pc: u64,
+    /// What the node is.
+    pub kind: DepNodeKind,
+}
+
+/// Kind of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepEdgeKind {
+    /// Persist order between consecutive accesses to one cache line.
+    SameLine,
+    /// Register dataflow from a load of persistent state into a store.
+    DataFlow,
+    /// A read that recovery could satisfy from the preceding store.
+    RecoveryObservability,
+}
+
+/// A directed edge between two nodes (indices into [`PersistDepGraph::nodes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Why the edge exists.
+    pub kind: DepEdgeKind,
+}
+
+/// A persist-dependence pair: store `to_store`'s data derives from store
+/// `from_store`'s value via the load at `via_load` (and the register-defining
+/// hops in between). Crash consistency requires `from_store` to be sealed
+/// (flushed *and* fenced) before `to_store` commits; otherwise recovery can
+/// observe the effect without the cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistDependence {
+    /// Trace position of the source store (the "cause").
+    pub from_store: usize,
+    /// Trace position of the load that observed the source store's word.
+    pub via_load: usize,
+    /// Trace positions of intermediate register-defining micro-ops, oldest
+    /// first (truncated to [`MAX_PATH_HOPS`]).
+    pub hops: Vec<usize>,
+    /// Trace position of the dependent store (the "effect").
+    pub to_store: usize,
+}
+
+impl PersistDependence {
+    /// The full dependence path as trace positions: source store, observing
+    /// load, register hops, dependent store.
+    pub fn path(&self) -> Vec<usize> {
+        let mut p = Vec::with_capacity(3 + self.hops.len());
+        p.push(self.from_store);
+        p.push(self.via_load);
+        p.extend_from_slice(&self.hops);
+        p.push(self.to_store);
+        p
+    }
+}
+
+/// Node/edge census of a graph, for summaries and metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepGraphSummary {
+    /// Store nodes.
+    pub stores: usize,
+    /// Load nodes.
+    pub loads: usize,
+    /// `clwb` nodes.
+    pub clwbs: usize,
+    /// Barrier nodes.
+    pub barriers: usize,
+    /// Sync nodes.
+    pub syncs: usize,
+    /// Same-line persist-order edges.
+    pub same_line_edges: usize,
+    /// Register-dataflow edges (load → dependent store).
+    pub dataflow_edges: usize,
+    /// Recovery-observability edges (store → later load of the word).
+    pub observability_edges: usize,
+    /// Distinct persist-dependence pairs.
+    pub dependence_pairs: usize,
+}
+
+/// Per-register taint tracked while building the graph: where the value in
+/// the register ultimately came from, if it derives from a store observed
+/// through a load.
+#[derive(Clone)]
+struct Taint {
+    from_store: usize,
+    via_load: usize,
+    via_load_node: usize,
+    hops: Vec<usize>,
+}
+
+/// The static persist-dependence graph of one trace.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::{ArchReg, TraceBuilder};
+/// use ppa_isa::depgraph::PersistDepGraph;
+///
+/// // A write-ahead-log shape: the payload store derives from the log entry.
+/// let mut b = TraceBuilder::new("wal");
+/// b.store(ArchReg::int(0), 0x100, 7); // log entry
+/// b.load(ArchReg::int(1), 0x100); // recovery code re-reads it
+/// b.alu(ArchReg::int(2), &[ArchReg::int(1)]);
+/// b.store(ArchReg::int(2), 0x200, 7); // payload derived from the entry
+/// let g = PersistDepGraph::build(&b.build());
+/// let pairs = g.dependence_pairs();
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!(pairs[0].from_store, 0);
+/// assert_eq!(pairs[0].to_store, 3);
+/// assert_eq!(pairs[0].path(), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistDepGraph {
+    nodes: Vec<DepNode>,
+    edges: Vec<DepEdge>,
+    pairs: Vec<PersistDependence>,
+}
+
+impl PersistDepGraph {
+    /// Builds the graph in one pass over the trace.
+    pub fn build(trace: &Trace) -> Self {
+        let mut nodes: Vec<DepNode> = Vec::new();
+        let mut edges: Vec<DepEdge> = Vec::new();
+        let mut pairs: Vec<PersistDependence> = Vec::new();
+        // Last store/clwb node per cache line, for SameLine chains.
+        let mut last_line_node: HashMap<u64, usize> = HashMap::new();
+        // Last store per word: (node index, trace position).
+        let mut last_store_word: HashMap<u64, (usize, usize)> = HashMap::new();
+        // Per-register taint.
+        let mut taint: Vec<Option<Taint>> = vec![None; ArchReg::flat_count()];
+        // Dedup (from_store, to_store) pairs.
+        let mut seen_pairs: HashSet<(usize, usize)> = HashSet::new();
+
+        for (pos, u) in trace.iter().enumerate() {
+            match u.kind {
+                UopKind::Store => {
+                    let mem = match u.mem {
+                        Some(m) => m,
+                        None => continue,
+                    };
+                    let line = line_of(mem.addr);
+                    let word = word_of(mem.addr);
+                    let node = nodes.len();
+                    nodes.push(DepNode {
+                        pos,
+                        pc: u.pc,
+                        kind: DepNodeKind::Store { word, line },
+                    });
+                    if let Some(prev) = last_line_node.insert(line, node) {
+                        edges.push(DepEdge {
+                            from: prev,
+                            to: node,
+                            kind: DepEdgeKind::SameLine,
+                        });
+                    }
+                    // Dataflow edges and dependence pairs from tainted sources.
+                    for r in u.sources() {
+                        if let Some(t) = &taint[r.flat_index()] {
+                            if seen_pairs.insert((t.from_store, pos)) {
+                                edges.push(DepEdge {
+                                    from: t.via_load_node,
+                                    to: node,
+                                    kind: DepEdgeKind::DataFlow,
+                                });
+                                pairs.push(PersistDependence {
+                                    from_store: t.from_store,
+                                    via_load: t.via_load,
+                                    hops: t.hops.clone(),
+                                    to_store: pos,
+                                });
+                            }
+                        }
+                    }
+                    last_store_word.insert(word, (node, pos));
+                }
+                UopKind::Load => {
+                    let mem = match u.mem {
+                        Some(m) => m,
+                        None => continue,
+                    };
+                    let word = word_of(mem.addr);
+                    let node = nodes.len();
+                    nodes.push(DepNode {
+                        pos,
+                        pc: u.pc,
+                        kind: DepNodeKind::Load { word },
+                    });
+                    let new_taint = last_store_word.get(&word).map(|&(snode, spos)| {
+                        edges.push(DepEdge {
+                            from: snode,
+                            to: node,
+                            kind: DepEdgeKind::RecoveryObservability,
+                        });
+                        Taint {
+                            from_store: spos,
+                            via_load: pos,
+                            via_load_node: node,
+                            hops: Vec::new(),
+                        }
+                    });
+                    if let Some(d) = u.dst {
+                        taint[d.flat_index()] = new_taint;
+                    }
+                }
+                UopKind::Clwb => {
+                    let mem = match u.mem {
+                        Some(m) => m,
+                        None => continue,
+                    };
+                    let line = line_of(mem.addr);
+                    let node = nodes.len();
+                    nodes.push(DepNode {
+                        pos,
+                        pc: u.pc,
+                        kind: DepNodeKind::Clwb { line },
+                    });
+                    if let Some(prev) = last_line_node.insert(line, node) {
+                        edges.push(DepEdge {
+                            from: prev,
+                            to: node,
+                            kind: DepEdgeKind::SameLine,
+                        });
+                    }
+                }
+                UopKind::PersistBarrier => {
+                    nodes.push(DepNode {
+                        pos,
+                        pc: u.pc,
+                        kind: DepNodeKind::Barrier,
+                    });
+                }
+                UopKind::Sync(_) => {
+                    nodes.push(DepNode {
+                        pos,
+                        pc: u.pc,
+                        kind: DepNodeKind::Sync,
+                    });
+                }
+                _ => {
+                    // Register-defining compute op: propagate taint from the
+                    // first tainted source; a def from untainted sources
+                    // kills the destination's taint.
+                    if let Some(d) = u.dst {
+                        let mut new_taint: Option<Taint> = None;
+                        for r in u.sources() {
+                            if let Some(t) = &taint[r.flat_index()] {
+                                let mut t = t.clone();
+                                if t.hops.len() < MAX_PATH_HOPS {
+                                    t.hops.push(pos);
+                                }
+                                new_taint = Some(t);
+                                break;
+                            }
+                        }
+                        taint[d.flat_index()] = new_taint;
+                    }
+                }
+            }
+        }
+
+        PersistDepGraph {
+            nodes,
+            edges,
+            pairs,
+        }
+    }
+
+    /// The graph's nodes, in trace order.
+    pub fn nodes(&self) -> &[DepNode] {
+        &self.nodes
+    }
+
+    /// The graph's edges, in discovery order.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Persist-dependence pairs, deduplicated by (source, dependent) store,
+    /// in dependent-store order.
+    pub fn dependence_pairs(&self) -> &[PersistDependence] {
+        &self.pairs
+    }
+
+    /// Node/edge census.
+    pub fn summary(&self) -> DepGraphSummary {
+        let mut s = DepGraphSummary {
+            dependence_pairs: self.pairs.len(),
+            ..DepGraphSummary::default()
+        };
+        for n in &self.nodes {
+            match n.kind {
+                DepNodeKind::Store { .. } => s.stores += 1,
+                DepNodeKind::Load { .. } => s.loads += 1,
+                DepNodeKind::Clwb { .. } => s.clwbs += 1,
+                DepNodeKind::Barrier => s.barriers += 1,
+                DepNodeKind::Sync => s.syncs += 1,
+            }
+        }
+        for e in &self.edges {
+            match e.kind {
+                DepEdgeKind::SameLine => s.same_line_edges += 1,
+                DepEdgeKind::DataFlow => s.dataflow_edges += 1,
+                DepEdgeKind::RecoveryObservability => s.observability_edges += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Seal bookkeeping for one store: the epoch-persistency events that make
+/// it durable. A store is *sealed* once a `clwb` of its line commits after
+/// it and a persist barrier commits after that `clwb`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSeal {
+    /// Trace position of the store.
+    pub pos: usize,
+    /// Program counter of the store.
+    pub pc: u64,
+    /// Cache line written.
+    pub line: u64,
+    /// 8-byte word written.
+    pub word: u64,
+    /// First `clwb` of the store's line strictly after the store.
+    pub clwb_pos: Option<usize>,
+    /// First persist barrier strictly after that `clwb` — the position at
+    /// which the store is durable. `None` means the store is never sealed.
+    pub barrier_pos: Option<usize>,
+}
+
+impl StoreSeal {
+    /// Whether the store is sealed anywhere in the trace.
+    pub fn sealed(&self) -> bool {
+        self.barrier_pos.is_some()
+    }
+
+    /// Whether the store is sealed strictly before trace position `pos`.
+    pub fn sealed_before(&self, pos: usize) -> bool {
+        self.barrier_pos.is_some_and(|b| b < pos)
+    }
+}
+
+/// Computes the seal position of every store in the trace.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::{ArchReg, MemRef, TraceBuilder, Uop, UopKind};
+/// use ppa_isa::depgraph::store_seals;
+///
+/// let mut b = TraceBuilder::new("t");
+/// b.store(ArchReg::int(0), 0x100, 1);
+/// b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0)));
+/// b.push(Uop::new(0, UopKind::PersistBarrier));
+/// let seals = store_seals(&b.build());
+/// assert_eq!(seals[0].clwb_pos, Some(1));
+/// assert_eq!(seals[0].barrier_pos, Some(2));
+/// assert!(seals[0].sealed());
+/// ```
+pub fn store_seals(trace: &Trace) -> Vec<StoreSeal> {
+    let mut barriers: Vec<usize> = Vec::new();
+    let mut clwbs_by_line: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut stores: Vec<StoreSeal> = Vec::new();
+    for (pos, u) in trace.iter().enumerate() {
+        match u.kind {
+            UopKind::Store => {
+                if let Some(m) = u.mem {
+                    stores.push(StoreSeal {
+                        pos,
+                        pc: u.pc,
+                        line: line_of(m.addr),
+                        word: word_of(m.addr),
+                        clwb_pos: None,
+                        barrier_pos: None,
+                    });
+                }
+            }
+            UopKind::Clwb => {
+                if let Some(m) = u.mem {
+                    clwbs_by_line.entry(line_of(m.addr)).or_default().push(pos);
+                }
+            }
+            UopKind::PersistBarrier => barriers.push(pos),
+            _ => {}
+        }
+    }
+    for s in &mut stores {
+        let clwb = clwbs_by_line.get(&s.line).and_then(|v| {
+            let i = v.partition_point(|&p| p <= s.pos);
+            v.get(i).copied()
+        });
+        s.clwb_pos = clwb;
+        s.barrier_pos = clwb.and_then(|c| {
+            let i = barriers.partition_point(|&p| p <= c);
+            barriers.get(i).copied()
+        });
+    }
+    stores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use crate::uop::{MemRef, SyncKind, Uop};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn word_of_masks_low_bits() {
+        assert_eq!(word_of(0x107), 0x100);
+        assert_eq!(word_of(0x108), 0x108);
+    }
+
+    #[test]
+    fn nodes_cover_persist_relevant_kinds_only() {
+        let mut b = TraceBuilder::new("t");
+        b.alu(r(0), &[]);
+        b.store(r(0), 0x100, 1);
+        b.load(r(1), 0x100);
+        b.sync(SyncKind::Fence);
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0)));
+        b.push(Uop::new(0, UopKind::PersistBarrier));
+        b.nop();
+        let g = PersistDepGraph::build(&b.build());
+        let s = g.summary();
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.clwbs, 1);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.syncs, 1);
+        assert_eq!(g.nodes().len(), 5);
+    }
+
+    #[test]
+    fn same_line_edges_chain_stores_and_clwbs() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 1);
+        b.store(r(0), 0x108, 2); // same line
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0)));
+        b.store(r(0), 0x400, 3); // different line
+        let g = PersistDepGraph::build(&b.build());
+        let s = g.summary();
+        assert_eq!(s.same_line_edges, 2, "st->st and st->clwb on line 0x100");
+    }
+
+    #[test]
+    fn observability_edge_links_store_to_later_load() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 1);
+        b.load(r(1), 0x100);
+        b.load(r(2), 0x900); // never stored: no edge
+        let g = PersistDepGraph::build(&b.build());
+        assert_eq!(g.summary().observability_edges, 1);
+        let e = g
+            .edges()
+            .iter()
+            .find(|e| e.kind == DepEdgeKind::RecoveryObservability)
+            .unwrap();
+        assert_eq!(g.nodes()[e.from].pos, 0);
+        assert_eq!(g.nodes()[e.to].pos, 1);
+    }
+
+    #[test]
+    fn dataflow_pair_tracks_hops() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7); // pos 0
+        b.load(r(1), 0x100); // pos 1
+        b.alu(r(2), &[r(1)]); // pos 2
+        b.alu(r(3), &[r(2)]); // pos 3
+        b.store(r(3), 0x200, 7); // pos 4
+        let g = PersistDepGraph::build(&b.build());
+        let pairs = g.dependence_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].path(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.summary().dataflow_edges, 1);
+    }
+
+    #[test]
+    fn overwriting_a_register_kills_taint() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.load(r(1), 0x100);
+        b.alu(r(1), &[]); // overwrite with untainted value
+        b.store(r(1), 0x200, 7);
+        let g = PersistDepGraph::build(&b.build());
+        assert!(g.dependence_pairs().is_empty());
+    }
+
+    #[test]
+    fn load_of_unwritten_word_clears_taint() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.load(r(1), 0x100);
+        b.load(r(1), 0x900); // reload from a word nothing stored to
+        b.store(r(1), 0x200, 7);
+        let g = PersistDepGraph::build(&b.build());
+        assert!(g.dependence_pairs().is_empty());
+    }
+
+    #[test]
+    fn duplicate_pairs_are_deduped() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.load(r(1), 0x100);
+        b.load(r(2), 0x100);
+        // Both sources carry the same (from, to) pair.
+        let pc = 0;
+        b.push(
+            Uop::new(pc, UopKind::Store)
+                .with_srcs(&[r(1), r(2)])
+                .with_mem(MemRef::new(0x200, 8, 7)),
+        );
+        let g = PersistDepGraph::build(&b.build());
+        assert_eq!(g.dependence_pairs().len(), 1);
+    }
+
+    #[test]
+    fn hop_cap_truncates_long_chains() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.load(r(1), 0x100);
+        for _ in 0..(MAX_PATH_HOPS + 4) {
+            b.alu(r(1), &[r(1)]);
+        }
+        b.store(r(1), 0x200, 7);
+        let g = PersistDepGraph::build(&b.build());
+        let pairs = g.dependence_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].hops.len(), MAX_PATH_HOPS);
+    }
+
+    #[test]
+    fn store_seals_require_clwb_then_barrier_in_order() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 1); // pos 0: sealed at 4
+        b.store(r(0), 0x200, 2); // pos 1: clwb'd but never fenced
+        b.push(Uop::new(0, UopKind::PersistBarrier)); // pos 2: too early for 0x200's clwb
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0))); // pos 3
+        b.push(Uop::new(0, UopKind::PersistBarrier)); // pos 4
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x200, 8, 0))); // pos 5
+        b.store(r(0), 0x300, 3); // pos 6: never flushed
+        let seals = store_seals(&b.build());
+        assert_eq!(seals.len(), 3);
+        assert_eq!(seals[0].clwb_pos, Some(3));
+        assert_eq!(seals[0].barrier_pos, Some(4));
+        assert!(seals[0].sealed_before(5));
+        assert!(!seals[0].sealed_before(4));
+        assert_eq!(seals[1].clwb_pos, Some(5));
+        assert_eq!(seals[1].barrier_pos, None, "no barrier after the clwb");
+        assert_eq!(seals[2].clwb_pos, None);
+        assert!(!seals[2].sealed());
+    }
+}

@@ -15,6 +15,10 @@
 //!   `clwb` after every store (paper §2.4 and Figure 1);
 //! * [`transform::capri`] — Capri's (HPDC '22) redo-buffer-bounded region
 //!   formation (~29 instructions per region, paper §7.5).
+//! * [`transform::AutoPersistPass`] — dependence-driven flush/fence
+//!   insertion derived from the static persist-dependence graph in
+//!   [`depgraph`], the minimal software placement the comparisons are
+//!   measured against.
 //!
 //! PPA itself needs *no* pass: its regions are formed dynamically in
 //! hardware, which is the paper's central claim.
@@ -33,6 +37,7 @@
 //! assert!(matches!(trace[1].kind, UopKind::Store));
 //! ```
 
+pub mod depgraph;
 mod disasm;
 mod reg;
 mod trace;

@@ -1,0 +1,304 @@
+use crate::depgraph::{word_of, PersistDepGraph};
+use crate::line_of;
+use crate::reg::ArchReg;
+use crate::trace::Trace;
+use crate::transform::TracePass;
+use crate::uop::{MemRef, Uop, UopKind};
+use std::collections::{HashMap, HashSet};
+
+/// Dependence-driven flush/fence insertion: the minimal epoch-persistency
+/// placement the static persist-dependence graph ([`PersistDepGraph`])
+/// proves sufficient.
+///
+/// ReplayCache and Capri seal on a *schedule* — every N instructions, every
+/// call, every register-pressure event — because their recovery hardware
+/// needs bounded epochs. A pure flush/fence software scheme has no such
+/// bound: a barrier is only ever *required* where the dependence graph says
+/// ordering is observable. This pass seals (one `clwb` per dirty cache
+/// line, in first-dirtied order, followed by one persist barrier) at
+/// exactly three kinds of points:
+///
+/// 1. **Dependence crossings** — immediately before a store whose data
+///    derives, through register dataflow from a load, from a store that is
+///    not yet sealed. Sealing first makes the cause durable before the
+///    effect can be.
+/// 2. **Synchronisation primitives** — immediately before a `Sync` uop, if
+///    unsealed stores exist. Once another thread can observe this thread's
+///    writes it can persist state derived from them, so publication
+///    requires durability (the same contract ReplayCache/Capri honour by
+///    ending regions at syncs).
+/// 3. **Trace end** — a final seal so no committed store is lost at exit.
+///
+/// Everything between two seals is one epoch; `clwb`s are coalesced per
+/// line (a line dirtied by many stores is flushed once per epoch), which is
+/// also cheaper than ReplayCache's clwb-per-store placement.
+///
+/// The output is lint-clean under `LintProfile::AutoPersist` by
+/// construction: every store's line reaches a `clwb` before the epoch's
+/// barrier, no barrier seals an empty epoch, and every dependence pair and
+/// sync crossing is sealed in order.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::transform::{AutoPersistPass, CapriPass, TracePass};
+/// use ppa_isa::{ArchReg, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new("t");
+/// for i in 0..200u64 {
+///     b.store(ArchReg::int(0), i * 8, i);
+/// }
+/// let t = b.build();
+/// let auto = AutoPersistPass::new().apply(&t);
+/// let capri = CapriPass::new().apply(&t);
+/// assert!(auto.mix().barriers < capri.mix().barriers);
+/// assert_eq!(auto.mix().barriers, 1, "independent stores need one seal");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AutoPersistPass;
+
+impl AutoPersistPass {
+    /// Creates the pass. It has no tuning knobs: the placement is fully
+    /// determined by the trace's dependence structure.
+    pub fn new() -> Self {
+        AutoPersistPass
+    }
+}
+
+impl TracePass for AutoPersistPass {
+    fn name(&self) -> &str {
+        "autopersist"
+    }
+
+    fn apply(&self, trace: &Trace) -> Trace {
+        let mut out: Vec<Uop> = Vec::with_capacity(trace.len() + 8);
+        // Dirty lines of the current epoch, in first-dirtied order.
+        let mut dirty: Vec<u64> = Vec::new();
+        let mut dirty_set: HashSet<u64> = HashSet::new();
+        // Epochs count the seals emitted so far; a store is unsealed iff it
+        // was committed in the current epoch.
+        let mut epoch = 0u64;
+        // Epoch of the last store to each word.
+        let mut word_epoch: HashMap<u64, u64> = HashMap::new();
+        // Epoch of the unsealed store a register's value derives from.
+        let mut reg_epoch: Vec<Option<u64>> = vec![None; ArchReg::flat_count()];
+
+        let seal = |out: &mut Vec<Uop>,
+                    dirty: &mut Vec<u64>,
+                    dirty_set: &mut HashSet<u64>,
+                    epoch: &mut u64,
+                    pc: u64| {
+            for &line in dirty.iter() {
+                out.push(Uop::new(pc, UopKind::Clwb).with_mem(MemRef::new(line, 8, 0)));
+            }
+            out.push(Uop::new(pc, UopKind::PersistBarrier));
+            dirty.clear();
+            dirty_set.clear();
+            *epoch += 1;
+        };
+
+        for u in trace {
+            match u.kind {
+                UopKind::Sync(_) => {
+                    if !dirty.is_empty() {
+                        seal(&mut out, &mut dirty, &mut dirty_set, &mut epoch, u.pc);
+                    }
+                    out.push(*u);
+                }
+                UopKind::Store => {
+                    let crosses_dependence = u
+                        .sources()
+                        .any(|r| reg_epoch[r.flat_index()] == Some(epoch));
+                    if crosses_dependence && !dirty.is_empty() {
+                        seal(&mut out, &mut dirty, &mut dirty_set, &mut epoch, u.pc);
+                    }
+                    out.push(*u);
+                    if let Some(m) = u.mem {
+                        let line = line_of(m.addr);
+                        if dirty_set.insert(line) {
+                            dirty.push(line);
+                        }
+                        word_epoch.insert(word_of(m.addr), epoch);
+                    }
+                }
+                UopKind::Load => {
+                    out.push(*u);
+                    if let Some(d) = u.dst {
+                        reg_epoch[d.flat_index()] = u
+                            .mem
+                            .and_then(|m| word_epoch.get(&word_of(m.addr)).copied());
+                    }
+                }
+                _ => {
+                    out.push(*u);
+                    if let Some(d) = u.dst {
+                        let merged = u.sources().filter_map(|r| reg_epoch[r.flat_index()]).max();
+                        reg_epoch[d.flat_index()] = merged;
+                    }
+                }
+            }
+        }
+        if !dirty.is_empty() {
+            seal(
+                &mut out,
+                &mut dirty,
+                &mut dirty_set,
+                &mut epoch,
+                trace.len() as u64 * 4,
+            );
+        }
+        // The placement mirrors the dependence graph by construction; debug
+        // builds double-check that every dependence pair is sealed in order.
+        debug_assert!({
+            let t = Trace::from_uops("check", out.clone());
+            let seals = crate::depgraph::store_seals(&t);
+            let by_pos: HashMap<usize, &crate::depgraph::StoreSeal> =
+                seals.iter().map(|s| (s.pos, s)).collect();
+            PersistDepGraph::build(&t)
+                .dependence_pairs()
+                .iter()
+                .all(|p| by_pos[&p.from_store].sealed_before(p.to_store))
+        });
+        Trace::from_uops(format!("{}+autopersist", trace.name()), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use crate::transform::{CapriPass, ReplayCachePass};
+    use crate::uop::SyncKind;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn independent_stores_get_one_final_seal() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..50u64 {
+            b.store(r(0), 0x100 + i * 64, i);
+        }
+        let out = AutoPersistPass::new().apply(&b.build());
+        let m = out.mix();
+        assert_eq!(m.barriers, 1);
+        assert_eq!(m.clwbs, 50, "one clwb per dirty line");
+        assert_eq!(out.name(), "t+autopersist");
+    }
+
+    #[test]
+    fn same_line_stores_coalesce_to_one_clwb() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..8u64 {
+            b.store(r(0), 0x100 + i * 8, i);
+        }
+        let out = AutoPersistPass::new().apply(&b.build());
+        assert_eq!(out.mix().clwbs, 1);
+        assert_eq!(out.mix().barriers, 1);
+    }
+
+    #[test]
+    fn dependence_crossing_seals_before_the_dependent_store() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.load(r(1), 0x100);
+        b.alu(r(2), &[r(1)]);
+        b.store(r(2), 0x200, 7);
+        let out = AutoPersistPass::new().apply(&b.build());
+        assert_eq!(out.mix().barriers, 2, "dependence seal + final seal");
+        // The first barrier must precede the dependent store.
+        let bar = out
+            .iter()
+            .position(|u| u.kind == UopKind::PersistBarrier)
+            .unwrap();
+        let dep_store = out
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.kind == UopKind::Store)
+            .nth(1)
+            .unwrap()
+            .0;
+        assert!(bar < dep_store);
+    }
+
+    #[test]
+    fn sealed_dependence_needs_no_second_seal() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.sync(SyncKind::Fence); // forces a seal; the store is now durable
+        b.load(r(1), 0x100);
+        b.store(r(1), 0x200, 7);
+        let out = AutoPersistPass::new().apply(&b.build());
+        // Seal before the sync + final seal, but none at the second store.
+        assert_eq!(out.mix().barriers, 2);
+        let dep_store = out
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.kind == UopKind::Store)
+            .nth(1)
+            .unwrap()
+            .0;
+        assert_ne!(out[dep_store - 1].kind, UopKind::PersistBarrier);
+    }
+
+    #[test]
+    fn syncs_seal_only_when_stores_are_pending() {
+        let mut b = TraceBuilder::new("t");
+        b.sync(SyncKind::LockAcquire); // nothing dirty: no seal
+        b.store(r(0), 0x100, 1);
+        b.sync(SyncKind::LockRelease); // seals the store
+        b.nop();
+        let out = AutoPersistPass::new().apply(&b.build());
+        assert_eq!(out.mix().barriers, 1);
+        assert_eq!(out[0].kind, UopKind::Sync(SyncKind::LockAcquire));
+    }
+
+    #[test]
+    fn storeless_trace_is_unchanged() {
+        let mut b = TraceBuilder::new("t");
+        for _ in 0..20 {
+            b.nop();
+        }
+        let t = b.build();
+        let out = AutoPersistPass::new().apply(&t);
+        assert_eq!(out.mix().barriers, 0);
+        assert_eq!(out.len(), t.len());
+    }
+
+    #[test]
+    fn taint_clears_across_a_seal() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.load(r(1), 0x100); // tainted by the unsealed store
+        b.sync(SyncKind::Fence); // seal: the store becomes durable
+        b.alu(r(2), &[r(1)]);
+        b.store(r(2), 0x200, 7); // no seal needed: cause already durable
+        let out = AutoPersistPass::new().apply(&b.build());
+        assert_eq!(out.mix().barriers, 2, "sync seal + final seal only");
+    }
+
+    #[test]
+    fn fewer_barriers_than_capri_and_replaycache_on_a_mixed_trace() {
+        let mut b = TraceBuilder::new("t");
+        for i in 0..2000u64 {
+            match i % 10 {
+                0 => {
+                    b.store(r(0), 0x100 + (i % 64) * 64, i);
+                }
+                5 => {
+                    b.branch(crate::uop::BranchKind::Call);
+                }
+                _ => {
+                    b.alu(r(1), &[r(1)]);
+                }
+            }
+        }
+        let t = b.build();
+        let auto = AutoPersistPass::new().apply(&t).mix().barriers;
+        let capri = CapriPass::new().apply(&t).mix().barriers;
+        let rc = ReplayCachePass::new().apply(&t).mix().barriers;
+        assert!(auto < capri, "autopersist {auto} vs capri {capri}");
+        assert!(auto < rc, "autopersist {auto} vs replaycache {rc}");
+    }
+}

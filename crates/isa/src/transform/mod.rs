@@ -6,9 +6,11 @@
 //! reproduction those compilers are trace-to-trace passes. PPA itself needs
 //! no pass — its regions come from hardware free-list pressure.
 
+mod autopersist;
 mod capri;
 mod replaycache;
 
+pub use autopersist::AutoPersistPass;
 pub use capri::CapriPass;
 pub use replaycache::ReplayCachePass;
 

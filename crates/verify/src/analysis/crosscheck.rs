@@ -1,0 +1,448 @@
+//! Soundness cross-check: static verdicts vs. a dynamic adversarial crash
+//! simulation.
+//!
+//! A linter that never fires is worthless, and one that fires on clean
+//! traces erodes trust. This harness bounds both failure modes
+//! empirically: it takes every workload's [`AutoPersistPass`]-sealed trace
+//! (lint-clean by construction), applies each persist-breaking
+//! [`PersistMutation`], and compares two *independent* judges on the
+//! mutant:
+//!
+//! * **static** — [`crate::lint::lint_trace`] under
+//!   [`LintProfile::AutoPersist`], counting `Error`-severity findings;
+//! * **dynamic** — [`crash_divergence`], an adversarial replay of the
+//!   epoch-persistency semantics: any store not sealed (clwb of its line
+//!   strictly after it, persist barrier strictly after that clwb) by a
+//!   given point is *volatile* there, so a dependence whose source is
+//!   still volatile when its sink commits, or a word whose last write is
+//!   never sealed, is recoverable to an inconsistent image by crashing at
+//!   the right instant.
+//!
+//! Soundness contract ([`CrossCase::sound`]): **static-clean ⇒
+//! dynamic-green**. A static-flagged mutant with no dynamic divergence is
+//! allowed but tallied as *conservative* (e.g. a deleted leading flush
+//! whose store is rewritten and resealed later). The race half of
+//! [`run_crosscheck`] applies the same contract to the shared-memory
+//! detector against [`GoldenMemory::from_thread_prefixes`].
+//!
+//! Everything is deterministic in `(len, seed)`; the fixed-seed run is a
+//! CI gate (`unsound = 0` over ≥ 200 mutants).
+
+use crate::analysis::race::{detect_races, inject_second_writer, strip_syncs, RaceRule};
+use crate::golden::GoldenMemory;
+use crate::lint::{lint_trace, LintProfile, Severity};
+use ppa_isa::depgraph::{store_seals, word_of};
+use ppa_isa::transform::{AutoPersistPass, TracePass};
+use ppa_isa::{ArchReg, Trace, UopKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One persist-breaking trace mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistMutation {
+    /// Delete the first cache-line write-back.
+    DeleteFirstClwb,
+    /// Delete the last cache-line write-back.
+    DeleteLastClwb,
+    /// Delete the first persist barrier.
+    DeleteFirstBarrier,
+    /// Delete the last persist barrier.
+    DeleteLastBarrier,
+    /// Move the last persist barrier two slots earlier, ahead of the flush
+    /// it was meant to order.
+    MoveLastBarrierEarlier,
+}
+
+impl PersistMutation {
+    /// All mutations, in a fixed order.
+    pub fn all() -> [PersistMutation; 5] {
+        [
+            PersistMutation::DeleteFirstClwb,
+            PersistMutation::DeleteLastClwb,
+            PersistMutation::DeleteFirstBarrier,
+            PersistMutation::DeleteLastBarrier,
+            PersistMutation::MoveLastBarrierEarlier,
+        ]
+    }
+
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PersistMutation::DeleteFirstClwb => "delete-first-clwb",
+            PersistMutation::DeleteLastClwb => "delete-last-clwb",
+            PersistMutation::DeleteFirstBarrier => "delete-first-barrier",
+            PersistMutation::DeleteLastBarrier => "delete-last-barrier",
+            PersistMutation::MoveLastBarrierEarlier => "move-last-barrier-earlier",
+        }
+    }
+
+    /// Applies the mutation, or `None` when the trace has no site for it
+    /// (e.g. no barrier to delete).
+    pub fn apply(self, trace: &Trace) -> Option<Trace> {
+        let uops: Vec<ppa_isa::Uop> = trace.iter().copied().collect();
+        let is_clwb = |u: &ppa_isa::Uop| u.kind == UopKind::Clwb;
+        let is_barrier = |u: &ppa_isa::Uop| u.kind == UopKind::PersistBarrier;
+        let name = format!("{}+{}", trace.name(), self.name());
+        let mut uops = uops;
+        match self {
+            PersistMutation::DeleteFirstClwb => {
+                let i = uops.iter().position(is_clwb)?;
+                uops.remove(i);
+            }
+            PersistMutation::DeleteLastClwb => {
+                let i = uops.iter().rposition(is_clwb)?;
+                uops.remove(i);
+            }
+            PersistMutation::DeleteFirstBarrier => {
+                let i = uops.iter().position(is_barrier)?;
+                uops.remove(i);
+            }
+            PersistMutation::DeleteLastBarrier => {
+                let i = uops.iter().rposition(is_barrier)?;
+                uops.remove(i);
+            }
+            PersistMutation::MoveLastBarrierEarlier => {
+                let i = uops.iter().rposition(is_barrier)?;
+                if i < 2 {
+                    return None;
+                }
+                let b = uops.remove(i);
+                uops.insert(i - 2, b);
+            }
+        }
+        Some(Trace::from_uops(name, uops))
+    }
+}
+
+impl fmt::Display for PersistMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the dynamic crash simulation diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// A store committed while the store its data derives from was still
+    /// volatile: a crash between the two recovers effect-without-cause.
+    DependenceViolated,
+    /// A word's final value is never sealed: a crash at exit loses it.
+    LostAtExit,
+}
+
+/// A dynamic counter-example found by [`crash_divergence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which inconsistency the adversarial crash exposes.
+    pub kind: DivergenceKind,
+    /// Trace position of the store that witnesses it.
+    pub store_pos: usize,
+}
+
+/// Seal time of a value: `Sealed(t)` means durable once the barrier at
+/// trace position `t` retires; `Never` ranks above every `Sealed(t)` so a
+/// max over provenance keeps the *weakest* link of a derivation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SealTime {
+    Sealed(usize),
+    Never,
+}
+
+/// Adversarial crash simulation of the epoch-persistency semantics.
+///
+/// Walks the trace once, tracking for every register and memory word the
+/// weakest seal point among the stores its current value (transitively)
+/// derives from. A store at position `p` whose source provenance seals at
+/// `t > p` (or never) is a [`DivergenceKind::DependenceViolated`] witness:
+/// the adversary crashes after `p` but before `t`, keeps the dependent
+/// store durable, and drops the source. A word whose last write never
+/// seals is a [`DivergenceKind::LostAtExit`] witness. Returns the first
+/// witness in trace order, or `None` when no crash point can expose an
+/// inconsistency.
+pub fn crash_divergence(trace: &Trace) -> Option<Divergence> {
+    let seals = store_seals(trace);
+    let seal_at: HashMap<usize, SealTime> = seals
+        .iter()
+        .map(|s| {
+            (
+                s.pos,
+                s.barrier_pos.map_or(SealTime::Never, SealTime::Sealed),
+            )
+        })
+        .collect();
+
+    // Provenance: the weakest (max) seal time among contributing stores,
+    // and the position of that weakest store (for the witness report).
+    type Prov = Option<(SealTime, usize)>;
+    let mut reg_prov: Vec<Prov> = vec![None; ArchReg::flat_count()];
+    let mut mem_prov: HashMap<u64, Prov> = HashMap::new();
+    let mut last_write: HashMap<u64, usize> = HashMap::new();
+
+    let mut dependence: Option<Divergence> = None;
+    for (pos, u) in trace.iter().enumerate() {
+        match u.kind {
+            UopKind::Store => {
+                let src_prov: Prov = u.sources().filter_map(|r| reg_prov[r.flat_index()]).max();
+                if dependence.is_none() {
+                    if let Some((t, _)) = src_prov {
+                        if t > SealTime::Sealed(pos) {
+                            dependence = Some(Divergence {
+                                kind: DivergenceKind::DependenceViolated,
+                                store_pos: pos,
+                            });
+                        }
+                    }
+                }
+                if let Some(m) = u.mem {
+                    let word = word_of(m.addr);
+                    let own = seal_at.get(&pos).copied().unwrap_or(SealTime::Never);
+                    mem_prov.insert(word, Some((own, pos)).max(src_prov));
+                    last_write.insert(word, pos);
+                }
+            }
+            UopKind::Load => {
+                if let Some(d) = u.dst {
+                    reg_prov[d.flat_index()] = u
+                        .mem
+                        .and_then(|m| mem_prov.get(&word_of(m.addr)).copied())
+                        .flatten();
+                }
+            }
+            _ => {
+                if let Some(d) = u.dst {
+                    reg_prov[d.flat_index()] =
+                        u.sources().filter_map(|r| reg_prov[r.flat_index()]).max();
+                }
+            }
+        }
+    }
+    if let Some(d) = dependence {
+        return Some(d);
+    }
+    last_write
+        .iter()
+        .filter(|&(_, &pos)| seal_at.get(&pos) == Some(&SealTime::Never))
+        .map(|(_, &pos)| pos)
+        .min()
+        .map(|store_pos| Divergence {
+            kind: DivergenceKind::LostAtExit,
+            store_pos,
+        })
+}
+
+/// One (workload, mutation) verdict pair.
+#[derive(Debug, Clone)]
+pub struct CrossCase {
+    /// Workload name.
+    pub app: &'static str,
+    /// Mutation applied to the sealed trace.
+    pub mutation: PersistMutation,
+    /// `Error`-severity findings from the static AutoPersist lint.
+    pub static_errors: usize,
+    /// Dynamic counter-example, if the adversary found one.
+    pub divergence: Option<Divergence>,
+}
+
+impl CrossCase {
+    /// Soundness: static-clean must imply dynamic-green.
+    pub fn sound(&self) -> bool {
+        self.static_errors > 0 || self.divergence.is_none()
+    }
+
+    /// Static flagged it but no crash point exposes an inconsistency.
+    pub fn conservative(&self) -> bool {
+        self.static_errors > 0 && self.divergence.is_none()
+    }
+}
+
+/// Aggregate result of [`run_crosscheck`].
+#[derive(Debug, Clone)]
+pub struct CrossCheckReport {
+    /// Every persist-mutant verdict pair.
+    pub cases: Vec<CrossCase>,
+    /// Race detector vs. dynamic prefix-union oracle agreed on the clean
+    /// set and on every injected second writer.
+    pub race_agreed: bool,
+    /// Sync-stripped race mutants flagged statically while the dynamic
+    /// oracle stayed green (documented-conservative by design: the oracle
+    /// only checks write-write conflicts).
+    pub race_conservative: usize,
+}
+
+impl CrossCheckReport {
+    /// Total persist mutants exercised.
+    pub fn mutants(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Mutants the static lint flagged.
+    pub fn flagged(&self) -> usize {
+        self.cases.iter().filter(|c| c.static_errors > 0).count()
+    }
+
+    /// Mutants the dynamic adversary diverged on.
+    pub fn divergent(&self) -> usize {
+        self.cases.iter().filter(|c| c.divergence.is_some()).count()
+    }
+
+    /// Statically flagged, dynamically green.
+    pub fn conservative(&self) -> usize {
+        self.cases.iter().filter(|c| c.conservative()).count()
+    }
+
+    /// Static-clean mutants the adversary still broke — must be zero.
+    pub fn unsound(&self) -> usize {
+        self.cases.iter().filter(|c| !c.sound()).count()
+    }
+
+    /// The CI gate: no unsound case and race judges agree.
+    pub fn passed(&self) -> bool {
+        self.unsound() == 0 && self.race_agreed
+    }
+}
+
+/// Runs the full cross-check at `(len, seed)`: every registry workload ×
+/// every [`PersistMutation`] (41 × 5 = 205 mutants at the default
+/// registry), plus the race half over all four shared generators
+/// (`threads` cores each): the clean set must satisfy both judges, an
+/// injected second writer must trip both, and sync-stripping must trip the
+/// static detector (dynamic-green, counted conservative).
+pub fn run_crosscheck(len: usize, seed: u64, threads: usize) -> CrossCheckReport {
+    let apps = ppa_workloads::registry::all();
+    let per_app = ppa_pool::par_map_ordered(apps, move |app| {
+        let sealed = AutoPersistPass::new().apply(&app.generate(len, seed));
+        let mut cases = Vec::new();
+        for mutation in PersistMutation::all() {
+            let Some(mutant) = mutation.apply(&sealed) else {
+                continue;
+            };
+            let static_errors = lint_trace(&mutant, &LintProfile::AutoPersist)
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            cases.push(CrossCase {
+                app: app.name,
+                mutation,
+                static_errors,
+                divergence: crash_divergence(&mutant),
+            });
+        }
+        cases
+    });
+    let cases: Vec<CrossCase> = per_app.into_iter().flatten().collect();
+
+    let mut race_agreed = true;
+    let mut race_conservative = 0usize;
+    for app in ppa_workloads::shared::all() {
+        let set = app.export(len.min(4_000), seed, threads);
+        let full: Vec<u64> = set.traces.iter().map(|t| t.len() as u64).collect();
+        // Clean: both judges green.
+        let clean_static = detect_races(&set.traces).is_empty();
+        let clean_dynamic = GoldenMemory::from_thread_prefixes(&set.traces, &full).is_ok();
+        race_agreed &= clean_static && clean_dynamic;
+        // Injected second writer: both judges must fire.
+        let (mutated, _) = inject_second_writer(&set.traces, 1);
+        let mfull: Vec<u64> = mutated.iter().map(|t| t.len() as u64).collect();
+        let ww_static = detect_races(&mutated)
+            .iter()
+            .any(|d| d.rule == RaceRule::WriteWriteRace);
+        let ww_dynamic = GoldenMemory::from_thread_prefixes(&mutated, &mfull).is_err();
+        race_agreed &= ww_static && ww_dynamic;
+        // Stripped syncs: static fires; the dynamic oracle cannot see
+        // ordering races, so this is the documented-conservative bucket.
+        let stripped = strip_syncs(&set.traces, 1);
+        let wr_static = detect_races(&stripped)
+            .iter()
+            .any(|d| d.rule == RaceRule::UnsyncedWriteRead);
+        race_agreed &= wr_static;
+        if wr_static && GoldenMemory::from_thread_prefixes(&stripped, &full).is_ok() {
+            race_conservative += 1;
+        }
+    }
+
+    CrossCheckReport {
+        cases,
+        race_agreed,
+        race_conservative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_isa::{SyncKind, TraceBuilder};
+
+    fn sealed_demo() -> Trace {
+        let mut b = TraceBuilder::new("demo");
+        b.store(ArchReg::int(0), 0x100, 7);
+        b.load(ArchReg::int(1), 0x100);
+        b.store(ArchReg::int(1), 0x200, 7);
+        b.sync(SyncKind::Fence);
+        b.store(ArchReg::int(2), 0x300, 8);
+        AutoPersistPass::new().apply(&b.build())
+    }
+
+    #[test]
+    fn sealed_trace_has_no_divergence() {
+        assert_eq!(crash_divergence(&sealed_demo()), None);
+        for app in ppa_workloads::registry::all().into_iter().take(8) {
+            let sealed = AutoPersistPass::new().apply(&app.generate(1_000, 1));
+            assert_eq!(crash_divergence(&sealed), None, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn deleting_the_dependence_barrier_diverges() {
+        let mutant = PersistMutation::DeleteFirstBarrier
+            .apply(&sealed_demo())
+            .unwrap();
+        let d = crash_divergence(&mutant).expect("adversary finds a crash point");
+        assert_eq!(d.kind, DivergenceKind::DependenceViolated);
+    }
+
+    #[test]
+    fn deleting_the_final_barrier_loses_the_tail() {
+        let mutant = PersistMutation::DeleteLastBarrier
+            .apply(&sealed_demo())
+            .unwrap();
+        let d = crash_divergence(&mutant).expect("tail store is unsealed");
+        assert_eq!(d.kind, DivergenceKind::LostAtExit);
+    }
+
+    #[test]
+    fn mutations_without_a_site_return_none() {
+        let mut b = TraceBuilder::new("t");
+        b.nop().nop();
+        let t = b.build();
+        for m in PersistMutation::all() {
+            assert_eq!(m.apply(&t), None, "{m}");
+        }
+    }
+
+    #[test]
+    fn crosscheck_is_sound_over_more_than_two_hundred_mutants() {
+        let report = run_crosscheck(600, 1, 4);
+        assert!(report.mutants() >= 200, "only {} mutants", report.mutants());
+        assert_eq!(report.unsound(), 0);
+        assert!(report.race_agreed);
+        assert!(report.passed());
+        // The mutations are real: most mutants are flagged AND divergent.
+        assert!(report.flagged() * 10 >= report.mutants() * 9);
+        assert!(report.divergent() > 0);
+    }
+
+    #[test]
+    fn mutation_names_are_stable() {
+        let names: Vec<&str> = PersistMutation::all().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "delete-first-clwb",
+                "delete-last-clwb",
+                "delete-first-barrier",
+                "delete-last-barrier",
+                "move-last-barrier-earlier"
+            ]
+        );
+    }
+}

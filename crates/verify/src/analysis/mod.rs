@@ -1,0 +1,321 @@
+//! Static persist-ordering analysis engine.
+//!
+//! Where [`crate::lint`] checks a *transformed* trace against a scheme's
+//! contract, this module family answers the upstream questions:
+//!
+//! * **Where are flushes/fences required, and why?** —
+//!   [`analyze_raw_trace`] builds the static persist-dependence graph
+//!   ([`ppa_isa::depgraph`]) over a raw trace and derives the exact seal
+//!   points the dependence structure forces: dependence crossings (with
+//!   the full store → load → register-hop → store path), synchronisation
+//!   publication points, and the trace-end seal. This is precisely the
+//!   placement [`ppa_isa::transform::AutoPersistPass`] emits, so the
+//!   requirement list doubles as an explanation of the pass's output.
+//! * **Is the shared-memory DRF contract actually met?** — [`race`] is a
+//!   static single-writer-per-word race detector over the per-thread
+//!   traces of [`ppa_workloads::shared`], with named diagnostics for
+//!   cross-core write-write and unsynchronised write-read conflicts.
+//! * **Can the static verdicts be trusted?** — [`crosscheck`] fuzz-mutates
+//!   every workload's sealed trace (delete a flush, delete or move a
+//!   barrier, add a cross-core writer) and checks each static verdict
+//!   against an independent *dynamic* adversarial crash simulation:
+//!   static-clean must imply oracle-green; static-flagged must come with a
+//!   dynamic divergence or be one of the documented-conservative rules.
+//! * **Do the rules fire on exactly the defects they name?** —
+//!   [`selftest`] mirrors the validator mutation-test pattern of
+//!   [`crate::mutation`]: each case injects one defect into a known-clean
+//!   trace and asserts the expected rule (and only allowed rules) fire.
+//!
+//! Everything is deterministic in `(len, seed)` and runs without a
+//! simulator — the whole engine is static except the crosscheck's replay
+//! of store values, which is a linear trace walk.
+
+pub mod crosscheck;
+pub mod race;
+pub mod selftest;
+
+pub use ppa_isa::depgraph::{
+    store_seals, DepEdge, DepEdgeKind, DepGraphSummary, DepNode, DepNodeKind, PersistDepGraph,
+    PersistDependence, StoreSeal,
+};
+
+use ppa_isa::depgraph::word_of;
+use ppa_isa::{ArchReg, Trace, UopKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One place a raw trace *requires* a seal (clwb of each dirty line plus a
+/// persist barrier), together with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistRequirement {
+    /// A store's data derives from an earlier, still-volatile store; the
+    /// cause must be sealed before the effect commits.
+    Dependence {
+        /// The dependence pair, carrying the full path for reporting.
+        pair: PersistDependence,
+    },
+    /// A synchronisation primitive publishes this thread's writes; all
+    /// pending stores must be durable first.
+    SyncSeal {
+        /// Trace position of the sync micro-op.
+        sync_pos: usize,
+        /// Stores pending (committed since the previous required seal).
+        pending_stores: usize,
+    },
+    /// Stores are still pending at trace end and must not be lost at exit.
+    FinalSeal {
+        /// Stores pending at the end of the trace.
+        pending_stores: usize,
+    },
+}
+
+impl PersistRequirement {
+    /// Trace position the seal must precede.
+    pub fn pos(&self) -> usize {
+        match self {
+            PersistRequirement::Dependence { pair } => pair.to_store,
+            PersistRequirement::SyncSeal { sync_pos, .. } => *sync_pos,
+            PersistRequirement::FinalSeal { .. } => usize::MAX,
+        }
+    }
+
+    /// Human-readable explanation — for dependences, the full path.
+    pub fn why(&self) -> String {
+        match self {
+            PersistRequirement::Dependence { pair } => {
+                let path: Vec<String> = pair.path().iter().map(|p| p.to_string()).collect();
+                format!(
+                    "store at uop {} derives from the store at uop {} via the load at uop {} (path: uops {}); the source must be flushed and fenced first",
+                    pair.to_store,
+                    pair.from_store,
+                    pair.via_load,
+                    path.join(" -> ")
+                )
+            }
+            PersistRequirement::SyncSeal {
+                sync_pos,
+                pending_stores,
+            } => format!(
+                "sync at uop {sync_pos} publishes {pending_stores} pending store(s); publication requires durability"
+            ),
+            PersistRequirement::FinalSeal { pending_stores } => {
+                format!("{pending_stores} store(s) pending at trace end must not be lost at exit")
+            }
+        }
+    }
+}
+
+impl fmt::Display for PersistRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.why())
+    }
+}
+
+/// Result of analysing one raw trace: the dependence-graph census plus the
+/// seal points the graph proves necessary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAnalysis {
+    /// Node/edge counts of the persist-dependence graph.
+    pub summary: DepGraphSummary,
+    /// Required seal points, in trace order (the final seal last).
+    pub requirements: Vec<PersistRequirement>,
+}
+
+impl TraceAnalysis {
+    /// Number of dependence-forced seals.
+    pub fn dependence_seals(&self) -> usize {
+        self.requirements
+            .iter()
+            .filter(|r| matches!(r, PersistRequirement::Dependence { .. }))
+            .count()
+    }
+
+    /// Number of sync-forced seals.
+    pub fn sync_seals(&self) -> usize {
+        self.requirements
+            .iter()
+            .filter(|r| matches!(r, PersistRequirement::SyncSeal { .. }))
+            .count()
+    }
+
+    /// Total barriers the minimal placement needs (one per requirement).
+    pub fn required_barriers(&self) -> usize {
+        self.requirements.len()
+    }
+}
+
+/// Analyses a raw (untransformed) trace: builds the dependence graph and
+/// replays the [`ppa_isa::transform::AutoPersistPass`] placement logic to
+/// list each required seal with its reason. The requirement list and the
+/// pass agree by construction: the pass emits exactly one clwb-set +
+/// barrier per requirement returned here.
+///
+/// # Examples
+///
+/// ```
+/// use ppa_isa::{ArchReg, SyncKind, TraceBuilder};
+/// use ppa_verify::analysis::{analyze_raw_trace, PersistRequirement};
+///
+/// let mut b = TraceBuilder::new("t");
+/// b.store(ArchReg::int(0), 0x100, 7);
+/// b.load(ArchReg::int(1), 0x100);
+/// b.store(ArchReg::int(1), 0x200, 7); // needs the first store sealed
+/// b.sync(SyncKind::Fence); // publishes the second store
+/// let a = analyze_raw_trace(&b.build());
+/// assert_eq!(a.dependence_seals(), 1);
+/// assert_eq!(a.sync_seals(), 1);
+/// assert_eq!(a.required_barriers(), 2, "sync seal covers the tail");
+/// assert!(a.requirements[0].why().contains("path"));
+/// ```
+pub fn analyze_raw_trace(trace: &Trace) -> TraceAnalysis {
+    let graph = PersistDepGraph::build(trace);
+    let summary = graph.summary();
+    let pair_by_ends: HashMap<(usize, usize), &PersistDependence> = graph
+        .dependence_pairs()
+        .iter()
+        .map(|p| ((p.from_store, p.to_store), p))
+        .collect();
+
+    let mut requirements = Vec::new();
+    // Mirror of the pass's epoch logic: a seal clears the pending set and
+    // advances the epoch; taint records which unsealed store a register
+    // value derives from.
+    let mut epoch = 0u64;
+    let mut pending_stores = 0usize;
+    let mut word_state: HashMap<u64, (u64, usize)> = HashMap::new(); // word -> (epoch, store pos)
+    let mut reg_taint: Vec<Option<(u64, usize)>> = vec![None; ArchReg::flat_count()]; // (epoch, origin pos)
+
+    for (pos, u) in trace.iter().enumerate() {
+        match u.kind {
+            UopKind::Sync(_) => {
+                if pending_stores > 0 {
+                    requirements.push(PersistRequirement::SyncSeal {
+                        sync_pos: pos,
+                        pending_stores,
+                    });
+                    pending_stores = 0;
+                    epoch += 1;
+                }
+            }
+            UopKind::Store => {
+                let crossing = u
+                    .sources()
+                    .filter_map(|r| reg_taint[r.flat_index()])
+                    .find(|&(e, _)| e == epoch);
+                if let Some((_, origin)) = crossing {
+                    if pending_stores > 0 {
+                        let pair = pair_by_ends
+                            .get(&(origin, pos))
+                            .map(|p| (*p).clone())
+                            .unwrap_or(PersistDependence {
+                                from_store: origin,
+                                via_load: origin,
+                                hops: Vec::new(),
+                                to_store: pos,
+                            });
+                        requirements.push(PersistRequirement::Dependence { pair });
+                        pending_stores = 0;
+                        epoch += 1;
+                    }
+                }
+                pending_stores += 1;
+                if let Some(m) = u.mem {
+                    word_state.insert(word_of(m.addr), (epoch, pos));
+                }
+            }
+            UopKind::Load => {
+                if let Some(d) = u.dst {
+                    reg_taint[d.flat_index()] = u
+                        .mem
+                        .and_then(|m| word_state.get(&word_of(m.addr)).copied());
+                }
+            }
+            _ => {
+                if let Some(d) = u.dst {
+                    reg_taint[d.flat_index()] =
+                        u.sources().filter_map(|r| reg_taint[r.flat_index()]).max();
+                }
+            }
+        }
+    }
+    if pending_stores > 0 {
+        requirements.push(PersistRequirement::FinalSeal { pending_stores });
+    }
+
+    TraceAnalysis {
+        summary,
+        requirements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_isa::transform::{AutoPersistPass, TracePass};
+    use ppa_isa::{SyncKind, TraceBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn requirements_match_the_pass_barrier_for_barrier() {
+        // Every workload: the requirement count equals the barriers the
+        // pass actually emits — the checker and the synthesiser agree.
+        for app in ppa_workloads::registry::all() {
+            let raw = app.generate(1_500, 1);
+            let a = analyze_raw_trace(&raw);
+            let emitted = AutoPersistPass::new().apply(&raw).mix().barriers as usize;
+            assert_eq!(a.required_barriers(), emitted, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn storeless_trace_requires_nothing() {
+        let mut b = TraceBuilder::new("t");
+        b.nop().nop();
+        let a = analyze_raw_trace(&b.build());
+        assert!(a.requirements.is_empty());
+        assert_eq!(a.required_barriers(), 0);
+    }
+
+    #[test]
+    fn final_seal_reported_for_unpublished_tail() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 1);
+        let a = analyze_raw_trace(&b.build());
+        assert_eq!(
+            a.requirements,
+            vec![PersistRequirement::FinalSeal { pending_stores: 1 }]
+        );
+        assert!(a.requirements[0].why().contains("trace end"));
+    }
+
+    #[test]
+    fn sealed_dependence_requires_no_second_seal() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.sync(SyncKind::Fence); // seals the store
+        b.load(r(1), 0x100);
+        b.store(r(1), 0x200, 7); // cause already durable
+        let a = analyze_raw_trace(&b.build());
+        assert_eq!(a.dependence_seals(), 0);
+        assert_eq!(a.sync_seals(), 1);
+        assert_eq!(a.required_barriers(), 2, "sync + final");
+    }
+
+    #[test]
+    fn requirement_positions_are_ordered() {
+        let mut b = TraceBuilder::new("t");
+        b.store(r(0), 0x100, 7);
+        b.load(r(1), 0x100);
+        b.store(r(1), 0x200, 7);
+        b.sync(SyncKind::Fence);
+        b.store(r(2), 0x300, 8);
+        let a = analyze_raw_trace(&b.build());
+        let positions: Vec<usize> = a.requirements.iter().map(|r| r.pos()).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+    }
+}

@@ -1,0 +1,323 @@
+//! Static single-writer-per-word race detector for shared multi-core
+//! traces.
+//!
+//! The §6 multi-core recovery story rests on a DRF discipline the smp
+//! oracle only *assumes*: every shared 8-byte word has exactly one writer
+//! thread, and cross-thread reads are separated from the writes they
+//! observe by synchronisation micro-ops. This module proves the contract
+//! statically over the per-thread traces (e.g. a
+//! [`ppa_workloads::shared::SharedTraceSet`]):
+//!
+//! * [`RaceRule::WriteWriteRace`] — two threads store to the same word.
+//!   The union of per-core committed-store prefixes is then no longer
+//!   conflict-free, so the recovered image depends on replay order. This
+//!   is exactly the condition under which the dynamic
+//!   [`crate::golden::GoldenMemory::from_thread_prefixes`] oracle fails,
+//!   which the [`crate::analysis::crosscheck`] harness exploits.
+//! * [`RaceRule::UnsyncedWriteRead`] — a thread reads another thread's
+//!   word without any synchronisation discipline on either side: the
+//!   *reader* executes no sync micro-op in its whole trace, or the
+//!   *writer* never syncs after its first store to the word (so no
+//!   release point publishes it). Reads before a reader's first sync are
+//!   deliberately allowed — the halo-exchange generator legitimately
+//!   reads stale neighbour edges at phase start — and a writer's trailing
+//!   stores need no sync because nothing that follows publishes them.
+//!
+//! Diagnostics name both threads and positions, mirroring the linter's
+//! actionable-without-rerunning principle.
+
+use ppa_isa::Trace;
+use ppa_isa::UopKind;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Named race-detector rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceRule {
+    /// Two threads store to the same 8-byte word.
+    WriteWriteRace,
+    /// A cross-thread read with no synchronisation discipline on either
+    /// side.
+    UnsyncedWriteRead,
+}
+
+impl RaceRule {
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RaceRule::WriteWriteRace => "write-write-race",
+            RaceRule::UnsyncedWriteRead => "unsynced-write-read",
+        }
+    }
+}
+
+impl fmt::Display for RaceRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One race finding, naming both sides of the conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceDiagnostic {
+    /// Which rule fired.
+    pub rule: RaceRule,
+    /// The conflicted 8-byte word.
+    pub word: u64,
+    /// The word's (first) writer thread.
+    pub writer_tid: usize,
+    /// Trace position of that writer's first store to the word.
+    pub writer_pos: usize,
+    /// The conflicting thread (second writer, or unsynchronised reader).
+    pub other_tid: usize,
+    /// Trace position of the conflicting access.
+    pub other_pos: usize,
+    /// Human-readable context.
+    pub message: String,
+}
+
+impl fmt::Display for RaceDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}] word {:#x}: thread {} uop {} vs thread {} uop {}: {}",
+            self.rule,
+            self.word,
+            self.writer_tid,
+            self.writer_pos,
+            self.other_tid,
+            self.other_pos,
+            self.message
+        )
+    }
+}
+
+/// Runs the detector over one trace per thread. Findings are deduplicated
+/// per (rule, word, conflicting thread) and returned in deterministic
+/// order (by thread, then trace position of the conflicting access).
+///
+/// # Examples
+///
+/// ```
+/// use ppa_verify::analysis::race::detect_races;
+///
+/// let set = ppa_workloads::shared::by_name("counters")
+///     .unwrap()
+///     .export(1_000, 1, 4);
+/// assert!(detect_races(&set.traces).is_empty());
+/// ```
+pub fn detect_races(traces: &[Trace]) -> Vec<RaceDiagnostic> {
+    let mut out = Vec::new();
+    // First pass: word ownership (first writer wins), per-thread sync
+    // positions, and write-write conflicts.
+    let mut owner: HashMap<u64, (usize, usize)> = HashMap::new(); // word -> (tid, first store pos)
+    let mut sync_positions: Vec<Vec<usize>> = vec![Vec::new(); traces.len()];
+    let mut ww_seen: HashSet<(u64, usize)> = HashSet::new();
+    for (tid, t) in traces.iter().enumerate() {
+        for (pos, u) in t.iter().enumerate() {
+            match u.kind {
+                UopKind::Store => {
+                    let word = match u.mem {
+                        Some(m) => m.addr & !7,
+                        None => continue,
+                    };
+                    match owner.get(&word) {
+                        None => {
+                            owner.insert(word, (tid, pos));
+                        }
+                        Some(&(owner_tid, owner_pos)) if owner_tid != tid => {
+                            if ww_seen.insert((word, tid)) {
+                                out.push(RaceDiagnostic {
+                                    rule: RaceRule::WriteWriteRace,
+                                    word,
+                                    writer_tid: owner_tid,
+                                    writer_pos: owner_pos,
+                                    other_tid: tid,
+                                    other_pos: pos,
+                                    message: format!(
+                                        "two threads write word {word:#x}; the union of per-core store prefixes is no longer conflict-free, so the recovered image depends on replay order"
+                                    ),
+                                });
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                UopKind::Sync(_) => sync_positions[tid].push(pos),
+                _ => {}
+            }
+        }
+    }
+
+    // Second pass: cross-thread reads must have synchronisation discipline
+    // on both sides.
+    let mut wr_seen: HashSet<(u64, usize)> = HashSet::new();
+    for (tid, t) in traces.iter().enumerate() {
+        for (pos, u) in t.iter().enumerate() {
+            if u.kind != UopKind::Load {
+                continue;
+            }
+            let word = match u.mem {
+                Some(m) => m.addr & !7,
+                None => continue,
+            };
+            let (owner_tid, owner_pos) = match owner.get(&word) {
+                Some(&o) if o.0 != tid => o,
+                _ => continue,
+            };
+            let reader_never_syncs = sync_positions[tid].is_empty();
+            let writer_never_publishes = sync_positions[owner_tid]
+                .last()
+                .is_none_or(|&last| last < owner_pos);
+            if (reader_never_syncs || writer_never_publishes) && wr_seen.insert((word, tid)) {
+                let side = if reader_never_syncs {
+                    format!("reader thread {tid} executes no synchronisation micro-op at all")
+                } else {
+                    format!(
+                        "writer thread {owner_tid} never syncs after its first store to the word, so no release point publishes it"
+                    )
+                };
+                out.push(RaceDiagnostic {
+                    rule: RaceRule::UnsyncedWriteRead,
+                    word,
+                    writer_tid: owner_tid,
+                    writer_pos: owner_pos,
+                    other_tid: tid,
+                    other_pos: pos,
+                    message: format!("cross-thread read is unsynchronised: {side}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Mutation helper: appends a store to thread `victim_tid`'s trace that
+/// writes the first word thread 0 stores to — the injected cross-core
+/// second writer the detector (and the dynamic oracle) must catch.
+/// Returns the mutated traces and the raced word.
+///
+/// # Panics
+///
+/// Panics if `traces` has fewer than two threads, `victim_tid` is out of
+/// range or zero-owned, or thread 0 never stores.
+pub fn inject_second_writer(traces: &[Trace], victim_tid: usize) -> (Vec<Trace>, u64) {
+    assert!(traces.len() >= 2 && victim_tid != 0 && victim_tid < traces.len());
+    let word = traces[0]
+        .iter()
+        .find(|u| u.kind.is_store())
+        .and_then(|u| u.mem.map(|m| m.addr & !7))
+        .expect("thread 0 stores at least once");
+    let mut out: Vec<Trace> = traces.to_vec();
+    let victim = &traces[victim_tid];
+    let mut uops: Vec<ppa_isa::Uop> = victim.iter().copied().collect();
+    let pc = uops.last().map(|u| u.pc + 4).unwrap_or(0x1000);
+    uops.push(
+        ppa_isa::Uop::new(pc, UopKind::Store)
+            .with_srcs(&[ppa_isa::ArchReg::int(7)])
+            .with_mem(ppa_isa::MemRef::new(word, 8, u64::MAX)),
+    );
+    out[victim_tid] = Trace::from_uops(format!("{}+second-writer", victim.name()), uops);
+    (out, word)
+}
+
+/// Mutation helper: replaces every synchronisation micro-op of thread
+/// `tid` with a no-op, stripping the reader-side discipline.
+///
+/// # Panics
+///
+/// Panics if `tid` is out of range.
+pub fn strip_syncs(traces: &[Trace], tid: usize) -> Vec<Trace> {
+    let mut out: Vec<Trace> = traces.to_vec();
+    let uops: Vec<ppa_isa::Uop> = traces[tid]
+        .iter()
+        .map(|u| {
+            if u.kind.is_sync_boundary() {
+                ppa_isa::Uop::new(u.pc, UopKind::Nop)
+            } else {
+                *u
+            }
+        })
+        .collect();
+    out[tid] = Trace::from_uops(format!("{}+no-syncs", traces[tid].name()), uops);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppa_workloads::shared;
+
+    #[test]
+    fn all_four_shared_generators_are_race_free() {
+        for app in shared::all() {
+            for threads in [2, 4] {
+                let set = app.export(1_200, 1, threads);
+                let diags = detect_races(&set.traces);
+                assert!(diags.is_empty(), "{} x{threads}: {diags:?}", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn injected_second_writer_is_caught_on_every_generator() {
+        for app in shared::all() {
+            let set = app.export(800, 1, 4);
+            let (mutated, word) = inject_second_writer(&set.traces, 1);
+            let diags = detect_races(&mutated);
+            let ww: Vec<_> = diags
+                .iter()
+                .filter(|d| d.rule == RaceRule::WriteWriteRace)
+                .collect();
+            assert!(!ww.is_empty(), "{}: {diags:?}", app.name);
+            assert!(ww.iter().any(|d| d.word == word), "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn stripped_reader_syncs_are_caught() {
+        // Every generator has cross-thread reads, so a sync-free reader
+        // thread must trip the unsynced-write-read rule.
+        for app in shared::all() {
+            let set = app.export(1_200, 1, 4);
+            let mutated = strip_syncs(&set.traces, 1);
+            let diags = detect_races(&mutated);
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.rule == RaceRule::UnsyncedWriteRead && d.other_tid == 1),
+                "{}: {diags:?}",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn second_writer_injection_reports_the_raced_word() {
+        let set = shared::by_name("counters").unwrap().export(400, 1, 2);
+        let (mutated, word) = inject_second_writer(&set.traces, 1);
+        let d = &detect_races(&mutated)[0];
+        assert_eq!(d.rule, RaceRule::WriteWriteRace);
+        assert_eq!(d.word, word);
+        assert_eq!(d.writer_tid, 0);
+        assert_eq!(d.other_tid, 1);
+        assert!(d.to_string().contains("write-write-race"));
+    }
+
+    #[test]
+    fn findings_are_deduplicated_per_word_and_thread() {
+        let set = shared::by_name("counters").unwrap().export(1_000, 1, 2);
+        let (mutated, word) = inject_second_writer(&set.traces, 1);
+        let n = detect_races(&mutated)
+            .iter()
+            .filter(|d| d.rule == RaceRule::WriteWriteRace && d.word == word && d.other_tid == 1)
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn rule_names_are_stable() {
+        assert_eq!(RaceRule::WriteWriteRace.name(), "write-write-race");
+        assert_eq!(RaceRule::UnsyncedWriteRead.name(), "unsynced-write-read");
+    }
+}

@@ -1,0 +1,270 @@
+//! Mutation self-tests for the static analysis rules.
+//!
+//! Mirrors [`crate::mutation`]: a rule that has never caught a defect is
+//! untested. Each [`AnalysisCase`] injects exactly one defect — into the
+//! [`AutoPersistPass`]-sealed form of a hand-built trace for the persist
+//! rules, or into a shared-workload trace set for the race rules — and
+//! records which named rules fire. The suite passes only if every defect
+//! is detected via one of its expected rules, and nothing *outside* the
+//! allowed set fires (a rule that fires on the wrong defect is as
+//! untrustworthy as one that never fires).
+
+use crate::analysis::race::{detect_races, inject_second_writer, strip_syncs};
+use crate::lint::{lint_trace, LintProfile};
+use ppa_isa::transform::{AutoPersistPass, TracePass};
+use ppa_isa::{ArchReg, MemRef, SyncKind, Trace, TraceBuilder, Uop, UopKind};
+
+/// One self-test case: a named defect injected into a known-clean input.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisCase {
+    /// Defect name (kebab-case, stable).
+    pub defect: &'static str,
+    /// Rule names accepted as a detection of this defect.
+    pub expected: &'static [&'static str],
+    /// Rule names that may additionally fire without failing the case
+    /// (knock-on findings of the same defect).
+    pub allowed: &'static [&'static str],
+}
+
+/// The suite: every analysis rule is the `expected` witness of at least
+/// one defect.
+pub fn cases() -> Vec<AnalysisCase> {
+    vec![
+        AnalysisCase {
+            defect: "drop-first-clwb",
+            expected: &["missing-clwb"],
+            allowed: &["unordered-persist-dependence", "unsealed-stores-at-sync"],
+        },
+        AnalysisCase {
+            defect: "drop-dependence-barrier",
+            expected: &["unordered-persist-dependence"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "drop-pre-sync-barrier",
+            expected: &["unsealed-stores-at-sync"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "drop-final-barrier",
+            expected: &["missing-final-barrier"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "move-final-barrier-before-clwb",
+            expected: &["missing-final-barrier"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "insert-leading-barrier",
+            expected: &["redundant-barrier"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "insert-clean-line-clwb",
+            expected: &["orphan-clwb"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "inject-second-writer",
+            expected: &["write-write-race"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "strip-reader-syncs",
+            expected: &["unsynced-write-read"],
+            allowed: &[],
+        },
+    ]
+}
+
+/// The known-clean persist input: a dependence crossing, a publishing
+/// sync, and an unpublished tail, sealed by the pass. The sealed layout is
+/// `store, load, clwb, barrier, store, clwb, barrier, sync, store, clwb,
+/// barrier` — every defect below targets one of those three seals.
+fn clean_sealed_trace() -> Trace {
+    let mut b = TraceBuilder::new("selftest");
+    b.store(ArchReg::int(0), 0x100, 7);
+    b.load(ArchReg::int(1), 0x100);
+    b.store(ArchReg::int(1), 0x200, 7); // crossing: needs seal 1 first
+    b.sync(SyncKind::Fence); // needs seal 2 first
+    b.store(ArchReg::int(2), 0x300, 8); // tail: needs the final seal
+    AutoPersistPass::new().apply(&b.build())
+}
+
+fn positions(trace: &Trace, kind: UopKind) -> Vec<usize> {
+    trace
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.kind == kind)
+        .map(|(p, _)| p)
+        .collect()
+}
+
+fn remove_at(trace: &Trace, pos: usize, defect: &str) -> Trace {
+    let mut uops: Vec<Uop> = trace.iter().copied().collect();
+    uops.remove(pos);
+    Trace::from_uops(format!("{}+{defect}", trace.name()), uops)
+}
+
+fn insert_at(trace: &Trace, pos: usize, uop: Uop, defect: &str) -> Trace {
+    let mut uops: Vec<Uop> = trace.iter().copied().collect();
+    uops.insert(pos, uop);
+    Trace::from_uops(format!("{}+{defect}", trace.name()), uops)
+}
+
+/// Result of running one case.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// The case that ran.
+    pub case: AnalysisCase,
+    /// Names of the distinct rules that fired.
+    pub fired: Vec<&'static str>,
+}
+
+impl AnalysisReport {
+    /// Whether the defect was detected via an expected rule.
+    pub fn detected(&self) -> bool {
+        self.fired.iter().any(|f| self.case.expected.contains(f))
+    }
+
+    /// Whether every fired rule is either expected or allowed.
+    pub fn precise(&self) -> bool {
+        self.fired
+            .iter()
+            .all(|f| self.case.expected.contains(f) || self.case.allowed.contains(f))
+    }
+}
+
+/// Runs one case: injects the defect and collects the fired rule names.
+///
+/// # Panics
+///
+/// Panics on an unknown defect name.
+pub fn run_case(case: AnalysisCase) -> AnalysisReport {
+    let fired = match case.defect {
+        "inject-second-writer" => {
+            let set = ppa_workloads::shared::by_name("counters")
+                .expect("registered")
+                .export(600, 1, 2);
+            let (mutated, _) = inject_second_writer(&set.traces, 1);
+            race_rule_names(&mutated)
+        }
+        "strip-reader-syncs" => {
+            let set = ppa_workloads::shared::by_name("halo")
+                .expect("registered")
+                .export(600, 1, 2);
+            race_rule_names(&strip_syncs(&set.traces, 1))
+        }
+        _ => {
+            let clean = clean_sealed_trace();
+            let clwbs = positions(&clean, UopKind::Clwb);
+            let barriers = positions(&clean, UopKind::PersistBarrier);
+            let mutant = match case.defect {
+                "drop-first-clwb" => remove_at(&clean, clwbs[0], case.defect),
+                "drop-dependence-barrier" => remove_at(&clean, barriers[0], case.defect),
+                "drop-pre-sync-barrier" => remove_at(&clean, barriers[1], case.defect),
+                "drop-final-barrier" => {
+                    remove_at(&clean, *barriers.last().expect("final seal"), case.defect)
+                }
+                "move-final-barrier-before-clwb" => {
+                    let last = *barriers.last().expect("final seal");
+                    let moved = remove_at(&clean, last, case.defect);
+                    insert_at(&moved, last - 1, clean[last], case.defect)
+                }
+                "insert-leading-barrier" => insert_at(
+                    &clean,
+                    0,
+                    Uop::new(0x0ffc, UopKind::PersistBarrier),
+                    case.defect,
+                ),
+                "insert-clean-line-clwb" => insert_at(
+                    &clean,
+                    0,
+                    Uop::new(0x0ffc, UopKind::Clwb).with_mem(MemRef::new(0x4000, 8, 0)),
+                    case.defect,
+                ),
+                other => panic!("unknown defect {other}"),
+            };
+            lint_rule_names(&mutant)
+        }
+    };
+    AnalysisReport { case, fired }
+}
+
+fn lint_rule_names(trace: &Trace) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = lint_trace(trace, &LintProfile::AutoPersist)
+        .iter()
+        .map(|d| d.rule.name())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+fn race_rule_names(traces: &[Trace]) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = detect_races(traces).iter().map(|d| d.rule.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// Runs the whole suite.
+pub fn run_all() -> Vec<AnalysisReport> {
+    cases().into_iter().map(run_case).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::LintRule;
+
+    #[test]
+    fn the_clean_inputs_really_are_clean() {
+        assert!(lint_rule_names(&clean_sealed_trace()).is_empty());
+        let set = ppa_workloads::shared::by_name("counters")
+            .unwrap()
+            .export(600, 1, 2);
+        assert!(race_rule_names(&set.traces).is_empty());
+    }
+
+    #[test]
+    fn every_injected_defect_is_detected_by_its_named_rule() {
+        let reports = run_all();
+        assert!(reports.len() >= 9, "one case per analysis rule at least");
+        for r in &reports {
+            assert!(
+                r.detected(),
+                "defect {} went undetected; fired: {:?}",
+                r.case.defect,
+                r.fired
+            );
+            assert!(
+                r.precise(),
+                "defect {} fired unexpected rules: {:?}",
+                r.case.defect,
+                r.fired
+            );
+        }
+    }
+
+    #[test]
+    fn every_new_lint_rule_is_an_expected_witness_somewhere() {
+        let expected: Vec<&str> = cases()
+            .iter()
+            .flat_map(|c| c.expected.iter().copied())
+            .collect();
+        for rule in [
+            LintRule::MissingClwb.name(),
+            LintRule::MissingFinalBarrier.name(),
+            LintRule::RedundantBarrier.name(),
+            LintRule::OrphanClwb.name(),
+            LintRule::UnorderedPersistDependence.name(),
+            LintRule::UnsealedStoresAtSync.name(),
+            "write-write-race",
+            "unsynced-write-read",
+        ] {
+            assert!(expected.contains(&rule), "{rule} has no self-test case");
+        }
+    }
+}

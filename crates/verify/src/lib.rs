@@ -22,10 +22,20 @@
 //!    validators (drain order, persist-before-dependence, recovery-image
 //!    coherence) run at every failure point.
 //!
+//! 5. **Static persist-ordering analysis** ([`analysis`]) — the
+//!    dependence-graph engine: [`analysis::analyze_raw_trace`] explains
+//!    *where and why* a raw trace needs flushes/fences (the placement
+//!    [`ppa_isa::transform::AutoPersistPass`] synthesises),
+//!    [`analysis::race`] is a static single-writer-per-word race detector
+//!    over the shared-memory workloads, and [`analysis::crosscheck`]
+//!    fuzz-mutates sealed traces to prove the static verdicts agree with
+//!    an independent dynamic adversarial crash simulation.
+//!
 //! The checker itself is validated by **mutation self-tests**
 //! ([`mutation`] for the core, [`smp_oracle::run_arbiter_mutations`] for
-//! the persist arbiter): deliberately broken hardware must be caught as
-//! named violations.
+//! the persist arbiter, [`analysis::selftest`] for the analysis rules):
+//! deliberately broken hardware or traces must be caught as named
+//! violations.
 //!
 //! All of it is driven by the `ppa-verify` binary:
 //!
@@ -33,11 +43,13 @@
 //! ppa-verify all            # everything below, in order
 //! ppa-verify check          # cycle-level invariants, all 41 workloads
 //! ppa-verify lint           # persistency lint of transform outputs
+//! ppa-verify analyze        # dependence graphs, race detector, crosscheck
 //! ppa-verify oracle         # randomized crash-consistency injections
 //! ppa-verify smp            # multi-core crash oracle + arbiter mutations
 //! ppa-verify mutate         # mutation self-tests of the checker
 //! ```
 
+pub mod analysis;
 pub mod golden;
 pub mod grid;
 pub mod lint;
@@ -46,6 +58,7 @@ pub mod oracle;
 pub mod runner;
 pub mod smp_oracle;
 
+pub use analysis::{analyze_raw_trace, PersistRequirement, TraceAnalysis};
 pub use golden::{GoldenMemory, GoldenMismatch};
 pub use lint::{lint_trace, Diagnostic, LintProfile, LintRule, Severity};
 pub use mutation::{MutationCase, MutationReport};

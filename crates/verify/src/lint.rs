@@ -16,12 +16,22 @@
 //! * [`LintProfile::Capri`] — bounded epochs: at most `max_insts`
 //!   micro-ops and `max_store_bytes` store bytes between barriers, and a
 //!   barrier sealing the trailing region when it stored.
+//! * [`LintProfile::AutoPersist`] — the dependence-driven contract of
+//!   [`ppa_isa::transform::AutoPersistPass`]: every store sealed (flushed
+//!   then fenced) somewhere, every persist-dependence pair sealed in
+//!   order, every store sealed before the next synchronisation primitive,
+//!   and no wasted barriers or flushes. Unlike the peephole profiles this
+//!   one is *dataflow-driven*: it consumes the static persist-dependence
+//!   graph ([`ppa_isa::depgraph`]), and its dependence diagnostics carry
+//!   the full path (store → load → register hops → store) explaining why
+//!   the flush/fence is required.
 //!
 //! Diagnostics carry the trace position and PC, so a finding is
 //! actionable without re-running anything.
 
+use ppa_isa::depgraph::{store_seals, PersistDepGraph};
 use ppa_isa::{BranchKind, RegClass, Trace, UopKind};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Named lint rules.
@@ -62,6 +72,15 @@ pub enum LintRule {
     /// A store too wide for a value-carrying CSQ entry, whose 8-byte value
     /// field must hold the entire datum for register-free replay.
     StoreTooWideForValueCsq,
+    /// A store whose data derives (through a load and register dataflow)
+    /// from an earlier store that is not sealed before the dependent store
+    /// commits: recovery could observe the effect without the cause. The
+    /// diagnostic message carries the full dependence path.
+    UnorderedPersistDependence,
+    /// A store still unsealed when a synchronisation primitive commits:
+    /// once another core can observe the write it can persist state derived
+    /// from it, so publication requires durability first.
+    UnsealedStoresAtSync,
 }
 
 impl LintRule {
@@ -80,6 +99,8 @@ impl LintRule {
             LintRule::ClwbInRawTrace => "clwb-in-raw-trace",
             LintRule::SyncIntervalOverflowsCsq => "sync-interval-overflows-csq",
             LintRule::StoreTooWideForValueCsq => "store-too-wide-for-value-csq",
+            LintRule::UnorderedPersistDependence => "unordered-persist-dependence",
+            LintRule::UnsealedStoresAtSync => "unsealed-stores-at-sync",
         }
     }
 }
@@ -157,6 +178,11 @@ pub enum LintProfile {
         /// Value-carrying CSQ capacity (the evaluation uses 40).
         csq_entries: usize,
     },
+    /// Output of the dependence-driven
+    /// [`ppa_isa::transform::AutoPersistPass`]: seals only where the
+    /// persist-dependence graph requires them (dependence crossings, sync
+    /// publication points, trace end), with per-line coalesced `clwb`s.
+    AutoPersist,
 }
 
 impl LintProfile {
@@ -195,6 +221,7 @@ pub fn lint_trace(trace: &Trace, profile: &LintProfile) -> Vec<Diagnostic> {
             max_store_bytes,
         } => lint_capri(trace, *max_insts, *max_store_bytes),
         LintProfile::InOrder { csq_entries } => lint_inorder(trace, *csq_entries),
+        LintProfile::AutoPersist => lint_autopersist(trace),
     }
 }
 
@@ -426,7 +453,11 @@ fn lint_capri(trace: &Trace, max_insts: usize, max_store_bytes: usize) -> Vec<Di
     let mut insts = 0usize;
     let mut store_bytes = 0usize;
     let mut stores_since_boundary = 0usize;
-    let mut prev_was_barrier = false;
+    // The trace start is an epoch boundary, so a barrier at position 0
+    // seals an empty leading epoch and is just as redundant as a
+    // back-to-back pair (and as the storeless leading barrier the
+    // ReplayCache profile already flags).
+    let mut prev_was_barrier = true;
 
     for (pos, u) in trace.iter().enumerate() {
         if u.kind == UopKind::PersistBarrier {
@@ -497,6 +528,211 @@ fn lint_capri(trace: &Trace, max_insts: usize, max_store_bytes: usize) -> Vec<Di
         });
     }
     out
+}
+
+/// The dependence-driven AutoPersist contract. A store is *sealed* once a
+/// `clwb` of its line commits after it and a persist barrier commits after
+/// that `clwb`; the profile demands that every store is sealed somewhere,
+/// that every persist-dependence pair from the static graph is sealed in
+/// order, that no store crosses a synchronisation primitive unsealed, and
+/// that no barrier or `clwb` is wasted.
+fn lint_autopersist(trace: &Trace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let seals = store_seals(trace);
+
+    // Per-store sealing: a line that never reaches a clwb is an error at
+    // the store; clwb'd-but-never-fenced stores are collected into one
+    // trace-end finding, like the other profiles' MissingFinalBarrier.
+    let mut unsealed_at_end = 0usize;
+    for s in &seals {
+        if s.clwb_pos.is_none() {
+            out.push(Diagnostic {
+                rule: LintRule::MissingClwb,
+                severity: Severity::Error,
+                pos: s.pos,
+                pc: Some(s.pc),
+                message: format!(
+                    "store to line {:#x} is never flushed; the line cannot reach NVM before a crash",
+                    s.line
+                ),
+            });
+        } else if s.barrier_pos.is_none() {
+            unsealed_at_end += 1;
+        }
+    }
+    if unsealed_at_end > 0 {
+        out.push(Diagnostic {
+            rule: LintRule::MissingFinalBarrier,
+            severity: Severity::Error,
+            pos: trace.len(),
+            pc: None,
+            message: format!(
+                "{unsealed_at_end} flushed store(s) are never fenced; their durability is unordered at exit"
+            ),
+        });
+    }
+
+    // Wasted annotations: a barrier sealing an epoch with no stores, or a
+    // clwb flushing a line nothing dirtied since its previous flush. Both
+    // are warnings — correct but pure overhead the pass would not emit.
+    let mut stores_since_barrier = 0usize;
+    let mut dirty_lines: HashSet<u64> = HashSet::new();
+    for (pos, u) in trace.iter().enumerate() {
+        match u.kind {
+            UopKind::Store => {
+                if let Some(m) = u.mem {
+                    dirty_lines.insert(ppa_isa::line_of(m.addr));
+                }
+                stores_since_barrier += 1;
+            }
+            UopKind::PersistBarrier => {
+                if stores_since_barrier == 0 {
+                    out.push(Diagnostic {
+                        rule: LintRule::RedundantBarrier,
+                        severity: Severity::Warning,
+                        pos,
+                        pc: Some(u.pc),
+                        message: "barrier seals an epoch with no stores".to_string(),
+                    });
+                }
+                stores_since_barrier = 0;
+            }
+            UopKind::Clwb => {
+                if let Some(m) = u.mem {
+                    if !dirty_lines.remove(&ppa_isa::line_of(m.addr)) {
+                        out.push(Diagnostic {
+                            rule: LintRule::OrphanClwb,
+                            severity: Severity::Warning,
+                            pos,
+                            pc: Some(u.pc),
+                            message: format!(
+                                "clwb flushes line {:#x}, which no store dirtied since its last flush",
+                                ppa_isa::line_of(m.addr)
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Publication: every store committed before a sync must be sealed by
+    // the sync's position. One finding per offending sync.
+    let sync_positions: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.kind.is_sync_boundary())
+        .map(|(pos, _)| pos)
+        .collect();
+    let mut unsealed_per_sync: HashMap<usize, usize> = HashMap::new();
+    for s in &seals {
+        let i = sync_positions.partition_point(|&p| p <= s.pos);
+        if let Some(&sync_pos) = sync_positions.get(i) {
+            if !s.sealed_before(sync_pos) {
+                *unsealed_per_sync.entry(sync_pos).or_insert(0) += 1;
+            }
+        }
+    }
+    for &sync_pos in &sync_positions {
+        if let Some(&n) = unsealed_per_sync.get(&sync_pos) {
+            out.push(Diagnostic {
+                rule: LintRule::UnsealedStoresAtSync,
+                severity: Severity::Error,
+                pos: sync_pos,
+                pc: trace.get(sync_pos).map(|u| u.pc),
+                message: format!(
+                    "{n} store(s) cross this synchronisation point unsealed; another core could observe and persist state derived from volatile data"
+                ),
+            });
+        }
+    }
+
+    // Dependence ordering: for every persist-dependence pair the source
+    // store must be sealed strictly before the dependent store commits.
+    // The diagnostic carries the path — the *why*, not just the position.
+    let seal_by_pos: HashMap<usize, &ppa_isa::depgraph::StoreSeal> =
+        seals.iter().map(|s| (s.pos, s)).collect();
+    let graph = PersistDepGraph::build(trace);
+    for pair in graph.dependence_pairs() {
+        let sealed_in_time = seal_by_pos
+            .get(&pair.from_store)
+            .is_some_and(|s| s.sealed_before(pair.to_store));
+        if !sealed_in_time {
+            let path: Vec<String> = pair.path().iter().map(|p| p.to_string()).collect();
+            out.push(Diagnostic {
+                rule: LintRule::UnorderedPersistDependence,
+                severity: Severity::Error,
+                pos: pair.to_store,
+                pc: trace.get(pair.to_store).map(|u| u.pc),
+                message: format!(
+                    "store depends on the store at uop {} via the load at uop {} (dependence path: uops {}); the source must be flushed and fenced before this store commits or recovery can observe the effect without the cause",
+                    pair.from_store,
+                    pair.via_load,
+                    path.join(" -> ")
+                ),
+            });
+        }
+    }
+
+    out.sort_by_key(|d| d.pos);
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Renders the finding as one self-contained JSON object (one line, no
+    /// trailing newline) for machine consumers: `app` and `profile` give
+    /// the finding its context, the remaining fields mirror the struct.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ppa_verify::lint::{lint_trace, LintProfile};
+    /// use ppa_isa::{ArchReg, TraceBuilder};
+    ///
+    /// let mut b = TraceBuilder::new("t");
+    /// b.store(ArchReg::int(0), 0x100, 1);
+    /// let d = &lint_trace(&b.build(), &LintProfile::AutoPersist)[0];
+    /// let json = d.to_json("demo", "autopersist");
+    /// assert!(json.starts_with("{\"app\":\"demo\""));
+    /// assert!(json.contains("\"rule\":\"missing-clwb\""));
+    /// ```
+    pub fn to_json(&self, app: &str, profile: &str) -> String {
+        let severity = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let pc = match self.pc {
+            Some(pc) => pc.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"app\":\"{}\",\"profile\":\"{}\",\"rule\":\"{}\",\"severity\":\"{}\",\"pos\":{},\"pc\":{},\"message\":\"{}\"}}",
+            json_escape(app),
+            json_escape(profile),
+            self.rule.name(),
+            severity,
+            self.pos,
+            pc,
+            json_escape(&self.message)
+        )
+    }
 }
 
 #[cfg(test)]
@@ -755,5 +991,149 @@ mod tests {
         assert!(!diags.is_empty());
         let text = diags[0].to_string();
         assert!(text.contains("at uop"), "{text}");
+    }
+
+    #[test]
+    fn leading_barriers_are_redundant_under_both_region_profiles() {
+        // Regression: lint_capri used to treat the trace start as "not a
+        // barrier", so back-to-back barriers at positions 0 and 1 slipped
+        // through while the ReplayCache profile flagged them.
+        let mut uops = vec![
+            Uop::new(0x10, UopKind::PersistBarrier),
+            Uop::new(0x14, UopKind::PersistBarrier),
+        ];
+        uops.extend(store_loop(5).iter().copied());
+        let t = Trace::from_uops("leading", uops);
+        for profile in [
+            LintProfile::capri_default(),
+            LintProfile::replaycache_default(),
+        ] {
+            let redundant: Vec<usize> = lint_trace(&t, &profile)
+                .iter()
+                .filter(|d| d.rule == LintRule::RedundantBarrier)
+                .map(|d| d.pos)
+                .collect();
+            assert_eq!(redundant, vec![0, 1], "under {profile:?}");
+        }
+    }
+
+    #[test]
+    fn capri_pass_output_stays_clean_with_the_leading_boundary_fix() {
+        let capri = CapriPass::new().apply(&store_loop(300));
+        assert_eq!(lint_trace(&capri, &LintProfile::capri_default()), vec![]);
+    }
+
+    #[test]
+    fn autopersist_pass_output_is_clean_on_every_workload() {
+        use ppa_isa::transform::AutoPersistPass;
+        for app in ppa_workloads::registry::all() {
+            let raw = app.generate(1_000, 1);
+            let t = AutoPersistPass::new().apply(&raw);
+            let diags = lint_trace(&t, &LintProfile::AutoPersist);
+            assert!(diags.is_empty(), "{}: {diags:?}", t.name());
+        }
+    }
+
+    #[test]
+    fn autopersist_flags_an_unflushed_store() {
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0x100, 1);
+        let diags = lint_trace(&b.build(), &LintProfile::AutoPersist);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, LintRule::MissingClwb);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn autopersist_flags_a_flushed_but_unfenced_store() {
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0x100, 1);
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0)));
+        let diags = lint_trace(&b.build(), &LintProfile::AutoPersist);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, LintRule::MissingFinalBarrier);
+    }
+
+    #[test]
+    fn autopersist_dependence_diagnostic_carries_the_path() {
+        use ppa_isa::transform::{AutoPersistPass, TracePass};
+        // Known-clean: the pass seals the dependence. Deleting that barrier
+        // must fire exactly the dependence rule, with the path in the text.
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0x100, 7);
+        b.load(ArchReg::int(1), 0x100);
+        b.alu(ArchReg::int(2), &[ArchReg::int(1)]);
+        b.store(ArchReg::int(2), 0x200, 7);
+        let clean = AutoPersistPass::new().apply(&b.build());
+        assert!(lint_trace(&clean, &LintProfile::AutoPersist).is_empty());
+        let bar = clean
+            .iter()
+            .position(|u| u.kind == UopKind::PersistBarrier)
+            .unwrap();
+        let mutated: Vec<Uop> = clean
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != bar)
+            .map(|(_, u)| *u)
+            .collect();
+        let diags = lint_trace(
+            &Trace::from_uops("mutated", mutated),
+            &LintProfile::AutoPersist,
+        );
+        let dep: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == LintRule::UnorderedPersistDependence)
+            .collect();
+        assert_eq!(dep.len(), 1, "{diags:?}");
+        assert!(dep[0].message.contains("dependence path"), "{}", dep[0]);
+    }
+
+    #[test]
+    fn autopersist_flags_stores_crossing_a_sync_unsealed() {
+        use ppa_isa::SyncKind;
+        let mut b = TraceBuilder::new("t");
+        b.store(ArchReg::int(0), 0x100, 1);
+        b.sync(SyncKind::LockRelease);
+        // Sealed only after the sync: publication happened too early.
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0)));
+        b.push(Uop::new(0, UopKind::PersistBarrier));
+        let diags = lint_trace(&b.build(), &LintProfile::AutoPersist);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, LintRule::UnsealedStoresAtSync);
+        assert_eq!(diags[0].pos, 1);
+    }
+
+    #[test]
+    fn autopersist_warns_on_wasted_annotations() {
+        let mut b = TraceBuilder::new("t");
+        b.push(Uop::new(0, UopKind::PersistBarrier)); // empty epoch
+        b.store(ArchReg::int(0), 0x100, 1);
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0)));
+        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(0x100, 8, 0))); // clean line
+        b.push(Uop::new(0, UopKind::PersistBarrier));
+        let diags = lint_trace(&b.build(), &LintProfile::AutoPersist);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == LintRule::RedundantBarrier && d.pos == 0));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == LintRule::OrphanClwb && d.pos == 3));
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn diagnostic_json_is_escaped_and_complete() {
+        let d = Diagnostic {
+            rule: LintRule::MissingClwb,
+            severity: Severity::Error,
+            pos: 7,
+            pc: None,
+            message: "quote \" backslash \\ newline \n done".to_string(),
+        };
+        let json = d.to_json("app\"name", "raw");
+        assert!(json.contains("\"pc\":null"), "{json}");
+        assert!(json.contains("\"pos\":7"), "{json}");
+        assert!(json.contains("app\\\"name"), "{json}");
+        assert!(json.contains("backslash \\\\ newline \\n"), "{json}");
     }
 }

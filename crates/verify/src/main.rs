@@ -1,7 +1,7 @@
 //! The `ppa-verify` command-line driver.
 //!
 //! ```text
-//! ppa-verify <check|lint|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N]
+//! ppa-verify <check|lint|analyze|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N] [--json]
 //! ```
 //!
 //! Exit code 0 means every selected verification passed; 1 means at
@@ -14,7 +14,10 @@
 //! grid, and the mutation self-tests per injected fault. Output order
 //! and content are identical at any job count.
 
-use ppa_isa::transform::{CapriPass, ReplayCachePass, TracePass};
+use ppa_isa::transform::{AutoPersistPass, CapriPass, ReplayCachePass, TracePass};
+use ppa_verify::analysis::analyze_raw_trace;
+use ppa_verify::analysis::crosscheck::run_crosscheck;
+use ppa_verify::analysis::race::{detect_races, inject_second_writer, strip_syncs, RaceRule};
 use ppa_verify::lint::{LintProfile, Severity};
 use ppa_verify::{grid, lint_trace, mutation, oracle, runner, smp_oracle};
 use ppa_workloads::registry;
@@ -26,6 +29,9 @@ struct Options {
     points: usize,
     cores: usize,
     grid: Option<String>,
+    /// `lint --json`: one JSON object per diagnostic instead of the
+    /// human-readable table.
+    json: bool,
     /// Write a flat metrics-JSON snapshot here on exit; `merge` folds
     /// into an existing file (how the validator-share numbers join the
     /// `results/bench_baseline.json` that `repro` wrote) instead of
@@ -47,6 +53,7 @@ impl Default for Options {
             points,
             cores: 2,
             grid: None,
+            json: false,
             metrics_json: None,
         }
     }
@@ -54,11 +61,12 @@ impl Default for Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ppa-verify <check|lint|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N] [--grid MODE]"
+        "usage: ppa-verify <check|lint|analyze|oracle|smp|mutate|all> [--len N] [--seed N] [--points N] [--cores N] [--jobs N] [--grid MODE] [--json]"
     );
     eprintln!();
     eprintln!("  check   run cycle-level invariant checks on all workloads (PPA mode)");
     eprintln!("  lint    lint raw + transformed traces for persistency-barrier defects");
+    eprintln!("  analyze dependence graphs, autopersist placement, race detector, crosscheck");
     eprintln!("  oracle  inject randomized power failures and diff recovery vs golden");
     eprintln!("  smp     multi-core crash oracle over shared-state workloads + arbiter mutations");
     eprintln!("  mutate  self-test: injected hardware bugs must be caught by name");
@@ -67,7 +75,10 @@ fn usage() -> ! {
     eprintln!("  --len N      uops per workload trace (default 2000)");
     eprintln!("  --seed N     base RNG seed (default 1)");
     eprintln!("  --points N   failure injections per workload for `oracle`/`smp` (default 3)");
-    eprintln!("  --cores N    cores for the `smp` oracle machine (default 2)");
+    eprintln!(
+        "  --cores N    cores for the `smp` oracle machine and `analyze` race threads (default 2)"
+    );
+    eprintln!("  --json       `lint` only: one JSON object per diagnostic, no table");
     eprintln!("  --jobs N     worker threads for the fan-out (0 = auto, default 1 = serial)");
     eprintln!("  --grid MODE  distribute the `oracle` grid: off (default), loopback:N,");
     eprintln!("               or serve:HOST:PORT for `ppa-grid work --connect` workers");
@@ -91,6 +102,10 @@ fn parse_args() -> (String, Options) {
     };
     let mut opts = Options::default();
     while let Some(flag) = args.next() {
+        if flag == "--json" {
+            opts.json = true;
+            continue;
+        }
         let value = args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--len" => opts.len = value.parse().unwrap_or_else(|_| usage()),
@@ -168,13 +183,17 @@ fn cmd_check(opts: &Options) -> bool {
 
 /// `ppa-verify lint`: raw and transformed traces against their profiles.
 fn cmd_lint(opts: &Options) -> bool {
-    println!(
-        "== lint: persistency linter, raw + replaycache + capri + inorder, len={} seed={}",
-        opts.len, opts.seed
-    );
+    if !opts.json {
+        println!(
+            "== lint: persistency linter, raw + replaycache + capri + inorder + autopersist, len={} seed={}",
+            opts.len, opts.seed
+        );
+    }
     let rc = ReplayCachePass::new();
     let capri = CapriPass::new();
-    // Lint each workload's three trace variants as one pool job; the
+    let autopersist = AutoPersistPass::new();
+    let json = opts.json;
+    // Lint each workload's five trace variants as one pool job; the
     // rendered lines come back in registry order for serial printing.
     let per_app = ppa_pool::par_map_ordered(registry::all(), |app| {
         let raw = app.generate(opts.len, opts.seed);
@@ -191,6 +210,12 @@ fn cmd_lint(opts: &Options) -> bool {
             // The raw trace is also what the §6 in-order variant consumes;
             // its value-carrying CSQ adds width and sync-interval rules.
             ("inorder", lint_trace(&raw, &LintProfile::inorder_default())),
+            // Dependence-driven flush/fence insertion: lint-clean by
+            // construction, so any finding here is a pass bug.
+            (
+                "autopersist",
+                lint_trace(&autopersist.apply(&raw), &LintProfile::AutoPersist),
+            ),
         ];
         let mut lines = Vec::new();
         let mut clean = true;
@@ -199,7 +224,12 @@ fn cmd_lint(opts: &Options) -> bool {
                 .iter()
                 .filter(|d| d.severity == Severity::Error)
                 .count();
-            if errors == 0 {
+            clean &= errors == 0;
+            if json {
+                for d in &diags {
+                    lines.push(d.to_json(app.name, label));
+                }
+            } else if errors == 0 {
                 lines.push(format!(
                     "  ok   {:<16} {:<12} ({} warnings)",
                     app.name,
@@ -207,7 +237,6 @@ fn cmd_lint(opts: &Options) -> bool {
                     diags.len()
                 ));
             } else {
-                clean = false;
                 lines.push(format!(
                     "  FAIL {:<16} {:<12} {} errors",
                     app.name, label, errors
@@ -227,6 +256,134 @@ fn cmd_lint(opts: &Options) -> bool {
         }
     }
     ok
+}
+
+/// `ppa-verify analyze`: the static persist-ordering analysis engine —
+/// per-workload dependence graphs with the autopersist-vs-capri barrier
+/// comparison, the shared-memory race detector (clean + injected-defect
+/// runs), and the static-vs-dynamic soundness cross-check.
+fn cmd_analyze(opts: &Options) -> bool {
+    let mut ok = true;
+    println!(
+        "== analyze: persist-dependence graphs + autopersist placement, {} workloads, len={} seed={}",
+        registry::all().len(),
+        opts.len,
+        opts.seed
+    );
+    let autopersist = AutoPersistPass::new();
+    let capri = CapriPass::new();
+    let per_app = ppa_pool::par_map_ordered(registry::all(), |app| {
+        let raw = app.generate(opts.len, opts.seed);
+        let a = analyze_raw_trace(&raw);
+        let sealed = autopersist.apply(&raw);
+        let errors = lint_trace(&sealed, &LintProfile::AutoPersist)
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let ap_barriers = sealed.mix().barriers;
+        let capri_barriers = capri.apply(&raw).mix().barriers;
+        // The engine's promise: clean by construction, and never more
+        // barriers than the region-bounded baseline.
+        let clean = errors == 0 && ap_barriers < capri_barriers;
+        let status = if clean { "ok  " } else { "FAIL" };
+        let line = format!(
+            "  {status} {:<16} pairs={:<4} dep-seals={:<3} sync-seals={:<3} barriers={ap_barriers} capri={capri_barriers} lint-errors={errors}",
+            app.name,
+            a.summary.dependence_pairs,
+            a.dependence_seals(),
+            a.sync_seals(),
+        );
+        (line, clean)
+    });
+    for (line, clean) in per_app {
+        ok &= clean;
+        println!("{line}");
+    }
+
+    let threads = opts.cores.max(2);
+    println!(
+        "== analyze: race detector, {} shared workloads x {} threads, len={}",
+        ppa_workloads::shared::all().len(),
+        threads,
+        opts.len
+    );
+    for app in ppa_workloads::shared::all() {
+        let set = app.export(opts.len, opts.seed, threads);
+        let diags = detect_races(&set.traces);
+        if diags.is_empty() {
+            println!(
+                "  ok   {:<10} clean ({} remote reads across {} written words)",
+                app.name,
+                set.remote_reads(),
+                set.written_words()
+            );
+        } else {
+            ok = false;
+            println!(
+                "  FAIL {:<10} {} findings on the clean run",
+                app.name,
+                diags.len()
+            );
+            for d in diags.iter().take(5) {
+                println!("       {d}");
+            }
+        }
+        let (mutated, word) = inject_second_writer(&set.traces, 1);
+        let caught_ww = detect_races(&mutated)
+            .iter()
+            .any(|d| d.rule == RaceRule::WriteWriteRace && d.word == word);
+        if caught_ww {
+            println!(
+                "  ok   {:<10} injected second writer caught (word {word:#x})",
+                app.name
+            );
+        } else {
+            ok = false;
+            println!("  FAIL {:<10} injected second writer NOT caught", app.name);
+        }
+        let caught_wr = detect_races(&strip_syncs(&set.traces, 1))
+            .iter()
+            .any(|d| d.rule == RaceRule::UnsyncedWriteRead);
+        if caught_wr {
+            println!("  ok   {:<10} stripped reader syncs caught", app.name);
+        } else {
+            ok = false;
+            println!("  FAIL {:<10} stripped reader syncs NOT caught", app.name);
+        }
+    }
+
+    println!(
+        "== analyze: soundness cross-check, static lint vs dynamic crash adversary, seed={}",
+        opts.seed
+    );
+    let report = run_crosscheck(opts.len.min(1_200), opts.seed, threads);
+    for c in report.cases.iter().filter(|c| !c.sound()) {
+        println!(
+            "  UNSOUND {:<16} {} static-clean but dynamically divergent: {:?}",
+            c.app, c.mutation, c.divergence
+        );
+    }
+    println!(
+        "  {} mutants: flagged={} divergent={} conservative={} unsound={}",
+        report.mutants(),
+        report.flagged(),
+        report.divergent(),
+        report.conservative(),
+        report.unsound()
+    );
+    println!(
+        "  race judges: {} ({} documented-conservative sync-strip mutants)",
+        if report.race_agreed {
+            "agree"
+        } else {
+            "DISAGREE"
+        },
+        report.race_conservative
+    );
+    ppa_obs::registry::gauge("verify.analyze.mutants").set(report.mutants() as f64);
+    ppa_obs::registry::gauge("verify.analyze.unsound").set(report.unsound() as f64);
+    ppa_obs::registry::gauge("verify.analyze.conservative").set(report.conservative() as f64);
+    ok && report.passed()
 }
 
 /// `ppa-verify oracle`: randomized crash injections across all
@@ -383,6 +540,7 @@ fn main() -> ExitCode {
     let ok = match cmd.as_str() {
         "check" => cmd_check(&opts),
         "lint" => cmd_lint(&opts),
+        "analyze" => cmd_analyze(&opts),
         "oracle" => cmd_oracle(&opts, grid_handle.as_ref()),
         "smp" => cmd_smp(&opts),
         "mutate" => cmd_mutate(&opts),
@@ -391,10 +549,11 @@ fn main() -> ExitCode {
             // the full picture.
             let c = cmd_check(&opts);
             let l = cmd_lint(&opts);
+            let a = cmd_analyze(&opts);
             let o = cmd_oracle(&opts, grid_handle.as_ref());
             let s = cmd_smp(&opts);
             let m = cmd_mutate(&opts);
-            c && l && o && s && m
+            c && l && a && o && s && m
         }
         _ => usage(),
     };

@@ -135,6 +135,92 @@ impl SharedApp {
         }
         g.finish(self.name)
     }
+
+    /// Exports the workload's per-thread traces bundled with their
+    /// generation parameters, for whole-program static analyses (the
+    /// `ppa-verify` race detector consumes this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let set = ppa_workloads::shared::by_name("halo")
+    ///     .unwrap()
+    ///     .export(1_000, 1, 4);
+    /// assert_eq!(set.traces.len(), 4);
+    /// assert!(set.written_words() > 0);
+    /// assert!(set.remote_reads() > 0, "threads read each other's words");
+    /// ```
+    pub fn export(&self, len: usize, seed: u64, threads: usize) -> SharedTraceSet {
+        SharedTraceSet {
+            app: *self,
+            len,
+            seed,
+            traces: self.generate_threads(len, seed, threads),
+        }
+    }
+}
+
+/// The per-thread traces of one shared workload run, bundled with the
+/// parameters that produced them so analysis reports stay attributable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedTraceSet {
+    /// The workload that generated the traces.
+    pub app: SharedApp,
+    /// Per-thread trace length the run was generated with.
+    pub len: usize,
+    /// Deterministic seed the run was generated with.
+    pub seed: u64,
+    /// One trace per thread, indexed by thread id.
+    pub traces: Vec<Trace>,
+}
+
+impl SharedTraceSet {
+    /// Number of threads in the run.
+    pub fn threads(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Distinct 8-byte words stored across all threads.
+    pub fn written_words(&self) -> usize {
+        let mut words: Vec<u64> = self
+            .traces
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter(|u| u.kind.is_store())
+            .filter_map(|u| u.mem.map(|m| m.addr & !7))
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        words.len()
+    }
+
+    /// Loads of words some *other* thread wrote — the cross-thread
+    /// communication the race detector has to prove synchronised.
+    pub fn remote_reads(&self) -> usize {
+        use std::collections::HashMap;
+        let mut owner: HashMap<u64, usize> = HashMap::new();
+        for (tid, t) in self.traces.iter().enumerate() {
+            for u in t.iter().filter(|u| u.kind.is_store()) {
+                if let Some(m) = u.mem {
+                    owner.entry(m.addr & !7).or_insert(tid);
+                }
+            }
+        }
+        self.traces
+            .iter()
+            .enumerate()
+            .flat_map(|(tid, t)| t.iter().map(move |u| (tid, u)))
+            .filter(|(tid, u)| {
+                u.kind == ppa_isa::UopKind::Load
+                    && u.mem
+                        .is_some_and(|m| owner.get(&(m.addr & !7)).is_some_and(|&o| o != *tid))
+            })
+            .count()
+    }
 }
 
 /// Per-thread emitter: a [`TraceBuilder`] plus the bookkeeping that keeps

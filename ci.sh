@@ -167,4 +167,54 @@ assert all(a["ts"] <= b["ts"] for a, b in zip(ev, ev[1:])), "trace not ts-sorted
 print(f"telemetry ok: {len(m)} metrics, {len(ev)} trace events")
 EOF
 
+# Exhaustive failure-point mode of the smp crash oracle: every cycle of
+# every shared workload is a failure point, with FSM-level mid-flush
+# tearing probes, plus the arbiter mutation self-tests.
+echo "== ppa-verify smp --fail-points all (exhaustive failure points)"
+time cargo run -q -p ppa-verify --release -- smp --fail-points all > /dev/null 2> /dev/null
+
+# The persistency-model conformance engine, pinned seed: a 256-test
+# litmus batch against the axiomatic model across exhaustive failure
+# points must report zero machine-unsound divergences, and every entry
+# in the waiver table must actually be exercised (a waiver nothing hits
+# is stale and fails the run). Output must be byte-identical at any job
+# count, over a loopback grid, and with a worker killed mid-lease.
+echo "== ppa-litmus conformance gate (256 tests, pinned seed)"
+time PPA_JOBS=1 cargo run -q -p ppa-litmus --release -- run --tests 256 --seed 1 \
+    --metrics-json /tmp/ppa_ci_litmus.json > /tmp/ppa_ci_litmus_local.txt 2> /dev/null
+grep -q "machine-unsound=0" /tmp/ppa_ci_litmus_local.txt
+grep -q "waivers: ppa-prefix-strength (model-incomplete): exercised by" /tmp/ppa_ci_litmus_local.txt
+if grep -q "exercised by 0/" /tmp/ppa_ci_litmus_local.txt; then
+    echo "ci: a waiver was never exercised"; exit 1
+fi
+if grep -q "stale waivers" /tmp/ppa_ci_litmus_local.txt; then
+    echo "ci: stale waiver entries"; exit 1
+fi
+PPA_JOBS=8 cargo run -q -p ppa-litmus --release -- run --tests 256 --seed 1 \
+    > /tmp/ppa_ci_litmus_jobs.txt 2> /dev/null
+diff /tmp/ppa_ci_litmus_local.txt /tmp/ppa_ci_litmus_jobs.txt
+PPA_JOBS=0 cargo run -q -p ppa-litmus --release -- run --tests 256 --seed 1 --grid loopback:3 \
+    > /tmp/ppa_ci_litmus_grid.txt 2> /dev/null
+diff /tmp/ppa_ci_litmus_local.txt /tmp/ppa_ci_litmus_grid.txt
+PPA_JOBS=0 PPA_GRID_DIE_AFTER=2 cargo run -q -p ppa-litmus --release -- run \
+    --tests 256 --seed 1 --grid loopback:3 > /tmp/ppa_ci_litmus_die.txt 2> /dev/null
+diff /tmp/ppa_ci_litmus_local.txt /tmp/ppa_ci_litmus_die.txt
+
+# Independent validation of the litmus metrics snapshot.
+echo "== litmus metrics JSON validation (python3)"
+python3 - <<'EOF'
+import json
+m = json.load(open("/tmp/ppa_ci_litmus.json"))
+fams = [k for k in m if k.startswith("litmus.")]
+assert fams, "no litmus.* metrics"
+for k in ("litmus.tests", "litmus.cells", "litmus.cells.torn",
+          "litmus.states.reached", "litmus.states.allowed",
+          "litmus.unsound", "litmus.waived", "litmus.coverage"):
+    assert k in m, f"missing {k}"
+assert m["litmus.tests"] == 256, m["litmus.tests"]
+assert m["litmus.unsound"] == 0, m["litmus.unsound"]
+assert m["litmus.cells.torn"] > 0, "tearing probe never ran"
+print(f"litmus metrics ok: {len(fams)} litmus.* metrics")
+EOF
+
 echo "CI: all gates passed"

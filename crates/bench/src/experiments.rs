@@ -1098,6 +1098,57 @@ pub fn autopersist() -> TextTable {
     t
 }
 
+/// §5f conformance headline: a fixed-seed litmus batch (generator →
+/// axiomatic Px86-style model → real SMP machine, exhaustive failure
+/// points) summarised per core count. Deliberately independent of
+/// `PPA_REPRO_LEN` — litmus programs are a few uops each, so the batch
+/// size, not the trace length, is the knob; seed and size are pinned so
+/// the table is reproducible byte-for-byte.
+pub fn litmus() -> TextTable {
+    use ppa_litmus::{generate, run_batch_local, GenConfig, RunConfig};
+    const TESTS: usize = 24;
+    let tests = generate(&GenConfig {
+        seed: SEED,
+        tests: TESTS,
+    });
+    let cfg = RunConfig::default();
+    let rows = run_batch_local(&tests, &cfg);
+    ppa_litmus::run::publish_metrics(&rows);
+
+    let mut t = TextTable::new([
+        "cores", "tests", "cells", "torn", "reached", "allowed", "unsound", "waived",
+    ]);
+    let mut grand = [0u64; 7];
+    for cores in 2..=4usize {
+        let mut acc = [0u64; 7];
+        for (test, row) in tests.iter().zip(&rows) {
+            if test.cores.len() != cores {
+                continue;
+            }
+            acc[0] += 1;
+            acc[1] += row.cells;
+            acc[2] += row.torn;
+            acc[3] += row.reached;
+            acc[4] += row.allowed;
+            acc[5] += row.unsound_cells;
+            acc[6] += row.waived.len() as u64;
+        }
+        if acc[0] == 0 {
+            continue;
+        }
+        for (g, a) in grand.iter_mut().zip(&acc) {
+            *g += a;
+        }
+        let mut cells = vec![cores.to_string()];
+        cells.extend(acc.iter().map(|v| v.to_string()));
+        t.row(cells);
+    }
+    let mut total = vec!["total".to_string()];
+    total.extend(grand.iter().map(|v| v.to_string()));
+    t.row(total);
+    t
+}
+
 /// A named experiment generator.
 pub type Experiment = fn() -> TextTable;
 
@@ -1132,6 +1183,7 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("cxl", cxl),
         ("ehs", ehs),
         ("autopersist", autopersist),
+        ("litmus", litmus),
     ]
 }
 

@@ -13,9 +13,10 @@
 //!
 //! `serve` renders the selected experiments exactly like `repro` does
 //! (stdout is byte-identical to a local run); `work` executes both the
-//! benchmark (`repro.*`) and oracle (`oracle.*`) unit vocabularies, so
-//! one worker process serves `repro --grid serve:...` and
-//! `ppa-verify oracle --grid serve:...` alike. `selftest` runs a
+//! benchmark (`repro.*`), oracle (`oracle.*`), and litmus (`litmus.*`)
+//! unit vocabularies, so one worker process serves `repro --grid
+//! serve:...`, `ppa-verify oracle --grid serve:...`, and `ppa-litmus
+//! run --grid serve:...` alike. `selftest` runs a
 //! loopback grid — including an injected mid-lease worker death — and
 //! checks the transported results byte-for-byte against local
 //! execution.
@@ -37,6 +38,8 @@ impl Executor for CombinedExecutor {
             gridwork::execute(tag, payload)
         } else if tag.starts_with("oracle.") {
             ppa_verify::grid::execute(tag, payload)
+        } else if tag.starts_with("litmus.") {
+            ppa_litmus::gridwork::execute(tag, payload)
         } else {
             Err(format!("unknown unit tag '{tag}'"))
         }
@@ -250,6 +253,7 @@ fn cmd_selftest(args: &[String]) -> ExitCode {
     // the self-test in the seconds range.
     let mut units = gridwork::units_for("fig11", 4_000).expect("fig11 decomposes");
     units.extend(ppa_verify::grid::selftest_units());
+    units.extend(ppa_litmus::gridwork::selftest_units());
     let expected: Vec<Vec<u8>> = units
         .iter()
         .map(|u| {

@@ -1,0 +1,465 @@
+//! Deterministic litmus-test generator.
+//!
+//! A litmus test is 2–4 cores × 2–8 litmus ops per core drawn from
+//! {store, clwb, sfence, sync} over 2–4 shared words. Words are partitioned
+//! among cores (single writer per word — the machine's DRF contract), so
+//! cores that own no word contribute only fences and syncs. Tests are
+//! emitted in the existing `ppa_isa` uop vocabulary and named canonically:
+//! symmetric tests (core renumberings and the word renumberings they induce)
+//! collapse to one representative, so the generator never counts the same
+//! scenario twice.
+//!
+//! Grammar of the canonical name (`lit[...]`, cores joined by `.`):
+//!
+//! ```text
+//! s<w>   store the next value to word w      c<w>   clwb the line of word w
+//! f      sfence (persist barrier)            y      sync (region boundary)
+//! ```
+
+use ppa_isa::{ArchReg, MemRef, SyncKind, Trace, TraceBuilder, Uop, UopKind};
+use ppa_prng::Prng;
+use std::collections::HashSet;
+
+/// Litmus words live in their own address region, one word per cache line so
+/// word-granularity clwb/seal reasoning matches line-granularity hardware.
+pub const LITMUS_BASE: u64 = 0x3000_0000_0000;
+
+/// Scratch register used to define each store's data operand (same register
+/// the shared workloads use, so the pipeline idiom is identical).
+const DATA: ArchReg = ArchReg::int(7);
+
+/// Address of litmus word `w` (line-aligned).
+pub fn word_addr(w: usize) -> u64 {
+    LITMUS_BASE + (w as u64) * 64
+}
+
+/// Value written by the `k`-th (0-based) store to word `w`. Nonzero and
+/// unique per (word, rank), so any recovered state is attributable.
+pub fn store_value(w: usize, k: usize) -> u64 {
+    (((w as u64) + 1) << 8) | ((k as u64) + 1)
+}
+
+/// One litmus-level operation. Word indices are test-local (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LitmusOp {
+    /// Store the next value in this word's sequence.
+    Store(u8),
+    /// Write back the cache line holding this word.
+    Clwb(u8),
+    /// Persist barrier (sfence): orders earlier clwbs before later stores.
+    SFence,
+    /// Sync: region boundary. The core may not commit it until every prior
+    /// store in the region is durable (arbiter-certified publishing barrier).
+    Sync,
+}
+
+impl LitmusOp {
+    fn mnemonic(self) -> String {
+        match self {
+            LitmusOp::Store(w) => format!("s{w}"),
+            LitmusOp::Clwb(w) => format!("c{w}"),
+            LitmusOp::SFence => "f".to_string(),
+            LitmusOp::Sync => "y".to_string(),
+        }
+    }
+
+    /// Human-readable form for `ppa-litmus gen` listings.
+    pub fn pretty(self) -> String {
+        match self {
+            LitmusOp::Store(w) => format!("st w{w}"),
+            LitmusOp::Clwb(w) => format!("clwb w{w}"),
+            LitmusOp::SFence => "sfence".to_string(),
+            LitmusOp::Sync => "sync".to_string(),
+        }
+    }
+}
+
+/// A canonicalized litmus test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitmusTest {
+    /// Canonical name, e.g. `lit[s0s1y.s2c2f]`.
+    pub name: String,
+    /// Per-core litmus programs, in canonical core order.
+    pub cores: Vec<Vec<LitmusOp>>,
+}
+
+impl LitmusTest {
+    /// Build a test from raw per-core programs, canonicalizing core order
+    /// and word numbering. Panics if two cores store to the same word (the
+    /// generator never produces that; handcrafted tests must not either).
+    pub fn from_cores(cores: Vec<Vec<LitmusOp>>) -> Self {
+        let cores = canonicalize(cores);
+        let name = format!("lit[{}]", serialize(&cores));
+        let t = LitmusTest { name, cores };
+        t.assert_single_writer();
+        t
+    }
+
+    fn assert_single_writer(&self) {
+        let mut owner: Vec<Option<usize>> = vec![None; self.words()];
+        for (c, ops) in self.cores.iter().enumerate() {
+            for op in ops {
+                if let LitmusOp::Store(w) = op {
+                    let slot = &mut owner[*w as usize];
+                    match slot {
+                        Some(prev) if *prev != c => {
+                            panic!("litmus test {} has two writers for w{w}", self.name)
+                        }
+                        _ => *slot = Some(c),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of distinct words the test touches (max index + 1).
+    pub fn words(&self) -> usize {
+        self.cores
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                LitmusOp::Store(w) | LitmusOp::Clwb(w) => Some(*w as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total litmus ops across all cores.
+    pub fn ops(&self) -> usize {
+        self.cores.iter().map(Vec::len).sum()
+    }
+
+    /// Emit the test as `ppa_isa` traces, one per core, plus a map from
+    /// litmus-op index to the trace position of its effective uop (the
+    /// store/clwb/barrier/sync itself, not the data-defining ALU op).
+    pub fn traces(&self) -> (Vec<Trace>, Vec<Vec<usize>>) {
+        let mut traces = Vec::with_capacity(self.cores.len());
+        let mut op_pos = Vec::with_capacity(self.cores.len());
+        for (c, ops) in self.cores.iter().enumerate() {
+            let mut b = TraceBuilder::new(format!("{}#c{c}", self.name));
+            let mut positions = Vec::with_capacity(ops.len());
+            let mut rank = vec![0usize; self.words()];
+            for op in ops {
+                match op {
+                    LitmusOp::Store(w) => {
+                        let w = *w as usize;
+                        b.alu(DATA, &[]);
+                        positions.push(b.len());
+                        b.store(DATA, word_addr(w), store_value(w, rank[w]));
+                        rank[w] += 1;
+                    }
+                    LitmusOp::Clwb(w) => {
+                        positions.push(b.len());
+                        b.push(Uop::new(0, UopKind::Clwb).with_mem(MemRef::new(
+                            word_addr(*w as usize),
+                            8,
+                            0,
+                        )));
+                    }
+                    LitmusOp::SFence => {
+                        positions.push(b.len());
+                        b.push(Uop::new(0, UopKind::PersistBarrier));
+                    }
+                    LitmusOp::Sync => {
+                        positions.push(b.len());
+                        b.sync(SyncKind::Fence);
+                    }
+                }
+            }
+            // A trailing nop keeps the final litmus op from being the very
+            // last uop, which makes "committed the whole program" visible.
+            b.nop();
+            traces.push(b.build());
+            op_pos.push(positions);
+        }
+        (traces, op_pos)
+    }
+}
+
+/// Serialize per-core programs with words renumbered by first appearance.
+fn serialize(cores: &[Vec<LitmusOp>]) -> String {
+    let mut rename: Vec<Option<u8>> = Vec::new();
+    let mut next = 0u8;
+    let mut out = String::new();
+    for (c, ops) in cores.iter().enumerate() {
+        if c > 0 {
+            out.push('.');
+        }
+        for op in ops {
+            let op = match op {
+                LitmusOp::Store(w) | LitmusOp::Clwb(w) => {
+                    let w = *w as usize;
+                    if rename.len() <= w {
+                        rename.resize(w + 1, None);
+                    }
+                    let r = *rename[w].get_or_insert_with(|| {
+                        let r = next;
+                        next += 1;
+                        r
+                    });
+                    match op {
+                        LitmusOp::Store(_) => LitmusOp::Store(r),
+                        _ => LitmusOp::Clwb(r),
+                    }
+                }
+                other => *other,
+            };
+            out.push_str(&op.mnemonic());
+        }
+    }
+    out
+}
+
+/// Canonical form: over all core-order permutations (identity only above 5
+/// cores — handcrafted wide tests keep their order), pick the
+/// lexicographically smallest serialization with words renumbered by first
+/// appearance, then apply that renumbering so names and programs agree.
+fn canonicalize(cores: Vec<Vec<LitmusOp>>) -> Vec<Vec<LitmusOp>> {
+    let n = cores.len();
+    if n > 5 {
+        return renumber(cores);
+    }
+    let mut best: Option<(String, Vec<usize>)> = None;
+    let mut order: Vec<usize> = (0..n).collect();
+    permute(&mut order, 0, &mut |perm| {
+        let arranged: Vec<Vec<LitmusOp>> = perm.iter().map(|&i| cores[i].clone()).collect();
+        let key = serialize(&arranged);
+        if best.as_ref().map(|(k, _)| key < *k).unwrap_or(true) {
+            best = Some((key, perm.to_vec()));
+        }
+    });
+    let (_, perm) = best.expect("at least one permutation");
+    renumber(perm.into_iter().map(|i| cores[i].clone()).collect())
+}
+
+/// Rewrite word indices to first-appearance order.
+fn renumber(cores: Vec<Vec<LitmusOp>>) -> Vec<Vec<LitmusOp>> {
+    let mut rename: Vec<Option<u8>> = Vec::new();
+    let mut next = 0u8;
+    cores
+        .into_iter()
+        .map(|ops| {
+            ops.into_iter()
+                .map(|op| match op {
+                    LitmusOp::Store(w) | LitmusOp::Clwb(w) => {
+                        let w = w as usize;
+                        if rename.len() <= w {
+                            rename.resize(w + 1, None);
+                        }
+                        let r = *rename[w].get_or_insert_with(|| {
+                            let r = next;
+                            next += 1;
+                            r
+                        });
+                        match op {
+                            LitmusOp::Store(_) => LitmusOp::Store(r),
+                            _ => LitmusOp::Clwb(r),
+                        }
+                    }
+                    other => other,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn permute(order: &mut Vec<usize>, k: usize, visit: &mut dyn FnMut(&[usize])) {
+    if k == order.len() {
+        visit(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, visit);
+        order.swap(k, i);
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    pub seed: u64,
+    /// Number of distinct canonical tests to produce.
+    pub tests: usize,
+}
+
+/// Sample `cfg.tests` distinct canonical litmus tests. Deterministic in the
+/// seed; symmetric duplicates are discarded, so the sampler draws until it
+/// has enough unique tests (with a generous attempt cap).
+pub fn generate(cfg: &GenConfig) -> Vec<LitmusTest> {
+    let mut rng = Prng::seed_from_u64(cfg.seed ^ 0x0011_7135_0011_7135);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = Vec::with_capacity(cfg.tests);
+    let mut attempts = 0usize;
+    let cap = cfg.tests.saturating_mul(400).max(4000);
+    while out.len() < cfg.tests && attempts < cap {
+        attempts += 1;
+        let t = sample_one(&mut rng);
+        if !t
+            .cores
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, LitmusOp::Store(_)))
+        {
+            continue; // storeless tests are vacuous
+        }
+        if seen.insert(t.name.clone()) {
+            out.push(t);
+        }
+    }
+    assert_eq!(
+        out.len(),
+        cfg.tests,
+        "litmus generator exhausted {cap} attempts before reaching {} unique tests",
+        cfg.tests
+    );
+    out
+}
+
+fn sample_one(rng: &mut Prng) -> LitmusTest {
+    let n_cores = rng.random_range(2..5usize);
+    let n_words = rng.random_range(2..5usize);
+    // Partition words among cores: each word gets exactly one owner.
+    let owner: Vec<usize> = (0..n_words).map(|_| rng.random_range(0..n_cores)).collect();
+    let cores: Vec<Vec<LitmusOp>> = (0..n_cores)
+        .map(|c| {
+            let owned: Vec<u8> = owner
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o == c)
+                .map(|(w, _)| w as u8)
+                .collect();
+            let n_ops = rng.random_range(2..9usize);
+            (0..n_ops)
+                .map(|_| {
+                    if owned.is_empty() {
+                        if rng.random_bool(0.5) {
+                            LitmusOp::SFence
+                        } else {
+                            LitmusOp::Sync
+                        }
+                    } else {
+                        match rng.random_below(8) {
+                            0..=3 => LitmusOp::Store(*rng.choose(&owned).unwrap()),
+                            4..=5 => LitmusOp::Clwb(*rng.choose(&owned).unwrap()),
+                            6 => LitmusOp::SFence,
+                            _ => LitmusOp::Sync,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    LitmusTest::from_cores(cores)
+}
+
+/// Handcrafted contention test for arbiter-fairness probing: cores with
+/// staggered region lengths re-request drain certificates while others still
+/// wait, which is exactly the pattern a biased grant port starves. The
+/// generator's 2–4-core samples rarely stress rotation this hard.
+pub fn contention(cores: usize) -> LitmusTest {
+    let programs: Vec<Vec<LitmusOp>> = (0..cores)
+        .map(|c| {
+            let mut ops = Vec::new();
+            // Core c runs (c % 3 + 1) short store+sync regions, then a tail
+            // region, so low cores finish regions early and re-pend while
+            // high cores are still waiting on their first grant.
+            for _ in 0..(c % 3) + 1 {
+                ops.push(LitmusOp::Store(c as u8));
+                ops.push(LitmusOp::Sync);
+            }
+            ops.push(LitmusOp::Store(c as u8));
+            ops.push(LitmusOp::Sync);
+            ops
+        })
+        .collect();
+    LitmusTest::from_cores(programs)
+}
+
+/// Handcrafted sealed-store test: store w0, clwb w0, sfence, store w1. Once
+/// the sfence commits, any state exposing w1's store must also expose w0's
+/// (the seal raised w0's floor), so a recovery that loses the w0 store while
+/// keeping the w1 store is machine-unsound — the window the
+/// `DropReplayEntry` runner fault must violate.
+pub fn sealed_pair() -> LitmusTest {
+    LitmusTest::from_cores(vec![
+        vec![
+            LitmusOp::Store(0),
+            LitmusOp::Clwb(0),
+            LitmusOp::SFence,
+            LitmusOp::Store(1),
+        ],
+        vec![LitmusOp::Store(2), LitmusOp::Sync],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_tests_collapse_to_one_canonical_name() {
+        let a = LitmusTest::from_cores(vec![
+            vec![LitmusOp::Store(0), LitmusOp::Sync],
+            vec![LitmusOp::Store(1), LitmusOp::Clwb(1), LitmusOp::SFence],
+        ]);
+        // Same test with cores swapped and words renamed.
+        let b = LitmusTest::from_cores(vec![
+            vec![LitmusOp::Store(1), LitmusOp::Clwb(1), LitmusOp::SFence],
+            vec![LitmusOp::Store(0), LitmusOp::Sync],
+        ]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.cores, b.cores);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_unique() {
+        let cfg = GenConfig { seed: 7, tests: 64 };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        let names: HashSet<_> = a.iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names.len(), 64);
+        for t in &a {
+            assert!((2..=4).contains(&t.cores.len()));
+            for ops in &t.cores {
+                assert!((2..=8).contains(&ops.len()));
+            }
+            assert!(t.words() <= 4);
+        }
+    }
+
+    #[test]
+    fn traces_map_litmus_ops_to_effective_uops() {
+        let t = LitmusTest::from_cores(vec![
+            vec![LitmusOp::Store(0), LitmusOp::Clwb(0), LitmusOp::SFence],
+            vec![LitmusOp::Store(1), LitmusOp::Sync],
+        ]);
+        let (traces, op_pos) = t.traces();
+        assert_eq!(traces.len(), 2);
+        for (c, ops) in t.cores.iter().enumerate() {
+            assert_eq!(op_pos[c].len(), ops.len());
+            for (i, op) in ops.iter().enumerate() {
+                let uop = traces[c].get(op_pos[c][i]).unwrap();
+                match op {
+                    LitmusOp::Store(w) => {
+                        assert_eq!(uop.kind, UopKind::Store);
+                        assert_eq!(uop.mem.unwrap().addr, word_addr(*w as usize));
+                    }
+                    LitmusOp::Clwb(_) => assert_eq!(uop.kind, UopKind::Clwb),
+                    LitmusOp::SFence => assert_eq!(uop.kind, UopKind::PersistBarrier),
+                    LitmusOp::Sync => assert!(matches!(uop.kind, UopKind::Sync(_))),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_writers_panic() {
+        let r = std::panic::catch_unwind(|| {
+            LitmusTest::from_cores(vec![vec![LitmusOp::Store(0)], vec![LitmusOp::Store(0)]])
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Executable axiomatic persistency model.
+//!
+//! Built from first principles in the Px86 style, specialized to the PPA
+//! machine's vocabulary:
+//!
+//! - **Per-location persist order** — stores to one word persist in program
+//!   order (the value-carrying CSQ and the write-back hierarchy never
+//!   reorder same-word stores), so a post-crash word holds the value of some
+//!   program-order prefix of its stores: value of store `j` means stores
+//!   `0..=j` reached persistence and `j+1..` did not.
+//! - **Epoch seals** — a store is *forced durable* once its seal commits:
+//!   the first clwb of its line strictly after it, followed by the first
+//!   persist barrier strictly after that clwb (exactly `depgraph`'s
+//!   `store_seals`, which this module calls on the emitted trace rather than
+//!   re-deriving the rule).
+//! - **Sync as publishing barrier** — a core cannot commit a sync until
+//!   every prior store of the region is durable (the arbiter certifies the
+//!   drain), so a committed sync forces all program-order-earlier stores.
+//! - **Crash cut** — a crash observes each core at some commit prefix
+//!   `0..k`. Stores beyond the cut never executed; stores inside the cut are
+//!   individually optional *except* those forced by a committed seal or
+//!   sync, which (with per-location order) raise that word's floor.
+//!
+//! Litmus programs contain no loads, so cores interact only through the
+//! single-writer-per-word footprint: the joint allowed-state set is the
+//! product of per-core allowed sets, and membership is checked per core.
+
+use crate::generator::{store_value, LitmusOp, LitmusTest};
+use ppa_isa::depgraph;
+use std::collections::{BTreeSet, HashMap};
+
+/// The set of post-crash memory states the model allows for one test.
+#[derive(Debug, Clone)]
+pub struct AllowedStates {
+    /// Total words in the test (state vectors use this length).
+    pub words: usize,
+    /// Per core: the words it stores to, in ascending order.
+    pub core_words: Vec<Vec<usize>>,
+    /// Per core: allowed value tuples over `core_words[c]`, as the union
+    /// over all crash cuts of the per-cut value products.
+    pub core_states: Vec<BTreeSet<Vec<u64>>>,
+}
+
+impl AllowedStates {
+    /// Number of joint allowed states (product of per-core set sizes;
+    /// words written by nobody contribute exactly one choice: zero).
+    pub fn count(&self) -> u64 {
+        self.core_states
+            .iter()
+            .map(|s| s.len() as u64)
+            .fold(1u64, |a, b| a.saturating_mul(b))
+    }
+
+    /// Does the model admit this joint state (one value per word)?
+    pub fn admits(&self, state: &[u64]) -> bool {
+        if state.len() != self.words {
+            return false;
+        }
+        let mut owned = vec![false; self.words];
+        for (c, words) in self.core_words.iter().enumerate() {
+            for &w in words {
+                owned[w] = true;
+            }
+            let tuple: Vec<u64> = words.iter().map(|&w| state[w]).collect();
+            if !self.core_states[c].contains(&tuple) {
+                return false;
+            }
+        }
+        // Words no core stores to must still be zero after any crash.
+        state
+            .iter()
+            .zip(owned)
+            .all(|(&v, is_owned)| is_owned || v == 0)
+    }
+}
+
+/// Enumerate the allowed post-crash states for a litmus test.
+pub fn allowed_states(test: &LitmusTest) -> AllowedStates {
+    let words = test.words();
+    let (traces, op_pos) = test.traces();
+    let mut core_words = Vec::with_capacity(test.cores.len());
+    let mut core_states = Vec::with_capacity(test.cores.len());
+
+    for (c, ops) in test.cores.iter().enumerate() {
+        // Map trace position -> litmus op index for this core.
+        let pos_to_op: HashMap<usize, usize> =
+            op_pos[c].iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+        // Stores per word, in program order: (op index, value).
+        let mut stores: HashMap<usize, Vec<(usize, u64)>> = HashMap::new();
+        let mut rank: HashMap<usize, usize> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if let LitmusOp::Store(w) = op {
+                let w = *w as usize;
+                let k = rank.entry(w).or_insert(0);
+                stores.entry(w).or_default().push((i, store_value(w, *k)));
+                *k += 1;
+            }
+        }
+
+        // Seal table from the emitted trace (the litmus model deliberately
+        // reuses depgraph's rule rather than restating it): for each store
+        // op index, the op index of the barrier that seals it, if any.
+        let mut seal_barrier: HashMap<usize, usize> = HashMap::new();
+        for seal in depgraph::store_seals(&traces[c]) {
+            if let (Some(&s), Some(bpos)) = (pos_to_op.get(&seal.pos), seal.barrier_pos) {
+                if let Some(&b) = pos_to_op.get(&bpos) {
+                    seal_barrier.insert(s, b);
+                }
+            }
+        }
+
+        let syncs: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, LitmusOp::Sync))
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut my_words: Vec<usize> = stores.keys().copied().collect();
+        my_words.sort_unstable();
+
+        // Union over all crash cuts k (ops 0..k committed) of the product
+        // over this core's words of each word's allowed value list.
+        let mut states: BTreeSet<Vec<u64>> = BTreeSet::new();
+        for k in 0..=ops.len() {
+            let mut per_word: Vec<Vec<u64>> = Vec::with_capacity(my_words.len());
+            for &w in &my_words {
+                let ws = &stores[&w];
+                let visible: Vec<&(usize, u64)> = ws.iter().filter(|(i, _)| *i < k).collect();
+                // Floor: latest visible store forced durable at this cut —
+                // sealed with a committed barrier, or published by a
+                // committed sync after it.
+                let mut floor: Option<usize> = None;
+                for (idx, (i, _)) in visible.iter().enumerate() {
+                    let sealed = seal_barrier.get(i).map(|&b| b < k).unwrap_or(false);
+                    let published = syncs.iter().any(|&s| *i < s && s < k);
+                    if sealed || published {
+                        floor = Some(idx);
+                    }
+                }
+                let mut vals: Vec<u64> = Vec::new();
+                if floor.is_none() {
+                    vals.push(0);
+                }
+                let lo = floor.unwrap_or(0);
+                vals.extend(visible[lo..].iter().map(|(_, v)| *v));
+                per_word.push(vals);
+            }
+            // Cartesian product of per-word choices for this cut.
+            let mut acc: Vec<Vec<u64>> = vec![Vec::new()];
+            for vals in &per_word {
+                let mut next = Vec::with_capacity(acc.len() * vals.len());
+                for prefix in &acc {
+                    for &v in vals {
+                        let mut s = prefix.clone();
+                        s.push(v);
+                        next.push(s);
+                    }
+                }
+                acc = next;
+            }
+            states.extend(acc);
+        }
+        core_words.push(my_words);
+        core_states.push(states);
+    }
+
+    AllowedStates {
+        words,
+        core_words,
+        core_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::LitmusTest;
+
+    fn t(cores: Vec<Vec<LitmusOp>>) -> LitmusTest {
+        LitmusTest::from_cores(cores)
+    }
+
+    #[test]
+    fn single_unsealed_store_allows_lost_or_durable() {
+        let m = allowed_states(&t(vec![
+            vec![LitmusOp::Store(0), LitmusOp::Store(0)],
+            vec![LitmusOp::Sync, LitmusOp::SFence],
+        ]));
+        // One core, one word, two stores: {0, v1, v2}.
+        assert_eq!(m.count(), 3);
+        assert!(m.admits(&[0]));
+        assert!(m.admits(&[store_value(0, 0)]));
+        assert!(m.admits(&[store_value(0, 1)]));
+        assert!(!m.admits(&[999]));
+    }
+
+    #[test]
+    fn two_words_one_core_allow_px86_reordering() {
+        // st w0; st w1 with no seals: Px86 allows w1 durable while w0 lost.
+        let m = allowed_states(&t(vec![
+            vec![LitmusOp::Store(0), LitmusOp::Store(1)],
+            vec![LitmusOp::Sync],
+        ]));
+        let v0 = store_value(0, 0);
+        let v1 = store_value(1, 0);
+        assert_eq!(m.count(), 4);
+        assert!(m.admits(&[0, 0]));
+        assert!(m.admits(&[v0, 0]));
+        assert!(m.admits(&[v0, v1]));
+        assert!(m.admits(&[0, v1]), "non-prefix state must be model-allowed");
+    }
+
+    #[test]
+    fn a_committed_seal_raises_the_floor() {
+        // st w0; clwb w0; sfence; st w1 — once the sfence commits (any cut
+        // past it), w0 can no longer be 0.
+        let m = allowed_states(&t(vec![
+            vec![
+                LitmusOp::Store(0),
+                LitmusOp::Clwb(0),
+                LitmusOp::SFence,
+                LitmusOp::Store(1),
+            ],
+            vec![LitmusOp::Sync],
+        ]));
+        let v0 = store_value(0, 0);
+        let v1 = store_value(1, 0);
+        assert!(m.admits(&[0, 0]), "crash before the sfence commits");
+        assert!(m.admits(&[v0, 0]));
+        assert!(m.admits(&[v0, v1]));
+        assert!(
+            !m.admits(&[0, v1]),
+            "w1's store only exists at cuts where the seal already forced w0"
+        );
+    }
+
+    #[test]
+    fn a_committed_sync_publishes_prior_stores() {
+        // st w0; sync; st w1 — at any cut past the sync, w0 is durable.
+        let m = allowed_states(&t(vec![
+            vec![LitmusOp::Store(0), LitmusOp::Sync, LitmusOp::Store(1)],
+            vec![LitmusOp::SFence],
+        ]));
+        let v0 = store_value(0, 0);
+        let v1 = store_value(1, 0);
+        assert!(m.admits(&[0, 0]));
+        assert!(m.admits(&[v0, v1]));
+        assert!(!m.admits(&[0, v1]), "sync is a publishing barrier");
+    }
+
+    #[test]
+    fn cores_are_independent_products() {
+        let m = allowed_states(&t(vec![vec![LitmusOp::Store(0)], vec![LitmusOp::Store(1)]]));
+        // {0,v} × {0,v} = 4 joint states.
+        assert_eq!(m.count(), 4);
+        assert!(m.admits(&[store_value(0, 0), 0]));
+        assert!(m.admits(&[0, store_value(1, 0)]));
+    }
+}

@@ -1,0 +1,82 @@
+//! Conformance-engine integration tests: the pinned clean batch is green,
+//! the waiver table is exercised, and injected machine/runner bugs are
+//! flagged as machine-unsound by a named test.
+
+use ppa_litmus::generator::{self, GenConfig};
+use ppa_litmus::run::{run_batch_local, run_test, RunConfig, RunnerFault};
+use ppa_smp::ArbiterFault;
+
+#[test]
+fn pinned_clean_batch_is_conformant_and_exercises_the_waiver() {
+    let tests = generator::generate(&GenConfig { seed: 1, tests: 64 });
+    let rows = run_batch_local(&tests, &RunConfig::default());
+    for r in &rows {
+        assert!(r.passed(), "{} machine-unsound: {:?}", r.name, r.unsound);
+        assert!(r.reached >= 1 && r.reached <= r.allowed);
+        assert!(r.torn > 0, "{} never ran the tearing probe", r.name);
+    }
+    let exercised = rows
+        .iter()
+        .filter(|r| r.exercised.iter().any(|e| e == "ppa-prefix-strength"))
+        .count();
+    assert!(
+        exercised > rows.len() / 2,
+        "prefix-strength waiver exercised by only {exercised}/{} tests",
+        rows.len()
+    );
+}
+
+#[test]
+fn a_biased_arbiter_port_is_flagged_machine_unsound() {
+    let cfg = RunConfig {
+        tear_stride: 7,
+        fault: Some(RunnerFault::Arbiter(ArbiterFault::BiasedPort)),
+    };
+    let test = generator::contention(8);
+    let row = run_test(&test, &cfg);
+    assert!(
+        !row.passed(),
+        "BiasedPort went undetected on {} (reached={}/{})",
+        row.name,
+        row.reached,
+        row.allowed
+    );
+    assert!(
+        row.unsound.iter().any(|d| d.contains("validator")),
+        "expected an arbiter validator finding, got {:?}",
+        row.unsound
+    );
+}
+
+#[test]
+fn a_dropped_replay_entry_is_flagged_machine_unsound() {
+    let cfg = RunConfig {
+        tear_stride: 7,
+        fault: Some(RunnerFault::DropReplayEntry),
+    };
+    let test = generator::sealed_pair();
+    let row = run_test(&test, &cfg);
+    assert!(
+        !row.passed(),
+        "DropReplayEntry went undetected on {} (reached={}/{})",
+        row.name,
+        row.reached,
+        row.allowed
+    );
+    assert!(
+        row.unsound.iter().any(|d| d.contains("outside the model")),
+        "expected a reachable-outside-model finding, got {:?}",
+        row.unsound
+    );
+}
+
+#[test]
+fn clean_contention_and_sealed_probes_pass() {
+    // The fault probes above must owe their failures to the fault, not to
+    // the handcrafted tests themselves.
+    let cfg = RunConfig::default();
+    for test in [generator::contention(8), generator::sealed_pair()] {
+        let row = run_test(&test, &cfg);
+        assert!(row.passed(), "{} unsound: {:?}", row.name, row.unsound);
+    }
+}

@@ -1,15 +1,19 @@
-//! Static single-writer-per-word race detector for shared multi-core
-//! traces.
+//! Static conflict-aware race detector for shared multi-core traces.
 //!
 //! The §6 multi-core recovery story rests on a DRF discipline the smp
-//! oracle only *assumes*: every shared 8-byte word has exactly one writer
-//! thread, and cross-thread reads are separated from the writes they
-//! observe by synchronisation micro-ops. This module proves the contract
-//! statically over the per-thread traces (e.g. a
+//! oracle only *assumes*: conflicting accesses to a shared 8-byte word are
+//! ordered by synchronisation, and cross-thread reads are separated from
+//! the writes they observe by synchronisation micro-ops. This module
+//! proves the contract statically over the per-thread traces (e.g. a
 //! [`ppa_workloads::shared::SharedTraceSet`]):
 //!
-//! * [`RaceRule::WriteWriteRace`] — two threads store to the same word.
-//!   The union of per-core committed-store prefixes is then no longer
+//! * [`RaceRule::WriteWriteRace`] — two threads store to the same word
+//!   *without* sync ordering. Writers whose stores to the word are
+//!   sync-bracketed in their own thread (a synchronisation micro-op before
+//!   the first store **and** after the last — the lock discipline) are
+//!   ordered by those syncs and do not race; any unbracketed side makes
+//!   the pair a conflict. An unordered write-write conflict means the
+//!   union of per-core committed-store prefixes is no longer
 //!   conflict-free, so the recovered image depends on replay order. This
 //!   is exactly the condition under which the dynamic
 //!   [`crate::golden::GoldenMemory::from_thread_prefixes`] oracle fails,
@@ -34,7 +38,8 @@ use std::fmt;
 /// Named race-detector rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RaceRule {
-    /// Two threads store to the same 8-byte word.
+    /// Two threads store to the same 8-byte word without sync ordering on
+    /// both sides.
     WriteWriteRace,
     /// A cross-thread read with no synchronisation discipline on either
     /// side.
@@ -109,10 +114,13 @@ impl fmt::Display for RaceDiagnostic {
 pub fn detect_races(traces: &[Trace]) -> Vec<RaceDiagnostic> {
     let mut out = Vec::new();
     // First pass: word ownership (first writer wins), per-thread sync
-    // positions, and write-write conflicts.
+    // positions, per-(word, thread) first/last store positions, and
+    // write-write conflict candidates in scan order.
     let mut owner: HashMap<u64, (usize, usize)> = HashMap::new(); // word -> (tid, first store pos)
     let mut sync_positions: Vec<Vec<usize>> = vec![Vec::new(); traces.len()];
+    let mut stores: HashMap<(u64, usize), (usize, usize)> = HashMap::new(); // (word, tid) -> (first, last)
     let mut ww_seen: HashSet<(u64, usize)> = HashSet::new();
+    let mut candidates: Vec<RaceDiagnostic> = Vec::new();
     for (tid, t) in traces.iter().enumerate() {
         for (pos, u) in t.iter().enumerate() {
             match u.kind {
@@ -121,13 +129,17 @@ pub fn detect_races(traces: &[Trace]) -> Vec<RaceDiagnostic> {
                         Some(m) => m.addr & !7,
                         None => continue,
                     };
+                    stores
+                        .entry((word, tid))
+                        .and_modify(|(_, last)| *last = pos)
+                        .or_insert((pos, pos));
                     match owner.get(&word) {
                         None => {
                             owner.insert(word, (tid, pos));
                         }
                         Some(&(owner_tid, owner_pos)) if owner_tid != tid => {
                             if ww_seen.insert((word, tid)) {
-                                out.push(RaceDiagnostic {
+                                candidates.push(RaceDiagnostic {
                                     rule: RaceRule::WriteWriteRace,
                                     word,
                                     writer_tid: owner_tid,
@@ -135,7 +147,7 @@ pub fn detect_races(traces: &[Trace]) -> Vec<RaceDiagnostic> {
                                     other_tid: tid,
                                     other_pos: pos,
                                     message: format!(
-                                        "two threads write word {word:#x}; the union of per-core store prefixes is no longer conflict-free, so the recovered image depends on replay order"
+                                        "two threads write word {word:#x} without sync ordering; the union of per-core store prefixes is no longer conflict-free, so the recovered image depends on replay order"
                                     ),
                                 });
                             }
@@ -146,6 +158,24 @@ pub fn detect_races(traces: &[Trace]) -> Vec<RaceDiagnostic> {
                 UopKind::Sync(_) => sync_positions[tid].push(pos),
                 _ => {}
             }
+        }
+    }
+
+    // Conflict-aware filter: a second writer does not race when BOTH
+    // writers' stores to the word are sync-bracketed in their own thread
+    // (a sync before the first store and after the last — the lock
+    // discipline that orders the conflicting sections). Any unbracketed
+    // side leaves the pair unordered and the candidate stands.
+    let bracketed = |tid: usize, word: u64| -> bool {
+        let Some(&(first, last)) = stores.get(&(word, tid)) else {
+            return false;
+        };
+        let syncs = &sync_positions[tid];
+        syncs.iter().any(|&s| s < first) && syncs.iter().any(|&s| s > last)
+    };
+    for cand in candidates {
+        if !(bracketed(cand.writer_tid, cand.word) && bracketed(cand.other_tid, cand.word)) {
+            out.push(cand);
         }
     }
 
@@ -219,6 +249,82 @@ pub fn inject_second_writer(traces: &[Trace], victim_tid: usize) -> (Vec<Trace>,
     );
     out[victim_tid] = Trace::from_uops(format!("{}+second-writer", victim.name()), uops);
     (out, word)
+}
+
+/// A hand-built lock-disciplined trace set: two threads store the *same*
+/// word, each inside a sync bracket (acquire … stores … release). The
+/// brackets order the conflicting sections, so the conflict-aware rule
+/// must accept the set — and rejecting either bracket
+/// ([`strip_acquire`]/[`strip_release`]) must re-raise the race.
+pub fn lock_disciplined_set() -> Vec<Trace> {
+    use ppa_isa::{ArchReg, SyncKind, TraceBuilder};
+    let word = 0x5000_0000_0000u64;
+    let data = ArchReg::int(7);
+    (0..2)
+        .map(|tid| {
+            let mut b = TraceBuilder::new(format!("locked-writer-{tid}"));
+            b.nop();
+            b.sync(SyncKind::LockAcquire);
+            b.alu(data, &[]);
+            b.store(data, word, 100 + tid);
+            b.alu(data, &[]);
+            b.store(data, word, 200 + tid);
+            b.sync(SyncKind::LockRelease);
+            b.nop();
+            b.build()
+        })
+        .collect()
+}
+
+/// Mutation helper: replaces thread `tid`'s *first* synchronisation
+/// micro-op (the acquire) with a no-op, unbracketing its stores on the
+/// leading side.
+///
+/// # Panics
+///
+/// Panics if `tid` is out of range or has no sync micro-op.
+pub fn strip_acquire(traces: &[Trace], tid: usize) -> Vec<Trace> {
+    strip_one_sync(traces, tid, false)
+}
+
+/// Mutation helper: replaces thread `tid`'s *last* synchronisation
+/// micro-op (the release) with a no-op, unbracketing its stores on the
+/// trailing side.
+///
+/// # Panics
+///
+/// Panics if `tid` is out of range or has no sync micro-op.
+pub fn strip_release(traces: &[Trace], tid: usize) -> Vec<Trace> {
+    strip_one_sync(traces, tid, true)
+}
+
+fn strip_one_sync(traces: &[Trace], tid: usize, last: bool) -> Vec<Trace> {
+    let sync_at: Vec<usize> = traces[tid]
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.kind.is_sync_boundary())
+        .map(|(pos, _)| pos)
+        .collect();
+    let target = if last {
+        *sync_at.last().expect("thread has a sync to strip")
+    } else {
+        *sync_at.first().expect("thread has a sync to strip")
+    };
+    let mut out: Vec<Trace> = traces.to_vec();
+    let uops: Vec<ppa_isa::Uop> = traces[tid]
+        .iter()
+        .enumerate()
+        .map(|(pos, u)| {
+            if pos == target {
+                ppa_isa::Uop::new(u.pc, UopKind::Nop)
+            } else {
+                *u
+            }
+        })
+        .collect();
+    let which = if last { "release" } else { "acquire" };
+    out[tid] = Trace::from_uops(format!("{}+no-{which}", traces[tid].name()), uops);
+    out
 }
 
 /// Mutation helper: replaces every synchronisation micro-op of thread
@@ -313,6 +419,36 @@ mod tests {
             .filter(|d| d.rule == RaceRule::WriteWriteRace && d.word == word && d.other_tid == 1)
             .count();
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn sync_bracketed_conflicting_writers_do_not_race() {
+        // The conflict-aware relaxation: both writers hold the lock
+        // discipline (sync before first store, sync after last), so the
+        // conflicting sections are ordered and no race fires.
+        let set = lock_disciplined_set();
+        let diags = detect_races(&set);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn an_unbracketed_side_still_races() {
+        // Stripping either bracket on either side re-raises the race:
+        // the pair is no longer ordered by synchronisation.
+        let set = lock_disciplined_set();
+        for mutated in [
+            strip_release(&set, 1),
+            strip_acquire(&set, 1),
+            strip_release(&set, 0),
+            strip_acquire(&set, 0),
+        ] {
+            let diags = detect_races(&mutated);
+            assert!(
+                diags.iter().any(|d| d.rule == RaceRule::WriteWriteRace),
+                "stripped set {:?} stayed clean",
+                mutated[0].name()
+            );
+        }
     }
 
     #[test]

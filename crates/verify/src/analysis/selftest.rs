@@ -9,7 +9,10 @@
 //! allowed set fires (a rule that fires on the wrong defect is as
 //! untrustworthy as one that never fires).
 
-use crate::analysis::race::{detect_races, inject_second_writer, strip_syncs};
+use crate::analysis::race::{
+    detect_races, inject_second_writer, lock_disciplined_set, strip_acquire, strip_release,
+    strip_syncs,
+};
 use crate::lint::{lint_trace, LintProfile};
 use ppa_isa::transform::{AutoPersistPass, TracePass};
 use ppa_isa::{ArchReg, MemRef, SyncKind, Trace, TraceBuilder, Uop, UopKind};
@@ -73,6 +76,16 @@ pub fn cases() -> Vec<AnalysisCase> {
         AnalysisCase {
             defect: "strip-reader-syncs",
             expected: &["unsynced-write-read"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "strip-writer-acquire",
+            expected: &["write-write-race"],
+            allowed: &[],
+        },
+        AnalysisCase {
+            defect: "strip-writer-release",
+            expected: &["write-write-race"],
             allowed: &[],
         },
     ]
@@ -156,6 +169,11 @@ pub fn run_case(case: AnalysisCase) -> AnalysisReport {
                 .export(600, 1, 2);
             race_rule_names(&strip_syncs(&set.traces, 1))
         }
+        // The conflict-aware relaxation's own witnesses: a lock-disciplined
+        // two-writer set is clean, and removing either bracket on one side
+        // must re-raise the write-write race.
+        "strip-writer-acquire" => race_rule_names(&strip_acquire(&lock_disciplined_set(), 0)),
+        "strip-writer-release" => race_rule_names(&strip_release(&lock_disciplined_set(), 1)),
         _ => {
             let clean = clean_sealed_trace();
             let clwbs = positions(&clean, UopKind::Clwb);
@@ -226,6 +244,7 @@ mod tests {
             .unwrap()
             .export(600, 1, 2);
         assert!(race_rule_names(&set.traces).is_empty());
+        assert!(race_rule_names(&lock_disciplined_set()).is_empty());
     }
 
     #[test]

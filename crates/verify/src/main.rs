@@ -29,6 +29,9 @@ struct Options {
     points: usize,
     cores: usize,
     grid: Option<String>,
+    /// `smp --fail-points all`: sweep every cycle of the run as a failure
+    /// point instead of `--points` randomized injections.
+    fail_points_all: bool,
     /// `lint --json`: one JSON object per diagnostic instead of the
     /// human-readable table.
     json: bool,
@@ -53,6 +56,7 @@ impl Default for Options {
             points,
             cores: 2,
             grid: None,
+            fail_points_all: false,
             json: false,
             metrics_json: None,
         }
@@ -78,6 +82,8 @@ fn usage() -> ! {
     eprintln!(
         "  --cores N    cores for the `smp` oracle machine and `analyze` race threads (default 2)"
     );
+    eprintln!("  --fail-points MODE  `smp` only: random (default) draws --points injections;");
+    eprintln!("               all sweeps every cycle of the run as a failure point");
     eprintln!("  --json       `lint` only: one JSON object per diagnostic, no table");
     eprintln!("  --jobs N     worker threads for the fan-out (0 = auto, default 1 = serial)");
     eprintln!("  --grid MODE  distribute the `oracle` grid: off (default), loopback:N,");
@@ -112,6 +118,11 @@ fn parse_args() -> (String, Options) {
             "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
             "--points" => opts.points = value.parse().unwrap_or_else(|_| usage()),
             "--cores" => opts.cores = value.parse().unwrap_or_else(|_| usage()),
+            "--fail-points" => match value.as_str() {
+                "all" => opts.fail_points_all = true,
+                "random" => opts.fail_points_all = false,
+                _ => usage(),
+            },
             "--jobs" => ppa_pool::set_jobs(value.parse().unwrap_or_else(|_| usage())),
             "--grid" => opts.grid = Some(value),
             "--metrics-json" => opts.metrics_json = Some((value.into(), false)),
@@ -432,6 +443,9 @@ fn cmd_oracle(opts: &Options, grid_handle: Option<&grid::GridHandle>) -> bool {
 /// `ppa-verify smp`: whole-machine crash oracle over the shared-memory
 /// multi-core machine, plus the persist-arbiter mutation self-tests.
 fn cmd_smp(opts: &Options) -> bool {
+    if opts.fail_points_all {
+        return cmd_smp_exhaustive(opts);
+    }
     println!(
         "== smp: {} injections x {} shared workloads, cores={} len={} seed={}",
         opts.points,
@@ -475,6 +489,73 @@ fn cmd_smp(opts: &Options) -> bool {
         outcomes.iter().filter(|o| o.passed()).count(),
         outcomes.len(),
         mid_flush
+    );
+    for report in smp_oracle::run_arbiter_mutations(opts.len.min(1_500), opts.seed) {
+        if report.detected() {
+            println!(
+                "  ok   arbiter {:?} detected ({} violations): {:?}",
+                report.fault,
+                report.violations.len(),
+                report.fired_kinds()
+            );
+        } else {
+            ok = false;
+            println!(
+                "  FAIL arbiter {:?} NOT detected; kinds that fired: {:?}",
+                report.fault,
+                report.fired_kinds()
+            );
+        }
+    }
+    ok
+}
+
+/// `ppa-verify smp --fail-points all`: the exhaustive sweep — every cycle
+/// of each shared workload's run is a failure point.
+fn cmd_smp_exhaustive(opts: &Options) -> bool {
+    println!(
+        "== smp: exhaustive fail points x {} shared workloads, cores={} len={} seed={}",
+        ppa_workloads::shared::all().len(),
+        opts.cores,
+        opts.len,
+        opts.seed
+    );
+    let sweeps = smp_oracle::run_smp_suite_exhaustive(opts.cores, opts.len, opts.seed);
+    let mut ok = true;
+    for s in &sweeps {
+        let resumed = s.resume_points.iter().filter(|o| o.passed()).count();
+        if s.passed() {
+            println!(
+                "  ok   {:<10} cells={:<7} torn={:<6} resume-points={}/{}",
+                s.app,
+                s.cells,
+                s.torn_cells,
+                resumed,
+                s.resume_points.len()
+            );
+        } else {
+            ok = false;
+            println!(
+                "  FAIL {:<10} cells={} torn={} torn-accepted={} mismatch-cells={} resume-points={}/{}",
+                s.app,
+                s.cells,
+                s.torn_cells,
+                s.torn_accepted,
+                s.mismatch_cells,
+                resumed,
+                s.resume_points.len()
+            );
+            if let Some(f) = &s.first_failure {
+                println!("       first: {f}");
+            }
+        }
+    }
+    println!(
+        "  {} / {} exhaustive sweeps passed ({} cells, {} torn)",
+        sweeps.iter().filter(|s| s.passed()).count(),
+        sweeps.len(),
+        sweeps.iter().map(|s| s.cells).sum::<u64>(),
+        sweeps.iter().map(|s| s.torn_cells).sum::<u64>()
     );
     for report in smp_oracle::run_arbiter_mutations(opts.len.min(1_500), opts.seed) {
         if report.detected() {

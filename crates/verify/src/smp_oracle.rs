@@ -216,6 +216,169 @@ pub fn run_smp_suite(
     .collect()
 }
 
+/// Outcome of the exhaustive failure-point sweep for one shared workload
+/// (`--fail-points all`): a single forward pass that examines **every
+/// cycle** as a failure point — checkpoint round-trip through the
+/// serialized stream, CSQ replay into a clone of the live NVM image
+/// (power failure never touches NVM, so the clone is the post-crash
+/// image), golden-prefix diff — tearing the controller flush on a strided
+/// subset of cells, plus a few full recover-and-resume points sampled
+/// from the run for phase-4 coverage.
+#[derive(Debug)]
+pub struct SmpSweepOutcome {
+    /// Shared workload name.
+    pub app: &'static str,
+    /// Number of cores (= threads).
+    pub cores: usize,
+    /// Trace generation seed.
+    pub seed: u64,
+    /// Failure points examined (one per cycle of the run).
+    pub cells: u64,
+    /// Cells that additionally ran the mid-flush tearing probe.
+    pub torn_cells: u64,
+    /// Torn prefixes recovery failed to reject (must be 0).
+    pub torn_accepted: u64,
+    /// Cells whose recovered image diverged from the golden prefix union
+    /// (must be 0).
+    pub mismatch_cells: u64,
+    /// First failing cell, for diagnosis.
+    pub first_failure: Option<String>,
+    /// Sampled full recover-and-resume injections (phase 4 of
+    /// [`run_smp_point`]).
+    pub resume_points: Vec<SmpOracleOutcome>,
+}
+
+impl SmpSweepOutcome {
+    /// Whether every cell and every sampled resume point passed.
+    pub fn passed(&self) -> bool {
+        self.torn_accepted == 0
+            && self.mismatch_cells == 0
+            && self.resume_points.iter().all(|o| o.passed())
+    }
+}
+
+/// Runs the exhaustive failure-point sweep for one shared workload. One
+/// forward execution; every cycle is a failure point. Deterministic in
+/// (app, cores, len, seed) — the tearing stride and interrupts are
+/// cell-derived, not drawn from an RNG.
+pub fn run_smp_app_exhaustive(
+    app: &SharedApp,
+    cores: usize,
+    len: usize,
+    seed: u64,
+) -> SmpSweepOutcome {
+    let traces = app.generate_threads(len, seed, cores);
+    let cfg = SystemConfig::ppa().with_threads(cores);
+    let mut sys = SmpSystem::new(cfg, traces.clone());
+    let total_uops = (len * cores) as u64;
+    let limit = 1_000_000 + total_uops * 2_000;
+
+    let mut cells = 0u64;
+    let mut torn_cells = 0u64;
+    let mut torn_accepted = 0u64;
+    let mut mismatch_cells = 0u64;
+    let mut first_failure: Option<String> = None;
+    let fail = |slot: &mut Option<String>, count: &mut u64, msg: String| {
+        *count += 1;
+        slot.get_or_insert(msg);
+    };
+
+    loop {
+        let cycle = sys.now();
+        cells += 1;
+        let ckpt = sys.jit_checkpoint();
+        let stream = ckpt.serialize();
+
+        // Tearing probe every third cell, at a cell-derived interrupt.
+        if cells.is_multiple_of(3) && !stream.is_empty() {
+            torn_cells += 1;
+            let mut fsm = CheckpointController::new();
+            fsm.power_fail(stream.len() as u64 * 8);
+            let interrupt = (cells * 13) % stream.len() as u64;
+            for _ in 0..interrupt {
+                if !fsm.step() {
+                    break;
+                }
+            }
+            let words = fsm.words_done().min(stream.len() as u64 - 1);
+            if MachineCheckpoint::deserialize(&stream[..words as usize]).is_some() {
+                fail(
+                    &mut first_failure,
+                    &mut torn_accepted,
+                    format!("cycle {cycle}: torn prefix ({words} words) accepted"),
+                );
+            }
+        }
+
+        // Round-trip recovery against the golden prefix union.
+        match MachineCheckpoint::deserialize(&stream) {
+            None => fail(
+                &mut first_failure,
+                &mut mismatch_cells,
+                format!("cycle {cycle}: intact stream failed to deserialize"),
+            ),
+            Some(recovered) => {
+                let committed_per_core: Vec<u64> =
+                    recovered.images.iter().map(|i| i.committed).collect();
+                let golden = GoldenMemory::from_thread_prefixes(&traces, &committed_per_core)
+                    .expect("shared workloads are single-writer per word");
+                let mut nvm = sys.mem().nvm_image().clone();
+                for image in &recovered.images {
+                    ppa_core::replay_stores(image, &mut nvm);
+                }
+                let diffs = golden.diff_nvm(&nvm);
+                if !diffs.is_empty() {
+                    fail(
+                        &mut first_failure,
+                        &mut mismatch_cells,
+                        format!(
+                            "cycle {cycle}: {} golden mismatches, first {:?}",
+                            diffs.len(),
+                            diffs[0]
+                        ),
+                    );
+                }
+            }
+        }
+
+        if sys.is_finished() {
+            break;
+        }
+        assert!(cycle < limit, "{} wedged the machine", app.name);
+        sys.step();
+    }
+
+    // Phase-4 coverage: a few full recover-and-resume injections sampled
+    // across the run (one of them tearing the flush mid-stream).
+    let end = sys.now().max(5);
+    let resume_points = (1..=4u64)
+        .map(|i| {
+            let fail_cycle = (end * i / 5).max(1);
+            let mid_flush = (i == 3).then_some(40);
+            run_smp_point(app, cores, len, seed, fail_cycle, mid_flush)
+        })
+        .collect();
+
+    SmpSweepOutcome {
+        app: app.name,
+        cores,
+        seed,
+        cells,
+        torn_cells,
+        torn_accepted,
+        mismatch_cells,
+        first_failure,
+        resume_points,
+    }
+}
+
+/// Runs the exhaustive sweep across all shared workloads.
+pub fn run_smp_suite_exhaustive(cores: usize, len: usize, seed: u64) -> Vec<SmpSweepOutcome> {
+    ppa_pool::par_map_ordered(shared::all(), move |app| {
+        run_smp_app_exhaustive(&app, cores, len, seed)
+    })
+}
+
 /// One arbiter mutation self-test: the machine ran with `fault` injected,
 /// and the validators reported `violations`.
 #[derive(Debug)]

@@ -58,6 +58,29 @@ fn seeded_sweep_recovers_consistently_on_every_shared_workload() {
 }
 
 #[test]
+fn exhaustive_sweep_is_clean_at_small_len() {
+    let outcomes = smp_oracle::run_smp_suite_exhaustive(2, 140, 1);
+    assert_eq!(outcomes.len(), shared::all().len());
+    for o in &outcomes {
+        assert!(
+            o.passed(),
+            "{}: torn_accepted={} mismatch_cells={} first={:?}",
+            o.app,
+            o.torn_accepted,
+            o.mismatch_cells,
+            o.first_failure
+        );
+        assert!(o.cells > 0, "{}: sweep visited no cycles", o.app);
+        assert!(o.torn_cells > 0, "{}: no cycle tore the flush", o.app);
+        assert!(
+            !o.resume_points.is_empty(),
+            "{}: no sampled resume points",
+            o.app
+        );
+    }
+}
+
+#[test]
 fn arbiter_mutations_are_all_detected() {
     for report in smp_oracle::run_arbiter_mutations(1_200, 1) {
         assert!(

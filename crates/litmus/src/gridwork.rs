@@ -87,7 +87,9 @@ fn decode_row(payload: &[u8]) -> Result<TestRow, String> {
     let mut lists: Vec<Vec<String>> = Vec::with_capacity(3);
     for _ in 0..3 {
         let n = r.u32().map_err(e)?;
-        let mut list = Vec::with_capacity(n as usize);
+        // No preallocation from the wire-supplied count: a corrupt length
+        // field must fail at the per-element reads, not OOM first.
+        let mut list = Vec::new();
         for _ in 0..n {
             list.push(r.str().map_err(e)?);
         }
@@ -119,10 +121,13 @@ pub fn execute(tag: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
     let mut r = ByteReader::new(payload);
     let tear_stride = r.u64().map_err(e)?;
     let n_cores = r.u32().map_err(e)?;
-    let mut cores = Vec::with_capacity(n_cores as usize);
+    // Counts come off the wire unvalidated; push without preallocating so
+    // a corrupt or truncated payload fails at the per-element reads
+    // instead of requesting a multi-gigabyte buffer up front.
+    let mut cores = Vec::new();
     for _ in 0..n_cores {
         let n_ops = r.u32().map_err(e)?;
-        let mut ops = Vec::with_capacity(n_ops as usize);
+        let mut ops = Vec::new();
         for _ in 0..n_ops {
             let code = r.u8().map_err(e)?;
             let w = r.u8().map_err(e)?;

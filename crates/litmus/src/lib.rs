@@ -51,6 +51,42 @@ impl DivergenceKind {
     }
 }
 
+/// The failure class of one machine-unsound detail. Machine-unsound
+/// waivers are scoped to exactly one class, so a waiver documenting (say)
+/// a known torn-prefix acceptance can never silently mask a model-state
+/// violation or a validator finding on the same test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsoundClass {
+    /// The machine exposed a post-crash state the model forbids.
+    ModelState,
+    /// Recovery accepted a torn checkpoint-flush prefix.
+    TornPrefix,
+    /// An intact checkpoint stream failed to deserialize.
+    Recovery,
+    /// A whole-machine validator (`SmpSystem::validate`) flagged a
+    /// violation.
+    Validator,
+}
+
+impl UnsoundClass {
+    /// Every class, in report order.
+    pub const ALL: [UnsoundClass; 4] = [
+        UnsoundClass::ModelState,
+        UnsoundClass::TornPrefix,
+        UnsoundClass::Recovery,
+        UnsoundClass::Validator,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsoundClass::ModelState => "model-state",
+            UnsoundClass::TornPrefix => "torn-prefix",
+            UnsoundClass::Recovery => "recovery",
+            UnsoundClass::Validator => "validator",
+        }
+    }
+}
+
 /// One documented deviation between the machine and the axiomatic model.
 #[derive(Debug, Clone, Copy)]
 pub struct Waiver {
@@ -59,6 +95,9 @@ pub struct Waiver {
     pub kind: DivergenceKind,
     /// Canonical test name this waiver applies to, or `"*"` for all tests.
     pub test: &'static str,
+    /// For machine-unsound waivers: the single failure class excused.
+    /// `None` for model-incomplete waivers (a coverage gap has no class).
+    pub class: Option<UnsoundClass>,
     /// Why the deviation is expected and acceptable.
     pub reason: &'static str,
 }
@@ -66,6 +105,15 @@ pub struct Waiver {
 impl Waiver {
     pub fn applies_to(&self, test_name: &str) -> bool {
         self.test == "*" || self.test == test_name
+    }
+
+    /// Whether this waiver excuses a machine-unsound detail of `class` on
+    /// `test_name`. A waiver with no class (or the wrong kind) excuses
+    /// nothing — one entry can never blanket-waive every failure class.
+    pub fn covers(&self, test_name: &str, class: UnsoundClass) -> bool {
+        self.kind == DivergenceKind::MachineUnsound
+            && self.class == Some(class)
+            && self.applies_to(test_name)
     }
 }
 
@@ -77,6 +125,7 @@ pub fn waivers() -> &'static [Waiver] {
         name: "ppa-prefix-strength",
         kind: DivergenceKind::ModelIncomplete,
         test: "*",
+        class: None,
         reason: "PPA recovery replays exactly each core's committed-store \
                  prefix (natural NVM drain + value-carrying CSQ), so \
                  Px86-allowed non-prefix states — a later store durable while \
@@ -102,6 +151,35 @@ mod tests {
         assert_eq!(w.name, "ppa-prefix-strength");
         assert_eq!(w.kind, DivergenceKind::ModelIncomplete);
         assert!(w.applies_to("lit[s0s1y.s2c2f]"));
+        // A model-incomplete waiver has no unsound class and therefore
+        // covers no machine-unsound detail of any class.
+        assert!(w.class.is_none());
+        for class in UnsoundClass::ALL {
+            assert!(!w.covers("lit[s0s1y.s2c2f]", class));
+        }
+    }
+
+    #[test]
+    fn machine_unsound_waivers_are_scoped_to_one_class() {
+        // A hypothetical machine-unsound waiver excuses exactly the class
+        // it names — never the other failure classes on the same test, and
+        // a wildcard test never widens the class scope.
+        let w = Waiver {
+            name: "hypothetical-torn-prefix-bug",
+            kind: DivergenceKind::MachineUnsound,
+            test: "*",
+            class: Some(UnsoundClass::TornPrefix),
+            reason: "self-test only",
+        };
+        assert!(w.covers("lit[s0s1y.f]", UnsoundClass::TornPrefix));
+        assert!(!w.covers("lit[s0s1y.f]", UnsoundClass::ModelState));
+        assert!(!w.covers("lit[s0s1y.f]", UnsoundClass::Validator));
+        assert!(!w.covers("lit[s0s1y.f]", UnsoundClass::Recovery));
+        // And a class-less machine-unsound entry is inert by construction.
+        let inert = Waiver { class: None, ..w };
+        for class in UnsoundClass::ALL {
+            assert!(!inert.covers("lit[s0s1y.f]", class));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::generator::{word_addr, LitmusTest};
 use crate::model::allowed_states;
-use crate::{waivers, DivergenceKind};
+use crate::{waivers, DivergenceKind, UnsoundClass};
 use ppa_core::{replay_stores, CheckpointController};
 use ppa_sim::SystemConfig;
 use ppa_smp::{ArbiterFault, MachineCheckpoint, SmpSystem};
@@ -106,15 +106,21 @@ pub fn run_test(test: &LitmusTest, cfg: &RunConfig) -> TestRow {
 
     let limit = 100_000 + total_uops * 2_000;
     let mut reached: BTreeSet<Vec<u64>> = BTreeSet::new();
-    let mut raw_unsound: Vec<String> = Vec::new();
-    let mut unsound_cells = 0u64;
+    // Unsound details carry their failure class so waivers can be scoped:
+    // a waiver for one class never masks the others. Details are capped
+    // per class; counts are exact.
+    let mut raw_unsound: Vec<(UnsoundClass, String)> = Vec::new();
+    let mut class_counts = [0u64; UnsoundClass::ALL.len()];
     let mut cells = 0u64;
     let mut torn = 0u64;
 
-    let record = |details: &mut Vec<String>, count: &mut u64, msg: String| {
-        *count += 1;
-        if details.len() < MAX_UNSOUND_DETAILS {
-            details.push(msg);
+    let record = |details: &mut Vec<(UnsoundClass, String)>,
+                  counts: &mut [u64; UnsoundClass::ALL.len()],
+                  class: UnsoundClass,
+                  msg: String| {
+        counts[class as usize] += 1;
+        if details.iter().filter(|(c, _)| *c == class).count() < MAX_UNSOUND_DETAILS {
+            details.push((class, msg));
         }
     };
 
@@ -141,7 +147,8 @@ pub fn run_test(test: &LitmusTest, cfg: &RunConfig) -> TestRow {
             if MachineCheckpoint::deserialize(&stream[..words as usize]).is_some() {
                 record(
                     &mut raw_unsound,
-                    &mut unsound_cells,
+                    &mut class_counts,
+                    UnsoundClass::TornPrefix,
                     format!(
                         "cycle {cycle}: torn checkpoint prefix ({words}/{} words) accepted",
                         stream.len()
@@ -154,7 +161,8 @@ pub fn run_test(test: &LitmusTest, cfg: &RunConfig) -> TestRow {
         match MachineCheckpoint::deserialize(&stream) {
             None => record(
                 &mut raw_unsound,
-                &mut unsound_cells,
+                &mut class_counts,
+                UnsoundClass::Recovery,
                 format!("cycle {cycle}: intact checkpoint stream failed to deserialize"),
             ),
             Some(mut recovered) => {
@@ -170,17 +178,23 @@ pub fn run_test(test: &LitmusTest, cfg: &RunConfig) -> TestRow {
                 let state: Vec<u64> = (0..model.words)
                     .map(|w| nvm.read(word_addr(w)).unwrap_or(0))
                     .collect();
-                if !model.admits(&state) {
+                // Only model-admitted states count toward coverage:
+                // `reached` must stay a subset of `allowed` so coverage
+                // can never exceed 100% on a failing run. Inadmissible
+                // states are reported as unsound instead.
+                if model.admits(&state) {
+                    reached.insert(state);
+                } else {
                     record(
                         &mut raw_unsound,
-                        &mut unsound_cells,
+                        &mut class_counts,
+                        UnsoundClass::ModelState,
                         format!(
                             "cycle {cycle}: reachable state {} is outside the model",
                             render_state(&state)
                         ),
                     );
                 }
-                reached.insert(state);
             }
         }
 
@@ -199,28 +213,39 @@ pub fn run_test(test: &LitmusTest, cfg: &RunConfig) -> TestRow {
     for v in sys.validate() {
         record(
             &mut raw_unsound,
-            &mut unsound_cells,
+            &mut class_counts,
+            UnsoundClass::Validator,
             format!("validator: {v}"),
         );
     }
 
-    // Apply the waiver table: machine-unsound waivers excuse unsound
-    // details; the model-incomplete waiver is exercised by a coverage gap.
+    // Apply the waiver table. Machine-unsound waivers are scoped per
+    // failure class: a waiver covering (test, class) excuses only that
+    // class's details, so a documented torn-prefix bug can never mask a
+    // model-state violation or validator finding on the same test. The
+    // model-incomplete waiver is exercised by a coverage gap instead.
     let mut unsound = Vec::new();
     let mut waived = Vec::new();
     let mut exercised = Vec::new();
-    let unsound_waiver = waivers()
-        .iter()
-        .find(|w| w.kind == DivergenceKind::MachineUnsound && w.applies_to(&test.name));
-    match unsound_waiver {
-        Some(w) if unsound_cells > 0 => {
-            exercised.push(w.name.to_string());
-            for detail in raw_unsound {
-                waived.push(format!("{}: {detail}", w.name));
-            }
-            unsound_cells = 0;
+    let mut unsound_cells = 0u64;
+    for class in UnsoundClass::ALL {
+        if class_counts[class as usize] == 0 {
+            continue;
         }
-        _ => unsound = raw_unsound,
+        match waivers().iter().find(|w| w.covers(&test.name, class)) {
+            Some(w) => {
+                if !exercised.iter().any(|e| e == w.name) {
+                    exercised.push(w.name.to_string());
+                }
+            }
+            None => unsound_cells += class_counts[class as usize],
+        }
+    }
+    for (class, detail) in raw_unsound {
+        match waivers().iter().find(|w| w.covers(&test.name, class)) {
+            Some(w) => waived.push(format!("{}: {detail}", w.name)),
+            None => unsound.push(detail),
+        }
     }
     let allowed = model.count();
     if (reached.len() as u64) < allowed {

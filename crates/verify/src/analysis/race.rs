@@ -9,10 +9,16 @@
 //!
 //! * [`RaceRule::WriteWriteRace`] — two threads store to the same word
 //!   *without* sync ordering. Writers whose stores to the word are
-//!   sync-bracketed in their own thread (a synchronisation micro-op before
-//!   the first store **and** after the last — the lock discipline) are
-//!   ordered by those syncs and do not race; any unbracketed side makes
-//!   the pair a conflict. An unordered write-write conflict means the
+//!   lock-bracketed in their own thread (a [`SyncKind::LockAcquire`]
+//!   before the first store **and** a [`SyncKind::LockRelease`] after the
+//!   last — the lock discipline) are mutually excluded by the lock and do
+//!   not race; any unbracketed side makes the pair a conflict. Fences and
+//!   bare RMWs do **not** count as brackets: a fence orders a thread's own
+//!   persists but provides no mutual exclusion, so two fence-bracketed
+//!   writers remain unordered. (The uop vocabulary carries no lock
+//!   operand, so all acquire/release pairs are assumed to name the same
+//!   lock — the one residual imprecision of the static rule.) An
+//!   unordered write-write conflict means the
 //!   union of per-core committed-store prefixes is no longer
 //!   conflict-free, so the recovered image depends on replay order. This
 //!   is exactly the condition under which the dynamic
@@ -31,7 +37,7 @@
 //! actionable-without-rerunning principle.
 
 use ppa_isa::Trace;
-use ppa_isa::UopKind;
+use ppa_isa::{SyncKind, UopKind};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -118,6 +124,8 @@ pub fn detect_races(traces: &[Trace]) -> Vec<RaceDiagnostic> {
     // write-write conflict candidates in scan order.
     let mut owner: HashMap<u64, (usize, usize)> = HashMap::new(); // word -> (tid, first store pos)
     let mut sync_positions: Vec<Vec<usize>> = vec![Vec::new(); traces.len()];
+    let mut acquires: Vec<Vec<usize>> = vec![Vec::new(); traces.len()];
+    let mut releases: Vec<Vec<usize>> = vec![Vec::new(); traces.len()];
     let mut stores: HashMap<(u64, usize), (usize, usize)> = HashMap::new(); // (word, tid) -> (first, last)
     let mut ww_seen: HashSet<(u64, usize)> = HashSet::new();
     let mut candidates: Vec<RaceDiagnostic> = Vec::new();
@@ -155,23 +163,34 @@ pub fn detect_races(traces: &[Trace]) -> Vec<RaceDiagnostic> {
                         Some(_) => {}
                     }
                 }
-                UopKind::Sync(_) => sync_positions[tid].push(pos),
+                UopKind::Sync(kind) => {
+                    sync_positions[tid].push(pos);
+                    match kind {
+                        SyncKind::LockAcquire => acquires[tid].push(pos),
+                        SyncKind::LockRelease => releases[tid].push(pos),
+                        // Fences/RMWs order persists but grant no mutual
+                        // exclusion; they never form a lock bracket.
+                        SyncKind::Fence | SyncKind::AtomicRmw => {}
+                    }
+                }
                 _ => {}
             }
         }
     }
 
     // Conflict-aware filter: a second writer does not race when BOTH
-    // writers' stores to the word are sync-bracketed in their own thread
-    // (a sync before the first store and after the last — the lock
-    // discipline that orders the conflicting sections). Any unbracketed
-    // side leaves the pair unordered and the candidate stands.
+    // writers' stores to the word are lock-bracketed in their own thread
+    // (a LockAcquire before the first store and a LockRelease after the
+    // last — the lock discipline whose mutual exclusion orders the
+    // conflicting sections). Fences are deliberately excluded: they order
+    // a thread's own persists but exclude nobody, so fence-bracketed
+    // writers stay candidates. Any unbracketed side leaves the pair
+    // unordered and the candidate stands.
     let bracketed = |tid: usize, word: u64| -> bool {
         let Some(&(first, last)) = stores.get(&(word, tid)) else {
             return false;
         };
-        let syncs = &sync_positions[tid];
-        syncs.iter().any(|&s| s < first) && syncs.iter().any(|&s| s > last)
+        acquires[tid].iter().any(|&s| s < first) && releases[tid].iter().any(|&s| s > last)
     };
     for cand in candidates {
         if !(bracketed(cand.writer_tid, cand.word) && bracketed(cand.other_tid, cand.word)) {
@@ -429,6 +448,34 @@ mod tests {
         let set = lock_disciplined_set();
         let diags = detect_races(&set);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn fence_bracketed_writers_still_race() {
+        // Fences order a thread's own persists but provide no mutual
+        // exclusion: two threads each doing fence;store;fence are still
+        // unordered writers, and the recovered image depends on replay
+        // order. Only a LockAcquire/LockRelease bracket may relax the rule.
+        use ppa_isa::{ArchReg, SyncKind, TraceBuilder};
+        let word = 0x5000_0000_0000u64;
+        for kind in [SyncKind::Fence, SyncKind::AtomicRmw] {
+            let set: Vec<Trace> = (0..2)
+                .map(|tid| {
+                    let mut b = TraceBuilder::new(format!("fenced-writer-{tid}"));
+                    b.sync(kind);
+                    b.store(ArchReg::int(7), word, 100 + tid);
+                    b.sync(kind);
+                    b.build()
+                })
+                .collect();
+            let diags = detect_races(&set);
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.rule == RaceRule::WriteWriteRace && d.word == word),
+                "{kind:?}-bracketed two-writer set wrongly declared race-free: {diags:?}"
+            );
+        }
     }
 
     #[test]

@@ -13,19 +13,20 @@
 //! fans per-app simulation out across the shared work-stealing pool and,
 //! for `all`, runs whole experiments concurrently. With `--grid` (or
 //! `PPA_GRID`) the fan-out crosses hosts instead: `loopback:N` spawns N
-//! in-process workers, `serve:HOST:PORT` waits for external
-//! `ppa-grid work` processes. Tables always print to stdout in paper
+//! in-process workers, `serve:HOST:PORT` submits to a running
+//! `ppa-serve` daemon (results come back from its content-addressed
+//! cache when available). Tables always print to stdout in paper
 //! order and are byte-identical at any job count and any grid
 //! configuration; all telemetry — timings, `--metrics` tables,
 //! `--metrics-json` / `--trace-out` files — goes to stderr or to the
 //! named files so stdout stays deterministic.
 
 use ppa_bench::{experiments, gridwork};
-use ppa_grid::{loopback, Coordinator, GridConfig, GridMode};
+use ppa_grid::{loopback, GridConfig, GridMode};
 use ppa_stats::fmt_duration;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!("usage: repro [OPTIONS] <experiment>... | all | list");
@@ -34,8 +35,8 @@ fn usage() -> ! {
     eprintln!("  --jobs N            worker threads for per-app fan-out (0 = auto,");
     eprintln!("                      default 1 = serial); PPA_JOBS=N is equivalent");
     eprintln!("  --grid MODE         off (default), loopback:N (self-test with N");
-    eprintln!("                      in-process workers), or serve:HOST:PORT (wait");
-    eprintln!("                      for `ppa-grid work --connect` workers)");
+    eprintln!("                      in-process workers), or serve:HOST:PORT");
+    eprintln!("                      (submit to a running `ppa-serve daemon`)");
     eprintln!("  --metrics           print the metrics registry to stderr on exit");
     eprintln!("  --metrics-json FILE write the metrics registry as flat JSON");
     eprintln!("  --trace-out FILE    write a Chrome trace_event timeline (open in");
@@ -98,23 +99,12 @@ fn attach_grid(mode: GridMode) -> bool {
             true
         }
         GridMode::Serve(addr) => {
-            let coord =
-                Coordinator::bind(addr.as_str(), GridConfig::default()).unwrap_or_else(|e| {
-                    eprintln!("repro: failed to bind {addr}: {e}");
-                    std::process::exit(1);
-                });
-            ppa_obs::info!(
-                "grid",
-                "listening on {}; waiting for a worker...",
-                coord.local_addr()
-            );
-            let coord = Arc::new(coord);
-            if !coord.wait_for_workers(1, Duration::from_secs(600)) {
-                eprintln!("repro: no worker connected within 600s");
+            let client = ppa_serve::ServeClient::connect(addr.as_str()).unwrap_or_else(|e| {
+                eprintln!("repro: {e}");
                 std::process::exit(1);
-            }
-            ppa_obs::info!("grid", "{} worker(s) connected", coord.live_workers());
-            gridwork::install(gridwork::GridHandle::Serve(coord));
+            });
+            ppa_obs::info!("grid", "submitting to ppa-serve daemon at {addr}");
+            gridwork::install(gridwork::GridHandle::Remote(client));
             true
         }
     }
@@ -231,14 +221,27 @@ fn main() {
     eprintln!("total: {}", fmt_duration(wall));
 
     if let Some(grid) = gridwork::active() {
-        let coord = grid.coordinator();
-        let s = coord.stats();
-        ppa_obs::info!(
-            "grid",
-            "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
-            s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
-        );
-        coord.shutdown();
+        if let Some(coord) = grid.coordinator() {
+            let s = coord.stats();
+            ppa_obs::info!(
+                "grid",
+                "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+                s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
+            );
+            coord.shutdown();
+        } else if let gridwork::GridHandle::Remote(client) = grid {
+            // The daemon outlives us; just report what it did for us.
+            if let Ok(s) = client.stats() {
+                ppa_obs::info!(
+                    "grid",
+                    "daemon {}: cache hits={} misses={} entries={}",
+                    client.addr(),
+                    s.hits,
+                    s.misses,
+                    s.entries
+                );
+            }
+        }
     }
 
     if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {

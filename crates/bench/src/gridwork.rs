@@ -12,26 +12,40 @@
 //! output byte-identical to a local run.
 
 use crate::experiments::{self, AppCell};
-use ppa_grid::coord::{Coordinator, UnitSpec};
+use ppa_grid::coord::{Coordinator, UnitRunner, UnitSpec};
 use ppa_grid::loopback::Loopback;
 use ppa_grid::proto::{ByteReader, ByteWriter};
 use ppa_grid::Executor;
+use ppa_serve::ServeClient;
 use ppa_workloads::{registry, AppDescriptor};
 use std::sync::{Arc, OnceLock};
 
-/// A live grid attachment for this process: either an owned loopback
-/// cluster or a coordinator serving external workers.
+/// A live grid attachment for this process: an owned loopback cluster,
+/// a coordinator serving external workers, or a client of a
+/// `ppa-serve` daemon.
 pub enum GridHandle {
     Loopback(Loopback),
     Serve(Arc<Coordinator>),
+    Remote(ServeClient),
 }
 
 impl GridHandle {
-    /// The coordinator work units are submitted through.
-    pub fn coordinator(&self) -> &Arc<Coordinator> {
+    /// The runner work units are submitted through.
+    pub fn runner(&self) -> &dyn UnitRunner {
         match self {
-            GridHandle::Loopback(l) => l.coordinator(),
-            GridHandle::Serve(c) => c,
+            GridHandle::Loopback(l) => l.coordinator().as_ref(),
+            GridHandle::Serve(c) => c.as_ref(),
+            GridHandle::Remote(client) => client,
+        }
+    }
+
+    /// The locally owned coordinator, when the attachment has one
+    /// (`Remote` submits to a daemon-owned coordinator instead).
+    pub fn coordinator(&self) -> Option<&Arc<Coordinator>> {
+        match self {
+            GridHandle::Loopback(l) => Some(l.coordinator()),
+            GridHandle::Serve(c) => Some(c),
+            GridHandle::Remote(_) => None,
         }
     }
 }
@@ -120,7 +134,7 @@ pub(crate) fn app_rows(
         });
     };
     let units = apps.iter().map(|app| app_unit(exp, app, base)).collect();
-    let results = grid.coordinator().run_units(units);
+    let results = grid.runner().run_units(units);
     apps.into_iter()
         .zip(results)
         .map(|(app, res)| match res {
@@ -147,7 +161,7 @@ pub fn render_experiment(id: &str, f: crate::experiments::Experiment) -> String 
         return f().to_string();
     }
     let unit = exp_unit(id, crate::experiment_len());
-    let mut results = grid.coordinator().run_units(vec![unit]);
+    let mut results = grid.runner().run_units(vec![unit]);
     match results.remove(0) {
         Ok(outcome) => String::from_utf8(outcome.payload)
             .unwrap_or_else(|_| panic!("grid: non-UTF-8 table for experiment {id}")),

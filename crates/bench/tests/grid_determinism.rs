@@ -79,6 +79,10 @@ fn rendered_tables_are_byte_identical_across_grid_configurations() {
         gridwork::render_experiment(table1.0, table1.1),
         local_table1
     );
-    let stats = gridwork::active().unwrap().coordinator().stats();
+    let stats = gridwork::active()
+        .unwrap()
+        .coordinator()
+        .expect("loopback handle owns its coordinator")
+        .stats();
     assert!(stats.completed >= 42, "stats: {stats:?}");
 }

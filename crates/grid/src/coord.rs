@@ -17,11 +17,32 @@
 //! callers assemble byte-identical output at any worker count.
 
 use crate::proto::{self, Msg};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Priority given to units submitted through the plain [`UnitRunner`]
+/// path (`run_units`). Higher is sooner; 0..=255.
+pub const DEFAULT_PRIORITY: u8 = 128;
+
+/// Anything that can run a batch of work units and return their
+/// outcomes in submission order. Implemented by [`Coordinator`] (the
+/// one-shot / loopback path) and by the `ppa-serve` client (the daemon
+/// path), so front-ends are written once against this trait.
+pub trait UnitRunner: Send + Sync {
+    fn run_units(&self, units: Vec<UnitSpec>) -> Vec<Result<UnitOutcome, GridError>>;
+}
+
+/// A hook for routing non-worker connections (v3 service frames) that
+/// arrive on the coordinator's listening port. `ppa-serve` installs one
+/// to serve client sessions on the same socket workers dial.
+pub trait ConnDispatch: Send + Sync {
+    /// Takes ownership of a connection whose first frame was a v3
+    /// service frame. Runs the whole session; returns when it ends.
+    fn handle(&self, first: Msg, stream: TcpStream);
+}
 
 /// Coordinator tuning knobs. The defaults suit real experiment units
 /// (milliseconds to minutes each); tests shrink them to exercise the
@@ -52,14 +73,14 @@ impl Default for GridConfig {
 
 /// One serializable work unit: an application-level `tag` routing it to
 /// the right executor, and an opaque payload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnitSpec {
     pub tag: String,
     pub payload: Vec<u8>,
 }
 
 /// A completed unit's result.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UnitOutcome {
     /// The executor's result bytes.
     pub payload: Vec<u8>,
@@ -129,6 +150,7 @@ struct UnitState {
     spec: UnitSpec,
     batch: u64,
     index: usize,
+    priority: u8,
     attempts: u32,
     last_error: String,
     done: bool,
@@ -139,13 +161,20 @@ struct UnitState {
     last_worker: Option<u64>,
 }
 
+/// Ordered key for the pending queue: higher priority first, then FIFO
+/// by unit id within a priority band (uids are allocated in submission
+/// order, so the band order is the submission order).
+fn pending_key(priority: u8, uid: u64) -> (u8, u64) {
+    (255 - priority, uid)
+}
+
 struct BatchState {
     results: Vec<Option<Result<UnitOutcome, GridError>>>,
     remaining: usize,
 }
 
 struct State {
-    pending: VecDeque<u64>,
+    pending: BTreeSet<(u8, u64)>,
     delayed: Vec<(Instant, u64)>,
     units: HashMap<u64, UnitState>,
     leases: HashMap<u64, LeaseState>,
@@ -163,6 +192,9 @@ struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     cfg: GridConfig,
+    /// Client-session router for v3 service frames; set once by
+    /// `ppa-serve`, absent in one-shot / loopback runs.
+    dispatch: OnceLock<Arc<dyn ConnDispatch>>,
 }
 
 /// A listening coordinator. Clone-free: share it behind an `Arc` to
@@ -183,7 +215,7 @@ impl Coordinator {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                pending: VecDeque::new(),
+                pending: BTreeSet::new(),
                 delayed: Vec::new(),
                 units: HashMap::new(),
                 leases: HashMap::new(),
@@ -198,6 +230,7 @@ impl Coordinator {
             }),
             cv: Condvar::new(),
             cfg,
+            dispatch: OnceLock::new(),
         });
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -254,63 +287,124 @@ impl Coordinator {
         self.shared.state.lock().unwrap().stats.clone()
     }
 
+    /// Installs the v3 client-session router. May be called once; a
+    /// second call is ignored (the first router wins).
+    pub fn set_dispatch(&self, dispatch: Arc<dyn ConnDispatch>) {
+        let _ = self.shared.dispatch.set(dispatch);
+    }
+
+    /// Enqueues a batch of units at `priority` (higher is sooner) and
+    /// returns its batch id without blocking. Collect outcomes with
+    /// [`Coordinator::wait_slot`]; release the batch's results with
+    /// [`Coordinator::drop_batch`] when done with them.
+    pub fn submit_batch(&self, units: Vec<UnitSpec>, priority: u8) -> u64 {
+        let n = units.len();
+        let mut state = self.shared.state.lock().unwrap();
+        let batch = state.next_batch;
+        state.next_batch += 1;
+        state.batches.insert(
+            batch,
+            BatchState {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+            },
+        );
+        for (index, spec) in units.into_iter().enumerate() {
+            let uid = state.next_unit;
+            state.next_unit += 1;
+            state.units.insert(
+                uid,
+                UnitState {
+                    spec,
+                    batch,
+                    index,
+                    priority,
+                    attempts: 0,
+                    last_error: String::new(),
+                    done: false,
+                    last_worker: None,
+                },
+            );
+            state.pending.insert(pending_key(priority, uid));
+        }
+        self.shared.cv.notify_all();
+        batch
+    }
+
+    /// Blocks until slot `index` of `batch` has an outcome and returns a
+    /// clone of it (the slot stays readable until [`drop_batch`], so a
+    /// caller whose downstream write failed can read it again).
+    ///
+    /// [`drop_batch`]: Coordinator::drop_batch
+    pub fn wait_slot(&self, batch: u64, index: usize) -> Result<UnitOutcome, GridError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            match state.batches.get(&batch) {
+                None => return Err(GridError::Aborted),
+                Some(b) => {
+                    if let Some(slot) = b.results.get(index) {
+                        if let Some(result) = slot {
+                            return result.clone();
+                        }
+                    } else {
+                        return Err(GridError::Aborted);
+                    }
+                }
+            }
+            if state.shutdown {
+                return Err(GridError::Aborted);
+            }
+            state = self.shared.cv.wait(state).unwrap();
+        }
+    }
+
+    /// Releases a batch: its stored results are dropped and any of its
+    /// units still queued are cancelled (leased units finish on their
+    /// worker; the late result is suppressed as a duplicate).
+    pub fn drop_batch(&self, batch: u64) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.batches.remove(&batch);
+        let doomed: Vec<(u64, u8)> = state
+            .units
+            .iter()
+            .filter(|(_, u)| u.batch == batch)
+            .map(|(&uid, u)| (uid, u.priority))
+            .collect();
+        for (uid, priority) in doomed {
+            state.units.remove(&uid);
+            state.pending.remove(&pending_key(priority, uid));
+            state.delayed.retain(|&(_, d)| d != uid);
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// (queued, leased) unit counts — the daemon's depth gauges.
+    pub fn queue_depth(&self) -> (usize, usize) {
+        let state = self.shared.state.lock().unwrap();
+        (
+            state.pending.len() + state.delayed.len(),
+            state.leases.len(),
+        )
+    }
+}
+
+impl UnitRunner for Coordinator {
     /// Submits a batch of units and blocks until every one has either a
     /// result or a terminal error. Outcomes come back **in submission
     /// order**; a failed unit yields `Err` for its slot only.
-    pub fn run_units(&self, units: Vec<UnitSpec>) -> Vec<Result<UnitOutcome, GridError>> {
+    fn run_units(&self, units: Vec<UnitSpec>) -> Vec<Result<UnitOutcome, GridError>> {
         if units.is_empty() {
             return Vec::new();
         }
         let n = units.len();
-        let batch;
-        {
-            let mut state = self.shared.state.lock().unwrap();
-            batch = state.next_batch;
-            state.next_batch += 1;
-            state.batches.insert(
-                batch,
-                BatchState {
-                    results: (0..n).map(|_| None).collect(),
-                    remaining: n,
-                },
-            );
-            for (index, spec) in units.into_iter().enumerate() {
-                let uid = state.next_unit;
-                state.next_unit += 1;
-                state.units.insert(
-                    uid,
-                    UnitState {
-                        spec,
-                        batch,
-                        index,
-                        attempts: 0,
-                        last_error: String::new(),
-                        done: false,
-                        last_worker: None,
-                    },
-                );
-                state.pending.push_back(uid);
-            }
-            self.shared.cv.notify_all();
-        }
-        let mut state = self.shared.state.lock().unwrap();
-        loop {
-            let done = state.batches.get(&batch).is_none_or(|b| b.remaining == 0);
-            if done || state.shutdown {
-                break;
-            }
-            state = self.shared.cv.wait(state).unwrap();
-        }
-        let b = state
-            .batches
-            .remove(&batch)
-            .expect("batch exists until collected");
-        b.results
-            .into_iter()
-            .map(|slot| slot.unwrap_or(Err(GridError::Aborted)))
-            .collect()
+        let batch = self.submit_batch(units, DEFAULT_PRIORITY);
+        let out = (0..n).map(|i| self.wait_slot(batch, i)).collect();
+        self.drop_batch(batch);
+        out
     }
+}
 
+impl Coordinator {
     /// Signals shutdown: workers receive [`Msg::Shutdown`], in-flight
     /// batches complete as [`GridError::Aborted`], the accept loop
     /// stops. Threads are joined on drop.
@@ -369,9 +463,21 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
 }
 
 fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
-    // The handshake: the first frame must be Hello, announcing capacity.
+    // The handshake: a worker's first frame is Hello, announcing
+    // capacity. A v3 service frame instead marks a client session,
+    // which is handed to the installed dispatcher (if any) — workers
+    // and clients share one listening port.
     let jobs = match proto::read_msg(&mut stream) {
         Ok(Msg::Hello { jobs }) => (jobs as usize).max(1),
+        Ok(msg @ (Msg::Submit { .. } | Msg::Query { .. } | Msg::Subscribe { .. })) => {
+            if let Some(dispatch) = shared.dispatch.get() {
+                let dispatch = Arc::clone(dispatch);
+                dispatch.handle(msg, stream);
+            } else {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            return;
+        }
         _ => {
             let _ = stream.shutdown(Shutdown::Both);
             return;
@@ -443,13 +549,16 @@ fn handle_worker_msg(shared: &Arc<Shared>, wid: u64, msg: Msg) -> bool {
                 if let Some(w) = state.workers.get_mut(&lease.worker) {
                     w.outstanding.retain(|&s| s != seq);
                 }
-                let (batch, index, attempts) = {
-                    let u = state
-                        .units
-                        .get_mut(&lease.unit)
-                        .expect("leased unit exists");
+                // A missing unit means its batch was dropped (cancelled)
+                // while this lease was in flight: suppress the result.
+                let slot = state.units.get_mut(&lease.unit).map(|u| {
                     u.done = true;
                     (u.batch, u.index, u.attempts)
+                });
+                let Some((batch, index, attempts)) = slot else {
+                    state.stats.duplicates += 1;
+                    ppa_obs::registry::counter("grid.coord.units.duplicate").inc();
+                    return true;
                 };
                 state.stats.completed += 1;
                 ppa_obs::registry::counter("grid.coord.units.completed").inc();
@@ -490,8 +599,15 @@ fn handle_worker_msg(shared: &Arc<Shared>, wid: u64, msg: Msg) -> bool {
             }
         }
         Msg::Shutdown => return false,
-        // Hello twice, or coordinator-only frames: protocol misuse.
-        Msg::Hello { .. } | Msg::Lease { .. } => return false,
+        // Hello twice, coordinator-only frames, or v3 service frames on
+        // an established worker connection: protocol misuse.
+        Msg::Hello { .. }
+        | Msg::Lease { .. }
+        | Msg::Submit { .. }
+        | Msg::Query { .. }
+        | Msg::Subscribe { .. }
+        | Msg::Result { .. }
+        | Msg::CacheStats { .. } => return false,
     }
     true
 }
@@ -529,10 +645,11 @@ fn worker_gone(shared: &Arc<Shared>, wid: u64) {
 /// schedule another dispatch (after a backoff) or give up.
 fn requeue_or_fail(shared: &Arc<Shared>, state: &mut State, uid: u64, message: String) {
     let (batch, index, give_up, tag, attempts) = {
-        let u = state
-            .units
-            .get_mut(&uid)
-            .expect("unit exists while incomplete");
+        // A missing unit means its batch was dropped while the attempt
+        // was in flight; there is nothing left to retry or fail.
+        let Some(u) = state.units.get_mut(&uid) else {
+            return;
+        };
         if u.done {
             return;
         }
@@ -605,7 +722,10 @@ fn dispatch_loop(shared: Arc<Shared>) {
                 }
             });
             for uid in due {
-                state.pending.push_back(uid);
+                // The unit may have been cancelled while backing off.
+                if let Some(priority) = state.units.get(&uid).map(|u| u.priority) {
+                    state.pending.insert(pending_key(priority, uid));
+                }
             }
 
             // Expired leases are re-dispatched elsewhere.
@@ -673,9 +793,10 @@ fn dispatch_loop(shared: Arc<Shared>) {
                 }
             }
 
-            // Lease pending units to the least-loaded workers with
-            // spare capacity.
-            while let Some(&uid) = state.pending.front() {
+            // Lease pending units (highest priority first, FIFO within
+            // a band) to the least-loaded workers with spare capacity.
+            while let Some(&key) = state.pending.iter().next() {
+                let uid = key.1;
                 let avoid = state.units.get(&uid).and_then(|u| u.last_worker);
                 let target = state
                     .workers
@@ -684,7 +805,7 @@ fn dispatch_loop(shared: Arc<Shared>) {
                     .min_by_key(|(&wid, w)| (Some(wid) == avoid, w.outstanding.len(), wid))
                     .map(|(&wid, _)| wid);
                 let Some(wid) = target else { break };
-                state.pending.pop_front();
+                state.pending.remove(&key);
                 let seq = state.next_seq;
                 state.next_seq += 1;
                 let (tag, payload, attempt) = {

@@ -34,7 +34,9 @@ pub mod loopback;
 pub mod proto;
 pub mod worker;
 
-pub use coord::{Coordinator, GridConfig, GridError, GridStats, UnitOutcome, UnitSpec};
+pub use coord::{
+    ConnDispatch, Coordinator, GridConfig, GridError, GridStats, UnitOutcome, UnitRunner, UnitSpec,
+};
 pub use proto::ProtoError;
 pub use worker::{run_worker, Executor, WorkerOptions, WorkerReport};
 

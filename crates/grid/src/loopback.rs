@@ -2,7 +2,7 @@
 //! threads talking over `127.0.0.1`, exercising the full wire protocol,
 //! lease bookkeeping, and failure recovery without a second host.
 
-use crate::coord::{Coordinator, GridConfig, GridError, UnitOutcome, UnitSpec};
+use crate::coord::{Coordinator, GridConfig, GridError, UnitOutcome, UnitRunner, UnitSpec};
 use crate::worker::{run_worker, Executor, WorkerOptions, WorkerReport};
 use std::sync::Arc;
 use std::thread::JoinHandle;

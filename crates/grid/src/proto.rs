@@ -15,6 +15,16 @@
 //! never a silently accepted frame. The property tests in
 //! `tests/proto.rs` fuzz exactly these cases with `ppa-prng`.
 //!
+//! Versioning is negotiated per frame: every message type has a fixed
+//! minimum protocol version ([`frame_version`]), frames are stamped with
+//! exactly that version, and a decoder accepts any version it knows.
+//! The worker vocabulary (`Hello`..`Shutdown`) is v2, so v2 workers keep
+//! inter-operating with a v3 `ppa-serve` coordinator untouched; the
+//! service vocabulary ([`Msg::Submit`], [`Msg::Query`],
+//! [`Msg::Subscribe`], [`Msg::Result`], [`Msg::CacheStats`]) is v3, so a
+//! v2-only peer rejects it with [`ProtoError::BadVersion`] instead of
+//! mis-parsing it.
+//!
 //! Payload contents use the same primitive encoding ([`ByteWriter`] /
 //! [`ByteReader`]), which `ppa-bench` and `ppa-verify` reuse for their
 //! work-unit payloads so the whole stack shares one set of typed decode
@@ -25,10 +35,23 @@ use std::io::{Read, Write};
 /// Frame magic: `"PPAG"` as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"PPAG");
 
-/// Current protocol version. A coordinator and worker must match
-/// exactly; there is no negotiation. Bumped to 2 when [`Msg::Heartbeat`]
-/// grew the `inflight`/`executed` telemetry fields.
+/// Protocol version of the worker vocabulary. Bumped to 2 when
+/// [`Msg::Heartbeat`] grew the `inflight`/`executed` telemetry fields.
 pub const VERSION: u16 = 2;
+
+/// Protocol version of the service vocabulary (`ppa-serve` client
+/// frames: submit/query/subscribe/result/cache-stats).
+pub const VERSION_V3: u16 = 3;
+
+/// In a [`Msg::Result`] frame, this `index` marks a service-level
+/// rejection (e.g. a subscription to a submission the daemon does not
+/// know) rather than a unit outcome; the payload carries the reason.
+pub const RESULT_NO_SUCH_SUBMISSION: u32 = u32::MAX;
+
+/// `Msg::Query` kinds: a cache/queue statistics probe, and a graceful
+/// checkpoint-and-exit request.
+pub const QUERY_STATS: u8 = 0;
+pub const QUERY_STOP: u8 = 1;
 
 /// Upper bound on a frame payload. Larger lengths are rejected before
 /// any allocation, so a corrupt length prefix cannot OOM the peer.
@@ -124,6 +147,53 @@ pub enum Msg {
     Heartbeat { inflight: u32, executed: u64 },
     /// Coordinator -> worker: drain and disconnect.
     Shutdown,
+    /// Client -> daemon (v3): submit a batch of work units. `client` is
+    /// a caller-chosen stable identity and `submission` a per-client
+    /// monotonic id; together they name the batch across reconnects.
+    /// Higher `priority` dispatches sooner.
+    Submit {
+        client: u64,
+        submission: u64,
+        priority: u8,
+        units: Vec<(String, Vec<u8>)>,
+    },
+    /// Client -> daemon (v3): request [`Msg::CacheStats`]
+    /// ([`QUERY_STATS`]) or ask the daemon to checkpoint and exit
+    /// ([`QUERY_STOP`]).
+    Query { what: u8 },
+    /// Client -> daemon (v3): re-attach to an earlier submission after a
+    /// reconnect and stream its results from `from_index` on.
+    Subscribe {
+        client: u64,
+        submission: u64,
+        from_index: u32,
+    },
+    /// Daemon -> client (v3): one unit's outcome, streamed strictly in
+    /// submission-index order. `ok == false` makes the payload a UTF-8
+    /// error message (or, with `index == RESULT_NO_SUCH_SUBMISSION`, a
+    /// service-level rejection). `cached` records a content-addressed
+    /// cache hit — invisible on stdout, visible in telemetry.
+    Result {
+        submission: u64,
+        index: u32,
+        ok: bool,
+        cached: bool,
+        attempts: u32,
+        elapsed_ns: u64,
+        payload: Vec<u8>,
+    },
+    /// Daemon -> client (v3): the service counters, answering
+    /// [`Msg::Query`].
+    CacheStats {
+        hits: u64,
+        misses: u64,
+        entries: u64,
+        queue_depth: u64,
+        inflight: u64,
+        clients: u64,
+        submissions: u64,
+        workers: u64,
+    },
 }
 
 const TY_HELLO: u8 = 1;
@@ -132,6 +202,21 @@ const TY_RESULT: u8 = 3;
 const TY_ERROR: u8 = 4;
 const TY_HEARTBEAT: u8 = 5;
 const TY_SHUTDOWN: u8 = 6;
+const TY_SUBMIT: u8 = 7;
+const TY_QUERY: u8 = 8;
+const TY_SUBSCRIBE: u8 = 9;
+const TY_SERVE_RESULT: u8 = 10;
+const TY_CACHE_STATS: u8 = 11;
+
+/// The minimum (and stamped) protocol version of each message type:
+/// worker frames are v2, service frames v3.
+pub fn frame_version(ty: u8) -> u16 {
+    if ty >= TY_SUBMIT {
+        VERSION_V3
+    } else {
+        VERSION
+    }
+}
 
 /// Encodes one message as a complete frame.
 pub fn encode(msg: &Msg) -> Vec<u8> {
@@ -181,11 +266,83 @@ pub fn encode(msg: &Msg) -> Vec<u8> {
             TY_HEARTBEAT
         }
         Msg::Shutdown => TY_SHUTDOWN,
+        Msg::Submit {
+            client,
+            submission,
+            priority,
+            units,
+        } => {
+            body.put_u64(*client);
+            body.put_u64(*submission);
+            body.put_u8(*priority);
+            body.put_u32(units.len() as u32);
+            for (tag, payload) in units {
+                body.put_str(tag);
+                body.put_bytes(payload);
+            }
+            TY_SUBMIT
+        }
+        Msg::Query { what } => {
+            body.put_u8(*what);
+            TY_QUERY
+        }
+        Msg::Subscribe {
+            client,
+            submission,
+            from_index,
+        } => {
+            body.put_u64(*client);
+            body.put_u64(*submission);
+            body.put_u32(*from_index);
+            TY_SUBSCRIBE
+        }
+        Msg::Result {
+            submission,
+            index,
+            ok,
+            cached,
+            attempts,
+            elapsed_ns,
+            payload,
+        } => {
+            body.put_u64(*submission);
+            body.put_u32(*index);
+            body.put_u8(*ok as u8);
+            body.put_u8(*cached as u8);
+            body.put_u32(*attempts);
+            body.put_u64(*elapsed_ns);
+            body.put_bytes(payload);
+            TY_SERVE_RESULT
+        }
+        Msg::CacheStats {
+            hits,
+            misses,
+            entries,
+            queue_depth,
+            inflight,
+            clients,
+            submissions,
+            workers,
+        } => {
+            for v in [
+                hits,
+                misses,
+                entries,
+                queue_depth,
+                inflight,
+                clients,
+                submissions,
+                workers,
+            ] {
+                body.put_u64(*v);
+            }
+            TY_CACHE_STATS
+        }
     };
     let body = body.into_bytes();
     let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
     out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&frame_version(ty).to_le_bytes());
     out.push(ty);
     out.push(0); // flags, reserved
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -205,7 +362,8 @@ fn le_u32(b: &[u8]) -> u32 {
 
 /// Decodes one frame from the front of `buf`, returning the message and
 /// the number of bytes consumed. Validation order: magic, version,
-/// length bounds, completeness, checksum, message type, payload fields.
+/// length bounds, completeness, checksum, message type (including the
+/// type/version pairing), payload fields.
 pub fn decode(buf: &[u8]) -> Result<(Msg, usize), ProtoError> {
     if buf.len() < HEADER_LEN {
         return Err(ProtoError::Truncated);
@@ -215,7 +373,7 @@ pub fn decode(buf: &[u8]) -> Result<(Msg, usize), ProtoError> {
         return Err(ProtoError::BadMagic(magic));
     }
     let version = le_u16(&buf[4..6]);
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V3 {
         return Err(ProtoError::BadVersion(version));
     }
     let ty = buf[6];
@@ -257,8 +415,60 @@ pub fn decode(buf: &[u8]) -> Result<(Msg, usize), ProtoError> {
             executed: r.u64()?,
         },
         TY_SHUTDOWN => Msg::Shutdown,
+        TY_SUBMIT => {
+            let client = r.u64()?;
+            let submission = r.u64()?;
+            let priority = r.u8()?;
+            let n = r.u32()?;
+            // The unit count comes off the wire unvalidated; push without
+            // preallocating so a corrupt count fails at the per-unit
+            // reads instead of requesting a huge buffer up front.
+            let mut units = Vec::new();
+            for _ in 0..n {
+                let tag = r.str()?;
+                let payload = r.bytes()?.to_vec();
+                units.push((tag, payload));
+            }
+            Msg::Submit {
+                client,
+                submission,
+                priority,
+                units,
+            }
+        }
+        TY_QUERY => Msg::Query { what: r.u8()? },
+        TY_SUBSCRIBE => Msg::Subscribe {
+            client: r.u64()?,
+            submission: r.u64()?,
+            from_index: r.u32()?,
+        },
+        TY_SERVE_RESULT => Msg::Result {
+            submission: r.u64()?,
+            index: r.u32()?,
+            ok: r.u8()? != 0,
+            cached: r.u8()? != 0,
+            attempts: r.u32()?,
+            elapsed_ns: r.u64()?,
+            payload: r.bytes()?.to_vec(),
+        },
+        TY_CACHE_STATS => Msg::CacheStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            entries: r.u64()?,
+            queue_depth: r.u64()?,
+            inflight: r.u64()?,
+            clients: r.u64()?,
+            submissions: r.u64()?,
+            workers: r.u64()?,
+        },
         other => return Err(ProtoError::UnknownType(other)),
     };
+    // A frame must be stamped with its type's exact version: a v3-only
+    // message claiming to be v2 (or vice versa) is a forgery a v2 peer
+    // would mis-handle, so reject it outright.
+    if version != frame_version(ty) {
+        return Err(ProtoError::BadVersion(version));
+    }
     r.finish()?;
     Ok((msg, total))
 }
@@ -275,7 +485,7 @@ pub fn read_msg(r: &mut impl Read) -> Result<Msg, ProtoError> {
         return Err(ProtoError::BadMagic(magic));
     }
     let version = le_u16(&header[4..6]);
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V3 {
         return Err(ProtoError::BadVersion(version));
     }
     let len = le_u32(&header[8..12]);
@@ -419,6 +629,18 @@ mod tests {
         }
     }
 
+    fn sample_v3() -> Msg {
+        Msg::Submit {
+            client: 0xC11E,
+            submission: 4,
+            priority: 200,
+            units: vec![
+                ("oracle.plan:mcf".into(), vec![1, 2, 3]),
+                ("repro.app:fig1/gcc".into(), vec![]),
+            ],
+        }
+    }
+
     #[test]
     fn frames_round_trip() {
         for msg in [
@@ -440,6 +662,32 @@ mod tests {
                 executed: 41,
             },
             Msg::Shutdown,
+            sample_v3(),
+            Msg::Query { what: QUERY_STATS },
+            Msg::Subscribe {
+                client: 1,
+                submission: 2,
+                from_index: 3,
+            },
+            Msg::Result {
+                submission: 2,
+                index: 9,
+                ok: true,
+                cached: true,
+                attempts: 1,
+                elapsed_ns: 77,
+                payload: vec![5; 12],
+            },
+            Msg::CacheStats {
+                hits: 1,
+                misses: 2,
+                entries: 3,
+                queue_depth: 4,
+                inflight: 5,
+                clients: 6,
+                submissions: 7,
+                workers: 8,
+            },
         ] {
             let frame = encode(&msg);
             let (back, used) = decode(&frame).expect("round trip");
@@ -449,10 +697,34 @@ mod tests {
     }
 
     #[test]
+    fn worker_frames_stay_v2_and_service_frames_are_v3() {
+        assert_eq!(le_u16(&encode(&Msg::Shutdown)[4..6]), VERSION);
+        assert_eq!(le_u16(&encode(&sample())[4..6]), VERSION);
+        assert_eq!(le_u16(&encode(&sample_v3())[4..6]), VERSION_V3);
+        assert_eq!(
+            le_u16(&encode(&Msg::Query { what: QUERY_STOP })[4..6]),
+            VERSION_V3
+        );
+    }
+
+    #[test]
     fn stale_version_is_rejected() {
         let mut frame = encode(&Msg::Shutdown);
-        frame[4] = VERSION as u8 + 1;
-        assert_eq!(decode(&frame), Err(ProtoError::BadVersion(VERSION + 1)));
+        frame[4] = VERSION_V3 as u8 + 1;
+        assert_eq!(decode(&frame), Err(ProtoError::BadVersion(VERSION_V3 + 1)));
+    }
+
+    #[test]
+    fn version_type_mismatch_is_rejected() {
+        // A v3 service frame forged to claim v2 (checksum refreshed so
+        // only the version/type pairing can object) must not decode: a
+        // real v2 peer would reject it, so we must too.
+        let mut frame = encode(&sample_v3());
+        frame[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        let body = frame.len() - 4;
+        let ck = checksum(&frame[..body]);
+        frame[body..].copy_from_slice(&ck.to_le_bytes());
+        assert_eq!(decode(&frame), Err(ProtoError::BadVersion(VERSION)));
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn random_string(rng: &mut Prng, max: usize) -> String {
 
 fn random_msg(rng: &mut Prng) -> Msg {
     let payload_len = rng.random_below(256) as usize;
-    match rng.random_below(6) {
+    match rng.random_below(11) {
         0 => Msg::Hello {
             jobs: rng.next_u64() as u32,
         },
@@ -47,7 +47,45 @@ fn random_msg(rng: &mut Prng) -> Msg {
             inflight: rng.random_range(0u32..64),
             executed: rng.random_range(0u64..10_000),
         },
-        _ => Msg::Shutdown,
+        5 => Msg::Shutdown,
+        6 => Msg::Submit {
+            client: rng.next_u64(),
+            submission: rng.next_u64(),
+            priority: rng.next_u64() as u8,
+            units: (0..rng.random_below(8))
+                .map(|_| {
+                    let len = rng.random_below(64) as usize;
+                    (random_string(rng, 48), random_bytes(rng, len))
+                })
+                .collect(),
+        },
+        7 => Msg::Query {
+            what: rng.next_u64() as u8,
+        },
+        8 => Msg::Subscribe {
+            client: rng.next_u64(),
+            submission: rng.next_u64(),
+            from_index: rng.next_u64() as u32,
+        },
+        9 => Msg::Result {
+            submission: rng.next_u64(),
+            index: rng.next_u64() as u32,
+            ok: rng.random_below(2) == 0,
+            cached: rng.random_below(2) == 0,
+            attempts: rng.random_range(0u32..8),
+            elapsed_ns: rng.next_u64(),
+            payload: random_bytes(rng, payload_len),
+        },
+        _ => Msg::CacheStats {
+            hits: rng.next_u64(),
+            misses: rng.next_u64(),
+            entries: rng.next_u64(),
+            queue_depth: rng.next_u64(),
+            inflight: rng.next_u64(),
+            clients: rng.next_u64(),
+            submissions: rng.next_u64(),
+            workers: rng.next_u64(),
+        },
     }
 }
 
@@ -126,7 +164,9 @@ fn stale_versions_are_rejected_by_version_not_checksum() {
     let mut rng = Prng::seed_from_u64(0xF0A4);
     for _ in 0..100 {
         let mut frame = proto::encode(&random_msg(&mut rng));
-        let bad_version = (proto::VERSION + 1 + rng.random_below(1000) as u16).to_le_bytes();
+        // Any version past v3 is from the future; v2 and v3 are the
+        // only vocabularies this build speaks.
+        let bad_version = (proto::VERSION_V3 + 1 + rng.random_below(1000) as u16).to_le_bytes();
         frame[4..6].copy_from_slice(&bad_version);
         // Re-seal the frame so the *only* defect is the version: a
         // stale peer computes a valid checksum over its own frames.
@@ -134,8 +174,37 @@ fn stale_versions_are_rejected_by_version_not_checksum() {
         let ck = proto::checksum(&frame[..end]);
         frame[end..].copy_from_slice(&ck.to_le_bytes());
         match proto::decode(&frame) {
-            Err(ProtoError::BadVersion(v)) => assert_ne!(v, proto::VERSION),
+            Err(ProtoError::BadVersion(v)) => {
+                assert_ne!(v, proto::VERSION);
+                assert_ne!(v, proto::VERSION_V3);
+            }
             other => panic!("stale version gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cross_version_forgeries_are_rejected() {
+    // Swapping the version stamp between the two live vocabularies
+    // (worker v2 <-> service v3) must fail even with a re-sealed
+    // checksum: each type belongs to exactly one version.
+    let mut rng = Prng::seed_from_u64(0xF0A9);
+    for _ in 0..200 {
+        let msg = random_msg(&mut rng);
+        let mut frame = proto::encode(&msg);
+        let stamped = u16::from_le_bytes([frame[4], frame[5]]);
+        let forged = if stamped == proto::VERSION {
+            proto::VERSION_V3
+        } else {
+            proto::VERSION
+        };
+        frame[4..6].copy_from_slice(&forged.to_le_bytes());
+        let end = frame.len() - 4;
+        let ck = proto::checksum(&frame[..end]);
+        frame[end..].copy_from_slice(&ck.to_le_bytes());
+        match proto::decode(&frame) {
+            Err(_) => {}
+            Ok((decoded, _)) => panic!("cross-version forgery decoded to {decoded:?}"),
         }
     }
 }
@@ -178,7 +247,8 @@ fn unknown_types_survive_a_valid_envelope() {
     let mut rng = Prng::seed_from_u64(0xF0A7);
     for _ in 0..100 {
         let mut frame = proto::encode(&Msg::Shutdown);
-        let ty = 7 + rng.random_below(248) as u8;
+        // Types 1-6 are v2, 7-11 are v3; everything above is unknown.
+        let ty = 12 + rng.random_below(244) as u8;
         frame[6] = ty;
         let end = frame.len() - 4;
         let ck = proto::checksum(&frame[..end]);
@@ -193,13 +263,13 @@ fn torn_payload_fields_are_malformed_not_panics() {
     // Build syntactically valid envelopes whose payloads are garbage;
     // field parsing must fail with a typed error, not a panic, for
     // every payload-bearing type.
-    for ty in [1u8, 2, 3, 4] {
+    for ty in [1u8, 2, 3, 4, 7, 8, 9, 10, 11] {
         for _ in 0..200 {
             let body_len = rng.random_below(64) as usize;
             let body = random_bytes(&mut rng, body_len);
             let mut frame = Vec::new();
             frame.extend_from_slice(&proto::MAGIC.to_le_bytes());
-            frame.extend_from_slice(&proto::VERSION.to_le_bytes());
+            frame.extend_from_slice(&proto::frame_version(ty).to_le_bytes());
             frame.push(ty);
             frame.push(0);
             frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -209,4 +279,25 @@ fn torn_payload_fields_are_malformed_not_panics() {
             let _ = proto::decode(&frame);
         }
     }
+}
+
+#[test]
+fn huge_submit_counts_fail_without_allocating() {
+    // A Submit frame whose unit count claims billions of entries must
+    // fail at the per-element reads (Truncated), not preallocate first.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes()); // client
+    body.extend_from_slice(&2u64.to_le_bytes()); // submission
+    body.push(128); // priority
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // unit count
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&proto::MAGIC.to_le_bytes());
+    frame.extend_from_slice(&proto::VERSION_V3.to_le_bytes());
+    frame.push(7); // Submit
+    frame.push(0);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    let ck = proto::checksum(&frame);
+    frame.extend_from_slice(&ck.to_le_bytes());
+    assert_eq!(proto::decode(&frame), Err(ProtoError::Truncated));
 }

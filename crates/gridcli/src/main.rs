@@ -1,22 +1,28 @@
 //! `ppa-grid` — the standalone grid front-end.
 //!
 //! ```text
-//! # host A: serve the full paper reproduction to remote workers
-//! ppa-grid serve --listen 0.0.0.0:7171 --min-workers 2 all
+//! # host A: run the persistent service daemon (the default mode)
+//! ppa-grid serve --listen 0.0.0.0:7171 --checkpoint /var/tmp/ppa.ppsc
 //!
-//! # hosts B, C: execute work units until host A finishes
+//! # hosts B, C: execute work units until the daemon stops
 //! ppa-grid work --connect hostA:7171 --jobs 8
+//!
+//! # one-shot: render a selection across workers, then exit
+//! ppa-grid serve --oneshot --listen 0.0.0.0:7171 --min-workers 2 all
 //!
 //! # single host: loopback self-test of the whole stack
 //! ppa-grid selftest --workers 3
 //! ```
 //!
-//! `serve` renders the selected experiments exactly like `repro` does
-//! (stdout is byte-identical to a local run); `work` executes both the
-//! benchmark (`repro.*`), oracle (`oracle.*`), and litmus (`litmus.*`)
-//! unit vocabularies, so one worker process serves `repro --grid
-//! serve:...`, `ppa-verify oracle --grid serve:...`, and `ppa-litmus
-//! run --grid serve:...` alike. `selftest` runs a
+//! `serve` without experiments runs the `ppa-serve` daemon: a
+//! long-lived coordinator with a content-addressed result cache that
+//! any number of `repro --grid serve:...`, `ppa-verify oracle --grid
+//! serve:...`, and `ppa-litmus run --grid serve:...` clients submit
+//! to concurrently. With `--oneshot` (plus experiment ids) it renders
+//! the selection exactly like `repro` does — stdout byte-identical to
+//! a local run — and exits. `work` executes the benchmark (`repro.*`),
+//! oracle (`oracle.*`), and litmus (`litmus.*`) unit vocabularies, so
+//! one worker process serves every client alike. `selftest` runs a
 //! loopback grid — including an injected mid-lease worker death — and
 //! checks the transported results byte-for-byte against local
 //! execution.
@@ -49,11 +55,20 @@ impl Executor for CombinedExecutor {
 fn usage() -> ! {
     eprintln!("usage: ppa-grid <serve|work|selftest> [options]");
     eprintln!();
-    eprintln!("  serve --listen HOST:PORT [--min-workers N] [--metrics-json FILE]");
-    eprintln!("        <experiment>...|all");
-    eprintln!("      bind a coordinator, wait for N workers (default 1), then");
-    eprintln!("      render the selected experiments across them (stdout is");
-    eprintln!("      byte-identical to a local `repro` run)");
+    eprintln!("  serve --listen HOST:PORT [--checkpoint FILE]");
+    eprintln!("        [--checkpoint-interval SECS] [--metrics-json FILE]");
+    eprintln!("        [--port-file FILE]");
+    eprintln!("      run the persistent service daemon (default mode): workers");
+    eprintln!("      and any number of repro/ppa-verify/ppa-litmus clients share");
+    eprintln!("      the port; results are served from the content-addressed");
+    eprintln!("      cache when available, and with --checkpoint the queue and");
+    eprintln!("      cache survive restarts (see also `ppa-serve`)");
+    eprintln!();
+    eprintln!("  serve --oneshot --listen HOST:PORT [--min-workers N]");
+    eprintln!("        [--metrics-json FILE] <experiment>...|all");
+    eprintln!("      bind a coordinator, wait for N workers (default 1), render");
+    eprintln!("      the selected experiments across them (stdout is");
+    eprintln!("      byte-identical to a local `repro` run), then exit");
     eprintln!();
     eprintln!("  work --connect HOST:PORT [--jobs N]");
     eprintln!("      execute work units for a coordinator until it shuts down;");
@@ -86,12 +101,17 @@ fn verbosity_flag(a: &str) -> bool {
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut listen: Option<String> = None;
     let mut min_workers = 1usize;
+    let mut oneshot = false;
     let mut metrics_json: Option<std::path::PathBuf> = None;
+    let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut checkpoint_interval: Option<Duration> = None;
+    let mut port_file: Option<std::path::PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--listen" => listen = it.next().cloned(),
+            "--oneshot" => oneshot = true,
             "--min-workers" => {
                 min_workers = it
                     .next()
@@ -108,11 +128,68 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     it.next().cloned().unwrap_or_else(|| usage()),
                 ))
             }
+            "--checkpoint" => {
+                checkpoint = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--checkpoint-interval" => {
+                let secs: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                checkpoint_interval = Some(Duration::from_secs(secs.max(1)));
+            }
+            "--port-file" => {
+                port_file = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
             a if verbosity_flag(a) => {}
             _ => ids.push(a.clone()),
         }
     }
     let listen = listen.unwrap_or_else(|| usage());
+    if !oneshot {
+        // Daemon is the default serve mode; experiment ids only make
+        // sense for the one-shot render path.
+        if !ids.is_empty() {
+            eprintln!("ppa-grid: experiment arguments require --oneshot");
+            return ExitCode::FAILURE;
+        }
+        let mut opts = ppa_serve::DaemonOptions {
+            addr: listen,
+            checkpoint,
+            metrics_json,
+            ..Default::default()
+        };
+        if let Some(interval) = checkpoint_interval {
+            opts.checkpoint_interval = interval;
+        }
+        let daemon = match ppa_serve::Daemon::start(opts) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("ppa-grid: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let addr = daemon.local_addr();
+        ppa_obs::info!("grid", "serve daemon listening on {addr}");
+        if let Some(path) = &port_file {
+            let write = || -> std::io::Result<()> {
+                use std::io::Write;
+                let mut f = std::fs::File::create(path)?;
+                writeln!(f, "{addr}")
+            };
+            if let Err(e) = write() {
+                eprintln!("ppa-grid: failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        daemon.run();
+        ppa_obs::info!("grid", "serve daemon stopped");
+        return ExitCode::SUCCESS;
+    }
     if ids.is_empty() {
         usage();
     }

@@ -34,6 +34,7 @@ fn usage() -> ! {
     eprintln!("  --tear-stride N  run the mid-flush tearing probe every N cycles (default 7)");
     eprintln!("  --jobs N         worker threads (0 = serial)");
     eprintln!("  --grid MODE      off (default), loopback:N, or serve:HOST:PORT");
+    eprintln!("                   (serve: submit to a running `ppa-serve daemon`)");
     eprintln!("  --metrics-json FILE        write the litmus.* metrics snapshot");
     eprintln!("  --metrics-json-merge FILE  same, merging into an existing file");
     eprintln!();

@@ -8,12 +8,12 @@
 
 use crate::generator::{LitmusOp, LitmusTest};
 use crate::run::{run_test, RunConfig, TestRow};
-use ppa_grid::coord::{Coordinator, GridConfig, UnitSpec};
+use ppa_grid::coord::{Coordinator, GridConfig, UnitRunner, UnitSpec};
 use ppa_grid::loopback::{self, Loopback};
 use ppa_grid::proto::{ByteReader, ByteWriter};
 use ppa_grid::{Executor, GridMode};
+use ppa_serve::ServeClient;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn op_code(op: LitmusOp) -> (u8, u8) {
     match op {
@@ -169,13 +169,26 @@ pub fn selftest_units() -> Vec<UnitSpec> {
 pub enum GridHandle {
     Loopback(Loopback),
     Serve(Arc<Coordinator>),
+    Remote(ServeClient),
 }
 
 impl GridHandle {
-    pub fn coordinator(&self) -> &Arc<Coordinator> {
+    /// The runner work units are submitted through.
+    pub fn runner(&self) -> &dyn UnitRunner {
         match self {
-            GridHandle::Loopback(l) => l.coordinator(),
-            GridHandle::Serve(c) => c,
+            GridHandle::Loopback(l) => l.coordinator().as_ref(),
+            GridHandle::Serve(c) => c.as_ref(),
+            GridHandle::Remote(client) => client,
+        }
+    }
+
+    /// The locally owned coordinator, when the attachment has one
+    /// (`Remote` submits to a daemon-owned coordinator instead).
+    pub fn coordinator(&self) -> Option<&Arc<Coordinator>> {
+        match self {
+            GridHandle::Loopback(l) => Some(l.coordinator()),
+            GridHandle::Serve(c) => Some(c),
+            GridHandle::Remote(_) => None,
         }
     }
 }
@@ -213,19 +226,9 @@ pub fn attach(mode: GridMode, exec: Arc<dyn Executor>) -> Result<Option<GridHand
             Ok(Some(GridHandle::Loopback(lb)))
         }
         GridMode::Serve(addr) => {
-            let coord = Coordinator::bind(addr.as_str(), GridConfig::default())
-                .map_err(|e| format!("failed to bind {addr}: {e}"))?;
-            ppa_obs::info!(
-                "grid",
-                "listening on {}; waiting for a worker...",
-                coord.local_addr()
-            );
-            let coord = Arc::new(coord);
-            if !coord.wait_for_workers(1, Duration::from_secs(600)) {
-                return Err("no worker connected within 600s".into());
-            }
-            ppa_obs::info!("grid", "{} worker(s) connected", coord.live_workers());
-            Ok(Some(GridHandle::Serve(coord)))
+            let client = ServeClient::connect(addr.as_str())?;
+            ppa_obs::info!("grid", "submitting to ppa-serve daemon at {addr}");
+            Ok(Some(GridHandle::Remote(client)))
         }
     }
 }
@@ -246,7 +249,7 @@ pub fn run_batch(
                 .map(|(i, t)| test_unit(i, t, cfg))
                 .collect();
             let mut rows = Vec::with_capacity(tests.len());
-            for res in handle.coordinator().run_units(units) {
+            for res in handle.runner().run_units(units) {
                 let outcome = res.map_err(|e| e.to_string())?;
                 rows.push(decode_row(&outcome.payload)?);
             }

@@ -1,0 +1,178 @@
+//! `ppa-serve` — the persistent simulation service CLI.
+//!
+//! ```text
+//! # start a daemon (workers and clients share the one port)
+//! ppa-serve daemon --listen 127.0.0.1:7171 --checkpoint /var/tmp/ppa.ppsc
+//! ppa-grid work --connect 127.0.0.1:7171 --jobs 8
+//!
+//! # any number of concurrent clients
+//! repro --grid serve:127.0.0.1:7171 fig1
+//! ppa-verify oracle --grid serve:127.0.0.1:7171
+//! ppa-litmus run --grid serve:127.0.0.1:7171
+//!
+//! # observe / stop
+//! ppa-serve stats --connect 127.0.0.1:7171
+//! ppa-serve stop  --connect 127.0.0.1:7171
+//! ```
+//!
+//! The daemon prints nothing on stdout; telemetry goes to stderr and
+//! `--metrics-json`.
+
+use ppa_serve::{Daemon, DaemonOptions, ServeClient};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: ppa-serve <daemon|stats|stop> [options]");
+    eprintln!();
+    eprintln!("  daemon --listen HOST:PORT [--checkpoint FILE]");
+    eprintln!("         [--checkpoint-interval SECS] [--metrics-json FILE]");
+    eprintln!("         [--port-file FILE]");
+    eprintln!("      run the persistent coordinator: workers (ppa-grid work)");
+    eprintln!("      and clients (repro/ppa-verify/ppa-litmus --grid serve:...)");
+    eprintln!("      dial the same port; results are served from the");
+    eprintln!("      content-addressed cache when available. With --checkpoint");
+    eprintln!("      the queue and cache survive restarts. --port-file writes");
+    eprintln!("      the resolved HOST:PORT (useful with port 0).");
+    eprintln!();
+    eprintln!("  stats --connect HOST:PORT");
+    eprintln!("      print the daemon's cache/queue/client counters");
+    eprintln!();
+    eprintln!("  stop --connect HOST:PORT");
+    eprintln!("      checkpoint and shut the daemon down");
+    eprintln!();
+    eprintln!("  verbosity: -q (errors only), -v (info), -vv (debug);");
+    eprintln!("      PPA_LOG=LEVEL is equivalent (the flag wins).");
+    std::process::exit(2)
+}
+
+fn verbosity_flag(a: &str) -> bool {
+    let level = match a {
+        "-q" | "--quiet" => ppa_obs::Level::Error,
+        "-v" | "--verbose" => ppa_obs::Level::Info,
+        "-vv" => ppa_obs::Level::Debug,
+        _ => return false,
+    };
+    ppa_obs::log::set_level(level);
+    true
+}
+
+fn cmd_daemon(args: &[String]) -> ExitCode {
+    let mut opts = DaemonOptions::default();
+    let mut listen: Option<String> = None;
+    let mut port_file: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = it.next().cloned(),
+            "--checkpoint" => {
+                opts.checkpoint = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--checkpoint-interval" => {
+                let secs: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.checkpoint_interval = Duration::from_secs(secs.max(1));
+            }
+            "--metrics-json" => {
+                opts.metrics_json = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--port-file" => {
+                port_file = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ))
+            }
+            a if verbosity_flag(a) => {}
+            _ => usage(),
+        }
+    }
+    opts.addr = listen.unwrap_or_else(|| usage());
+    let daemon = match Daemon::start(opts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ppa-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = daemon.local_addr();
+    ppa_obs::info!("serve", "daemon listening on {addr}");
+    if let Some(path) = &port_file {
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(path)?;
+            writeln!(f, "{addr}")
+        };
+        if let Err(e) = write() {
+            eprintln!("ppa-serve: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    daemon.run();
+    ppa_obs::info!("serve", "daemon stopped");
+    ExitCode::SUCCESS
+}
+
+fn parse_connect(args: &[String]) -> String {
+    let mut connect: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = it.next().cloned(),
+            a if verbosity_flag(a) => {}
+            _ => usage(),
+        }
+    }
+    connect.unwrap_or_else(|| usage())
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let addr = parse_connect(args);
+    match ServeClient::with_addr(&addr).stats() {
+        Ok(s) => {
+            println!(
+                "serve {addr}: cache hits={} misses={} entries={} queue={} inflight={} clients={} submissions={} workers={}",
+                s.hits, s.misses, s.entries, s.queue_depth, s.inflight, s.clients, s.submissions, s.workers
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ppa-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stop(args: &[String]) -> ExitCode {
+    let addr = parse_connect(args);
+    match ServeClient::with_addr(&addr).stop() {
+        Ok(s) => {
+            ppa_obs::info!(
+                "serve",
+                "stopped {addr} (hits={} misses={} entries={})",
+                s.hits,
+                s.misses,
+                s.entries
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ppa-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("daemon") => cmd_daemon(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("stop") => cmd_stop(&args[1..]),
+        _ => usage(),
+    }
+}

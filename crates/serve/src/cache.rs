@@ -1,0 +1,178 @@
+//! The content-addressed result cache.
+//!
+//! Every work unit on the grid is a pure function of its `(tag,
+//! payload)` pair: the tag embeds the unit kind and workload identity
+//! (`repro.app:{exp}/{app}`, `oracle.cell:...`, `litmus.test:...`) and
+//! the payload embeds the configuration, seed, and trace length. The
+//! cache keys on the 64-bit FNV-1a hash of that pair, but stores the
+//! full request alongside each result and verifies it on lookup, so a
+//! hash collision degrades to a miss rather than serving a wrong
+//! result. A cache hit is therefore always byte-identical to a fresh
+//! simulation of the same unit — the property the daemon's stdout
+//! guarantees rest on.
+
+use ppa_grid::UnitSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a over `bytes`, continued from `state`. Seed with
+/// [`FNV64_OFFSET`].
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+pub fn fnv64(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+/// The content address of a work unit: FNV-1a over the tag, a zero
+/// separator (tags never contain NUL), then the payload. Deterministic
+/// across processes, job counts, and worker counts — it reads only the
+/// unit's own bytes.
+pub fn unit_key(tag: &str, payload: &[u8]) -> u64 {
+    let state = fnv64(FNV64_OFFSET, tag.as_bytes());
+    let state = fnv64(state, &[0]);
+    fnv64(state, payload)
+}
+
+/// One cached result, with the full request kept for collision checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    pub tag: String,
+    pub request: Vec<u8>,
+    pub result: Vec<u8>,
+}
+
+/// The daemon-wide result cache. Hit/miss counters mirror to the
+/// `serve.cache.*` metrics family.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a unit's cached result; counts a hit or a miss.
+    pub fn lookup(&self, spec: &UnitSpec) -> Option<Vec<u8>> {
+        let key = unit_key(&spec.tag, &spec.payload);
+        let map = self.map.lock().unwrap();
+        match map.get(&key) {
+            Some(e) if e.tag == spec.tag && e.request == spec.payload => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ppa_obs::registry::counter("serve.cache.hits").inc();
+                Some(e.result.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                ppa_obs::registry::counter("serve.cache.misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Records a computed result. On a key collision with a *different*
+    /// request the existing entry wins — colliding units simply stay
+    /// uncached.
+    pub fn insert(&self, spec: &UnitSpec, result: &[u8]) {
+        let key = unit_key(&spec.tag, &spec.payload);
+        let mut map = self.map.lock().unwrap();
+        map.entry(key).or_insert_with(|| CacheEntry {
+            tag: spec.tag.clone(),
+            request: spec.payload.clone(),
+            result: result.to_vec(),
+        });
+        ppa_obs::registry::gauge("serve.cache.entries").set(map.len() as f64);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) since start.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// All entries in key order — the checkpoint's cache section.
+    pub fn export(&self) -> Vec<CacheEntry> {
+        let map = self.map.lock().unwrap();
+        let mut keys: Vec<&u64> = map.keys().collect();
+        keys.sort();
+        keys.iter().map(|k| map[k].clone()).collect()
+    }
+
+    /// Restores checkpointed entries (existing entries win).
+    pub fn restore(&self, entries: Vec<CacheEntry>) {
+        let mut map = self.map.lock().unwrap();
+        for e in entries {
+            let key = unit_key(&e.tag, &e.request);
+            map.entry(key).or_insert(e);
+        }
+        ppa_obs::registry::gauge("serve.cache.entries").set(map.len() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(tag: &str, payload: &[u8]) -> UnitSpec {
+        UnitSpec {
+            tag: tag.into(),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn lookup_after_insert_returns_the_result() {
+        let c = ResultCache::new();
+        let s = spec("repro.app:fig1/gcc", &[1, 2, 3]);
+        assert_eq!(c.lookup(&s), None);
+        c.insert(&s, &[9, 9]);
+        assert_eq!(c.lookup(&s), Some(vec![9, 9]));
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn tag_and_payload_both_address_content() {
+        let c = ResultCache::new();
+        c.insert(&spec("a", &[1]), &[10]);
+        assert_eq!(c.lookup(&spec("a", &[2])), None);
+        assert_eq!(c.lookup(&spec("b", &[1])), None);
+        assert_eq!(c.lookup(&spec("a", &[1])), Some(vec![10]));
+    }
+
+    #[test]
+    fn tag_payload_boundary_is_unambiguous() {
+        // ("ab", "c") and ("a", "bc") must hash differently: the NUL
+        // separator sits where no tag byte can.
+        assert_ne!(unit_key("ab", b"c"), unit_key("a", b"bc"));
+    }
+
+    #[test]
+    fn export_restore_round_trips() {
+        let c = ResultCache::new();
+        c.insert(&spec("x", &[1]), &[2]);
+        c.insert(&spec("y", &[3]), &[4]);
+        let d = ResultCache::new();
+        d.restore(c.export());
+        assert_eq!(d.lookup(&spec("x", &[1])), Some(vec![2]));
+        assert_eq!(d.lookup(&spec("y", &[3])), Some(vec![4]));
+    }
+}

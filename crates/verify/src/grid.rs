@@ -16,14 +16,14 @@
 //! identity, so exhausted retries name the failing app and point.
 
 use crate::oracle::{self, OracleOutcome};
-use ppa_grid::coord::{Coordinator, GridConfig, UnitSpec};
+use ppa_grid::coord::{Coordinator, GridConfig, UnitRunner, UnitSpec};
 use ppa_grid::loopback::{self, Loopback};
 use ppa_grid::proto::{ByteReader, ByteWriter};
 use ppa_grid::{Executor, GridMode};
 use ppa_prng::Prng;
+use ppa_serve::ServeClient;
 use ppa_workloads::registry;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// One row of `ppa-verify oracle` output, whether computed locally or
 /// returned by a grid cell.
@@ -76,11 +76,12 @@ fn cell_unit(
     }
 }
 
-/// Runs the full oracle suite through `coord`, reproducing
-/// [`oracle::run_suite`]'s row order exactly. Returns `Err` (with the
-/// failing unit's tag in the message) when a unit exhausts its retries.
+/// Runs the full oracle suite through `runner` (a local coordinator or
+/// a `ppa-serve` client), reproducing [`oracle::run_suite`]'s row order
+/// exactly. Returns `Err` (with the failing unit's tag in the message)
+/// when a unit exhausts its retries.
 pub fn oracle_rows(
-    coord: &Arc<Coordinator>,
+    runner: &dyn UnitRunner,
     len: usize,
     seed: u64,
     points: usize,
@@ -93,7 +94,7 @@ pub fn oracle_rows(
         .map(|app| plan_unit(app.name, len, seed))
         .collect();
     let mut totals = Vec::with_capacity(apps.len());
-    for res in coord.run_units(plans) {
+    for res in runner.run_units(plans) {
         let outcome = res.map_err(|e| e.to_string())?;
         let mut r = ByteReader::new(&outcome.payload);
         let total = r.u64().map_err(|e| e.to_string())?;
@@ -114,7 +115,7 @@ pub fn oracle_rows(
         }
     }
     let mut rows = Vec::with_capacity(cells.len());
-    for res in coord.run_units(cells) {
+    for res in runner.run_units(cells) {
         let outcome = res.map_err(|e| e.to_string())?;
         let mut r = ByteReader::new(&outcome.payload);
         let passed = r.u8().map_err(|e| e.to_string())? != 0;
@@ -219,13 +220,26 @@ impl Executor for VerifyExecutor {
 pub enum GridHandle {
     Loopback(Loopback),
     Serve(Arc<Coordinator>),
+    Remote(ServeClient),
 }
 
 impl GridHandle {
-    pub fn coordinator(&self) -> &Arc<Coordinator> {
+    /// The runner work units are submitted through.
+    pub fn runner(&self) -> &dyn UnitRunner {
         match self {
-            GridHandle::Loopback(l) => l.coordinator(),
-            GridHandle::Serve(c) => c,
+            GridHandle::Loopback(l) => l.coordinator().as_ref(),
+            GridHandle::Serve(c) => c.as_ref(),
+            GridHandle::Remote(client) => client,
+        }
+    }
+
+    /// The locally owned coordinator, when the attachment has one
+    /// (`Remote` submits to a daemon-owned coordinator instead).
+    pub fn coordinator(&self) -> Option<&Arc<Coordinator>> {
+        match self {
+            GridHandle::Loopback(l) => Some(l.coordinator()),
+            GridHandle::Serve(c) => Some(c),
+            GridHandle::Remote(_) => None,
         }
     }
 }
@@ -251,19 +265,9 @@ pub fn attach(mode: GridMode, exec: Arc<dyn Executor>) -> Result<Option<GridHand
             Ok(Some(GridHandle::Loopback(lb)))
         }
         GridMode::Serve(addr) => {
-            let coord = Coordinator::bind(addr.as_str(), GridConfig::default())
-                .map_err(|e| format!("failed to bind {addr}: {e}"))?;
-            ppa_obs::info!(
-                "grid",
-                "listening on {}; waiting for a worker...",
-                coord.local_addr()
-            );
-            let coord = Arc::new(coord);
-            if !coord.wait_for_workers(1, Duration::from_secs(600)) {
-                return Err("no worker connected within 600s".into());
-            }
-            ppa_obs::info!("grid", "{} worker(s) connected", coord.live_workers());
-            Ok(Some(GridHandle::Serve(coord)))
+            let client = ServeClient::connect(addr.as_str())?;
+            ppa_obs::info!("grid", "submitting to ppa-serve daemon at {addr}");
+            Ok(Some(GridHandle::Remote(client)))
         }
     }
 }

@@ -87,7 +87,7 @@ fn usage() -> ! {
     eprintln!("  --json       `lint` only: one JSON object per diagnostic, no table");
     eprintln!("  --jobs N     worker threads for the fan-out (0 = auto, default 1 = serial)");
     eprintln!("  --grid MODE  distribute the `oracle` grid: off (default), loopback:N,");
-    eprintln!("               or serve:HOST:PORT for `ppa-grid work --connect` workers");
+    eprintln!("               or serve:HOST:PORT to submit to a `ppa-serve daemon`");
     eprintln!("  --metrics-json FILE        write a metrics snapshot (flat JSON) on exit");
     eprintln!("  --metrics-json-merge FILE  like --metrics-json, but merge into FILE");
     eprintln!();
@@ -408,7 +408,7 @@ fn cmd_oracle(opts: &Options, grid_handle: Option<&grid::GridHandle>) -> bool {
         opts.seed
     );
     let rows: Vec<grid::OracleRow> = match grid_handle {
-        Some(h) => match grid::oracle_rows(h.coordinator(), opts.len, opts.seed, opts.points) {
+        Some(h) => match grid::oracle_rows(h.runner(), opts.len, opts.seed, opts.points) {
             Ok(rows) => rows,
             Err(e) => {
                 println!("  grid: {e}");
@@ -639,14 +639,27 @@ fn main() -> ExitCode {
         _ => usage(),
     };
     if let Some(h) = &grid_handle {
-        let coord = h.coordinator();
-        let s = coord.stats();
-        ppa_obs::info!(
-            "grid",
-            "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
-            s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
-        );
-        coord.shutdown();
+        if let Some(coord) = h.coordinator() {
+            let s = coord.stats();
+            ppa_obs::info!(
+                "grid",
+                "dispatched={} completed={} redispatched={} duplicates={} unit_errors={} workers_joined={} workers_lost={}",
+                s.dispatched, s.completed, s.redispatched, s.duplicates, s.unit_errors, s.workers_joined, s.workers_lost
+            );
+            coord.shutdown();
+        } else if let grid::GridHandle::Remote(client) = h {
+            // The daemon outlives us; just report what it did for us.
+            if let Ok(s) = client.stats() {
+                ppa_obs::info!(
+                    "grid",
+                    "daemon {}: cache hits={} misses={} entries={}",
+                    client.addr(),
+                    s.hits,
+                    s.misses,
+                    s.entries
+                );
+            }
+        }
     }
     if std::env::var("PPA_POOL_STATS").is_ok_and(|v| v != "0") {
         if let Some(stats) = ppa_pool::global_stats() {
